@@ -1,0 +1,67 @@
+//! # vamana-baseline
+//!
+//! The comparator engines of the paper's evaluation (§VIII), rebuilt so
+//! the experiments can run offline:
+//!
+//! * [`dom::DomEngine`] — a faithful DOM tree-traversal evaluator in the
+//!   style of Jaxen and Galax: the whole document lives in memory and
+//!   every step navigates the tree with no index support. Its *Galax
+//!   profile* also refuses the sibling axes, which the paper reports as
+//!   unsupported in Galax.
+//! * [`join::StructuralJoinEngine`] — an eXist-style engine: per-name
+//!   element lists with `(start, end, level)` intervals and stack-based
+//!   structural merge joins for child/descendant chains; value predicates
+//!   fall back to in-memory tree traversal (the behavior the paper blames
+//!   for eXist's loss on Q5), and the sibling/following/preceding axes
+//!   are unsupported, as the paper reports for eXist.
+//!
+//! All engines implement [`XPathEngine`], so the benchmark harness can
+//! drive VAMANA and the baselines identically.
+
+pub mod dom;
+pub mod join;
+
+use std::fmt;
+
+/// Canonical identity of a result node for cross-engine comparison.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct NodeIdentity {
+    /// Node name (empty for text nodes).
+    pub name: String,
+    /// XPath string-value.
+    pub value: String,
+}
+
+/// Errors shared by the baseline engines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BaselineError {
+    /// The expression did not parse.
+    Parse(String),
+    /// The engine does not support this axis/construct (mirrors the
+    /// feature gaps the paper reports for Galax and eXist).
+    Unsupported(String),
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::Parse(m) => write!(f, "parse error: {m}"),
+            BaselineError::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+/// A queryable XPath engine (uniform benchmark interface).
+pub trait XPathEngine {
+    /// Engine label used in experiment output.
+    fn label(&self) -> &str;
+
+    /// Evaluates `xpath` and returns the result-set size.
+    fn count(&self, xpath: &str) -> Result<usize, BaselineError>;
+
+    /// Evaluates `xpath` and returns canonical node identities in
+    /// document order (correctness cross-checks; slower than `count`).
+    fn identities(&self, xpath: &str) -> Result<Vec<NodeIdentity>, BaselineError>;
+}

@@ -1,0 +1,28 @@
+//! Criterion benches for the evaluation queries (Figs 12–16 micro-scale):
+//! every (query × engine) cell at a fixed document size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vamana_bench::{document, Lineup, QUERIES};
+
+fn bench_queries(c: &mut Criterion) {
+    let xml = document(1.0);
+    let lineup = Lineup::build(&xml);
+    let mut group = c.benchmark_group("queries_1mb");
+    group.sample_size(10);
+    for (label, query) in QUERIES {
+        for engine in lineup.engines() {
+            // Skip unsupported combinations (Galax/eXist on Q4) instead
+            // of benchmarking an error path.
+            if engine.count(query).is_err() {
+                continue;
+            }
+            group.bench_with_input(BenchmarkId::new(*label, engine.label()), query, |b, q| {
+                b.iter(|| engine.count(q).expect("supported"))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

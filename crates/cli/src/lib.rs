@@ -1,0 +1,437 @@
+//! Command interpreter behind the `vamana` interactive shell.
+//!
+//! The REPL logic lives in the library (pure: command string in,
+//! rendered output out) so it is unit-testable; `main.rs` only wires
+//! stdin/stdout.
+//!
+//! ```text
+//! vamana> .load auction.xml            -- load an XML file into MASS
+//! vamana> .generate 5                  -- generate ~5 MB of XMark data
+//! vamana> //person[name='Yung Flach']  -- any XPath runs directly
+//! vamana> .explain //person/address    -- default vs optimized plan
+//! vamana> .count //person              -- index-only count
+//! vamana> .stats                       -- storage statistics
+//! vamana> .save store.mass | .open store.mass
+//! ```
+
+use std::fmt::Write as _;
+use vamana_core::{DocId, Engine, MassStore, Value};
+
+/// Maximum result rows printed per query.
+const MAX_ROWS: usize = 20;
+
+/// The interactive session state.
+pub struct Session {
+    engine: Engine,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Session {
+    /// A session over an empty in-memory store.
+    pub fn new() -> Self {
+        Session {
+            engine: Engine::new(MassStore::open_memory()),
+        }
+    }
+
+    /// The wrapped engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Executes one line of input and returns the text to print.
+    /// Returns `None` when the session should exit.
+    pub fn execute(&mut self, line: &str) -> Option<String> {
+        let line = line.trim();
+        if line.is_empty() {
+            return Some(String::new());
+        }
+        if line == ".quit" || line == ".exit" {
+            return None;
+        }
+        Some(match self.dispatch(line) {
+            Ok(out) => out,
+            Err(e) => format!("error: {e}"),
+        })
+    }
+
+    fn dispatch(&mut self, line: &str) -> Result<String, Box<dyn std::error::Error>> {
+        if let Some(rest) = line.strip_prefix('.') {
+            let (cmd, arg) = match rest.split_once(char::is_whitespace) {
+                Some((c, a)) => (c, a.trim()),
+                None => (rest, ""),
+            };
+            return match cmd {
+                "help" => Ok(HELP.to_string()),
+                "load" => self.cmd_load(arg),
+                "generate" => self.cmd_generate(arg),
+                "explain" => self.cmd_explain(arg),
+                "count" => self.cmd_count(arg),
+                "stats" => Ok(self.cmd_stats()),
+                "docs" => Ok(self.cmd_docs()),
+                "optimizer" => self.cmd_optimizer(arg),
+                "xquery" => self.cmd_xquery(arg),
+                "save" => self.cmd_save(arg),
+                "open" => self.cmd_open(arg),
+                other => Err(format!("unknown command .{other}; try .help").into()),
+            };
+        }
+        self.cmd_query(line)
+    }
+
+    fn require_docs(&self) -> Result<(), Box<dyn std::error::Error>> {
+        if self.engine.store().documents().is_empty() {
+            return Err("no documents loaded — use .load <file> or .generate <mb>".into());
+        }
+        Ok(())
+    }
+
+    fn cmd_load(&mut self, path: &str) -> Result<String, Box<dyn std::error::Error>> {
+        if path.is_empty() {
+            return Err(".load needs a file path".into());
+        }
+        let xml = std::fs::read_to_string(path)?;
+        let t = std::time::Instant::now();
+        let id = self.engine.load_xml(path, &xml)?;
+        let stats = self.engine.store().stats();
+        Ok(format!(
+            "loaded {path} as document {} in {:.2?} ({} tuples on {} pages)",
+            id.0,
+            t.elapsed(),
+            stats.tuples,
+            stats.pages
+        ))
+    }
+
+    fn cmd_generate(&mut self, arg: &str) -> Result<String, Box<dyn std::error::Error>> {
+        let mb: f64 = if arg.is_empty() { 1.0 } else { arg.parse()? };
+        let t = std::time::Instant::now();
+        let xml = vamana_xmark::generate_string(&vamana_xmark::scale::config_for_megabytes(mb));
+        let id = self.engine.load_xml("xmark-generated", &xml)?;
+        Ok(format!(
+            "generated {:.1} MB of XMark data as document {} in {:.2?}",
+            xml.len() as f64 / 1_048_576.0,
+            id.0,
+            t.elapsed()
+        ))
+    }
+
+    fn cmd_query(&mut self, xpath: &str) -> Result<String, Box<dyn std::error::Error>> {
+        self.require_docs()?;
+        let t = std::time::Instant::now();
+        let value = self.engine.evaluate(DocId(0), xpath)?;
+        let elapsed = t.elapsed();
+        let mut out = String::new();
+        match value {
+            Value::Nodes(nodes) => {
+                let names = self.engine.names_of(&nodes)?;
+                let values = self
+                    .engine
+                    .string_values(&nodes[..nodes.len().min(MAX_ROWS)])?;
+                for (name, value) in names.iter().zip(values.iter()) {
+                    let shown: String = value.chars().take(60).collect();
+                    let ellipsis = if value.chars().count() > 60 {
+                        "…"
+                    } else {
+                        ""
+                    };
+                    let _ = writeln!(out, "  <{name}> {shown}{ellipsis}");
+                }
+                if nodes.len() > MAX_ROWS {
+                    let _ = writeln!(out, "  … {} more", nodes.len() - MAX_ROWS);
+                }
+                let _ = write!(out, "{} node(s) in {elapsed:.2?}", nodes.len());
+            }
+            Value::Num(n) => {
+                let _ = write!(out, "{n} ({elapsed:.2?})");
+            }
+            Value::Str(s) => {
+                let _ = write!(out, "\"{s}\" ({elapsed:.2?})");
+            }
+            Value::Bool(b) => {
+                let _ = write!(out, "{b} ({elapsed:.2?})");
+            }
+        }
+        Ok(out)
+    }
+
+    fn cmd_explain(&mut self, xpath: &str) -> Result<String, Box<dyn std::error::Error>> {
+        self.require_docs()?;
+        if xpath.is_empty() {
+            return Err(".explain needs an XPath expression".into());
+        }
+        let ex = self.engine.explain(DocId(0), xpath)?;
+        let mut out = String::new();
+        let _ = writeln!(out, "default plan (Σ tuple volume {}):", ex.default_cost);
+        out.push_str(&ex.default_plan);
+        let _ = writeln!(
+            out,
+            "optimized plan (Σ tuple volume {}; rules {:?}; {} iteration(s)):",
+            ex.optimized_cost, ex.applied, ex.iterations
+        );
+        out.push_str(&ex.optimized_plan);
+        Ok(out)
+    }
+
+    fn cmd_count(&mut self, xpath: &str) -> Result<String, Box<dyn std::error::Error>> {
+        self.require_docs()?;
+        if xpath.is_empty() {
+            return Err(".count needs an XPath expression".into());
+        }
+        let t = std::time::Instant::now();
+        let v = self.engine.evaluate(DocId(0), &format!("count({xpath})"))?;
+        match v {
+            Value::Num(n) => Ok(format!("{n} ({:.2?})", t.elapsed())),
+            other => Err(format!("unexpected result {other:?}").into()),
+        }
+    }
+
+    fn cmd_xquery(&mut self, query: &str) -> Result<String, Box<dyn std::error::Error>> {
+        self.require_docs()?;
+        if query.is_empty() {
+            return Err(".xquery needs a FLWOR expression".into());
+        }
+        let t = std::time::Instant::now();
+        let xq = vamana_xquery::XQueryEngine::new(&self.engine);
+        let out = xq.eval_to_xml(query)?;
+        Ok(format!("{out}\n({:.2?})", t.elapsed()))
+    }
+
+    fn cmd_stats(&self) -> String {
+        let s = self.engine.store().stats();
+        format!(
+            "documents: {}\ntuples:    {}\npages:     {} ({:.1} tuples/page)\nnames:     {}\nvalues:    {}\nbuffer:    {} hits / {} misses / {} evictions ({:.1}% hit ratio)",
+            s.documents,
+            s.tuples,
+            s.pages,
+            s.tuples_per_page(),
+            s.distinct_names,
+            s.distinct_values,
+            s.buffer.hits,
+            s.buffer.misses,
+            s.buffer.evictions,
+            s.buffer.hit_ratio() * 100.0
+        )
+    }
+
+    fn cmd_docs(&self) -> String {
+        if self.engine.store().documents().is_empty() {
+            return "no documents loaded".to_string();
+        }
+        let mut out = String::new();
+        for (i, d) in self.engine.store().documents().iter().enumerate() {
+            let _ = writeln!(out, "  [{i}] {} (root key {})", d.name, d.doc_key);
+        }
+        out.pop();
+        out
+    }
+
+    fn cmd_optimizer(&mut self, arg: &str) -> Result<String, Box<dyn std::error::Error>> {
+        match arg {
+            "on" => {
+                self.engine.options_mut().optimize = true;
+                Ok("optimizer on (VQP-OPT)".to_string())
+            }
+            "off" => {
+                self.engine.options_mut().optimize = false;
+                Ok("optimizer off (VQP: default plans)".to_string())
+            }
+            "" => Ok(format!(
+                "optimizer is {}",
+                if self.engine.options().optimize {
+                    "on"
+                } else {
+                    "off"
+                }
+            )),
+            other => Err(format!("usage: .optimizer [on|off], got `{other}`").into()),
+        }
+    }
+
+    fn cmd_save(&mut self, path: &str) -> Result<String, Box<dyn std::error::Error>> {
+        if path.is_empty() {
+            return Err(".save needs a file path".into());
+        }
+        self.require_docs()?;
+        // Rebuild the store into a file-backed pager by re-serializing
+        // the documents (the in-memory pager has no file to checkpoint).
+        let mut file_store = MassStore::create_file(path, 1024)?;
+        for i in 0..self.engine.store().documents().len() {
+            let info = &self.engine.store().documents()[i];
+            let xml = self.reserialize(DocId(i as u32))?;
+            file_store.load_xml(&info.name.clone(), &xml)?;
+        }
+        file_store.checkpoint()?;
+        let tuples = file_store.stats().tuples;
+        self.engine = Engine::new(file_store);
+        Ok(format!(
+            "saved to {path} ({tuples} tuples); session now runs on the file-backed store"
+        ))
+    }
+
+    fn cmd_open(&mut self, path: &str) -> Result<String, Box<dyn std::error::Error>> {
+        if path.is_empty() {
+            return Err(".open needs a file path".into());
+        }
+        let store = MassStore::open_file(path, 1024)?;
+        let stats = store.stats();
+        self.engine = Engine::new(store);
+        Ok(format!(
+            "opened {path}: {} documents, {} tuples on {} pages",
+            stats.documents, stats.tuples, stats.pages
+        ))
+    }
+
+    /// Round-trips a stored document back to XML text, used by `.save`
+    /// to copy between pagers.
+    fn reserialize(&self, doc: DocId) -> Result<String, Box<dyn std::error::Error>> {
+        let store = self.engine.store();
+        let info = store.document(doc).ok_or("no such document")?;
+        Ok(vamana_mass::export::export_subtree_xml(
+            store,
+            &info.doc_key,
+        )?)
+    }
+}
+
+/// `.help` text.
+pub const HELP: &str = "\
+commands:
+  <xpath>             evaluate an XPath expression on document 0
+  .load <file>        load an XML file into the store
+  .generate [mb]      generate ~mb megabytes of XMark auction data
+  .explain <xpath>    show default vs optimized plan with live costs
+  .count <xpath>      count results (index-only when possible)
+  .xquery <flwor>     run an XQuery-lite FLWOR expression
+  .optimizer [on|off] toggle the cost-driven optimizer
+  .stats              storage and buffer-pool statistics
+  .docs               list loaded documents
+  .save <file>        persist the store to disk (switches to it)
+  .open <file>        open a persisted store
+  .help               this text
+  .quit               exit";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loaded() -> Session {
+        let mut s = Session::new();
+        let dir = std::env::temp_dir().join(format!("vamana-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let f = dir.join("t.xml");
+        std::fs::write(
+            &f,
+            "<site><person id='p0'><name>Yung Flach</name></person></site>",
+        )
+        .unwrap();
+        let out = s.execute(&format!(".load {}", f.display())).unwrap();
+        assert!(out.contains("loaded"), "{out}");
+        s
+    }
+
+    #[test]
+    fn query_returns_rows_and_timing() {
+        let mut s = loaded();
+        let out = s.execute("//name").unwrap();
+        assert!(out.contains("Yung Flach"), "{out}");
+        assert!(out.contains("1 node(s)"), "{out}");
+    }
+
+    #[test]
+    fn scalar_expressions_print_values() {
+        let mut s = loaded();
+        let out = s.execute("count(//person)").unwrap();
+        assert!(out.starts_with('1'), "{out}");
+        let out = s.execute("concat('a', 'b')").unwrap();
+        assert!(out.contains("\"ab\""), "{out}");
+    }
+
+    #[test]
+    fn explain_shows_plans() {
+        let mut s = loaded();
+        let out = s.execute(".explain //person/name").unwrap();
+        assert!(out.contains("default plan"), "{out}");
+        assert!(out.contains("optimized plan"), "{out}");
+        assert!(out.contains('φ'), "{out}");
+    }
+
+    #[test]
+    fn stats_and_docs_render() {
+        let mut s = loaded();
+        let out = s.execute(".stats").unwrap();
+        assert!(out.contains("tuples"), "{out}");
+        let out = s.execute(".docs").unwrap();
+        assert!(out.contains("[0]"), "{out}");
+    }
+
+    #[test]
+    fn optimizer_toggle() {
+        let mut s = loaded();
+        assert!(s.execute(".optimizer off").unwrap().contains("off"));
+        assert!(s.execute(".optimizer").unwrap().contains("off"));
+        assert!(s.execute(".optimizer on").unwrap().contains("on"));
+    }
+
+    #[test]
+    fn errors_are_reported_not_fatal() {
+        let mut s = Session::new();
+        let out = s.execute("//person").unwrap();
+        assert!(out.contains("no documents"), "{out}");
+        let out = s.execute(".bogus").unwrap();
+        assert!(out.contains("unknown command"), "{out}");
+        let mut s = loaded();
+        let out = s.execute("//person[").unwrap();
+        assert!(out.contains("error"), "{out}");
+    }
+
+    #[test]
+    fn quit_ends_session() {
+        let mut s = Session::new();
+        assert!(s.execute(".quit").is_none());
+        assert!(s.execute(".exit").is_none());
+    }
+
+    #[test]
+    fn save_and_open_round_trip() {
+        let mut s = loaded();
+        let dir = std::env::temp_dir().join(format!("vamana-cli-save-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let f = dir.join("session.mass");
+        let out = s.execute(&format!(".save {}", f.display())).unwrap();
+        assert!(out.contains("saved"), "{out}");
+
+        let mut s2 = Session::new();
+        let out = s2.execute(&format!(".open {}", f.display())).unwrap();
+        assert!(out.contains("opened"), "{out}");
+        let out = s2.execute("//name").unwrap();
+        assert!(out.contains("Yung Flach"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn xquery_command_runs_flwor() {
+        let mut s = loaded();
+        let out = s
+            .execute(".xquery for $p in //person return <r>{ $p/name/text() }</r>")
+            .unwrap();
+        assert!(out.contains("<r>Yung Flach</r>"), "{out}");
+        let out = s.execute(".xquery nonsense $$$").unwrap();
+        assert!(out.contains("error"), "{out}");
+    }
+
+    #[test]
+    fn generate_loads_xmark() {
+        let mut s = Session::new();
+        let out = s.execute(".generate 0.2").unwrap();
+        assert!(out.contains("generated"), "{out}");
+        let out = s.execute(".count //person").unwrap();
+        let n: f64 = out.split_whitespace().next().unwrap().parse().unwrap();
+        assert!(n > 10.0, "{out}");
+    }
+}

@@ -1,0 +1,63 @@
+//! The `vamana` interactive shell.
+//!
+//! ```sh
+//! cargo run --release -p vamana-cli --bin vamana-shell
+//! vamana> .generate 2
+//! vamana> //province[text()='Vermont']/ancestor::person/name
+//! ```
+//!
+//! Files given on the command line are loaded before the prompt appears;
+//! with `-c <command>` the shell runs one command and exits.
+
+use std::io::{BufRead, Write};
+use vamana_cli::Session;
+
+fn main() {
+    let mut session = Session::new();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    // `-c` one-shot mode.
+    if let Some(pos) = args.iter().position(|a| a == "-c") {
+        for file in &args[..pos] {
+            run_line(&mut session, &format!(".load {file}"));
+        }
+        let cmd = args[pos + 1..].join(" ");
+        run_line(&mut session, &cmd);
+        return;
+    }
+
+    for file in &args {
+        run_line(&mut session, &format!(".load {file}"));
+    }
+
+    println!("VAMANA — cost-driven XPath engine (type .help for commands)");
+    let stdin = std::io::stdin();
+    loop {
+        print!("vamana> ");
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => match session.execute(&line) {
+                Some(out) => {
+                    if !out.is_empty() {
+                        println!("{out}");
+                    }
+                }
+                None => break,
+            },
+            Err(e) => {
+                eprintln!("input error: {e}");
+                break;
+            }
+        }
+    }
+}
+
+fn run_line(session: &mut Session, line: &str) {
+    if let Some(out) = session.execute(line) {
+        if !out.is_empty() {
+            println!("{out}");
+        }
+    }
+}

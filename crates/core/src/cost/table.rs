@@ -1,0 +1,123 @@
+//! Table I of the paper: the upper bound on a step operator's output
+//! tuples, by axis class.
+//!
+//! * **Down axes** (`child`, `descendant`, `descendant-or-self`, and by
+//!   extension `attribute`): each target node has a unique
+//!   parent/ancestor chain, so across all context tuples it can be
+//!   emitted at most once per distinct node → `OUT = COUNT`.
+//! * **Up/lateral axes** (`parent`, `ancestor`, `ancestor-or-self`,
+//!   `following`, `following-sibling`, `preceding`, `preceding-sibling`,
+//!   `namespace`): the paper bounds these by the input cardinality →
+//!   `OUT = IN` (duplicates are counted; e.g. `parent::person` from 4825
+//!   `name` tuples is bounded by 4825 even though only 2550 persons
+//!   exist — Fig 6).
+//! * **`self`**: each input yields at most one output, and only nodes
+//!   that satisfy the test qualify → `OUT = min(COUNT, IN)`. (The
+//!   printed table's two rows reduce to the minimum.)
+
+use vamana_flex::Axis;
+
+/// Axis classes of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AxisClass {
+    /// Output bounded by the node-test count.
+    Down,
+    /// Output bounded by the input cardinality.
+    Up,
+    /// Output bounded by both.
+    SelfClass,
+}
+
+/// Classifies an axis per Table I.
+pub fn axis_class(axis: Axis) -> AxisClass {
+    match axis {
+        Axis::Child | Axis::Descendant | Axis::DescendantOrSelf | Axis::Attribute => {
+            AxisClass::Down
+        }
+        Axis::SelfAxis => AxisClass::SelfClass,
+        Axis::Parent
+        | Axis::Ancestor
+        | Axis::AncestorOrSelf
+        | Axis::Following
+        | Axis::FollowingSibling
+        | Axis::Preceding
+        | Axis::PrecedingSibling
+        | Axis::Namespace => AxisClass::Up,
+    }
+}
+
+/// `OUT(opᵢ)` for a non-leaf step operator (Table I).
+///
+/// `kind_test` marks node-kind tests (`text()`, `node()`, ...), for which
+/// the paper bounds down-axis output by the input as well: Fig 7
+/// annotates `child::text` with `OUT = IN = 4825` although the document
+/// holds far more text nodes, while Fig 8 annotates `child::name` with
+/// `OUT = COUNT = 4825 > IN`. We reconcile the two as
+/// `min(COUNT, IN)`-with-kind-tests vs `COUNT`-with-name-tests.
+pub fn table_out(axis: Axis, count: u64, input: u64, kind_test: bool) -> u64 {
+    match axis_class(axis) {
+        AxisClass::Down => {
+            if kind_test {
+                count.min(input)
+            } else {
+                count
+            }
+        }
+        AxisClass::Up => input,
+        AxisClass::SelfClass => count.min(input),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_figure_6_values() {
+        // φ3 parent::person: COUNT=2550, IN=4825 → OUT=4825.
+        assert_eq!(table_out(Axis::Parent, 2550, 4825, false), 4825);
+        // φ2 child::address: COUNT=1256, IN=4825 → OUT=1256.
+        assert_eq!(table_out(Axis::Child, 1256, 4825, false), 1256);
+    }
+
+    #[test]
+    fn paper_figure_8_transformed_values() {
+        // φ5 child::name after inversion: COUNT=4825, IN=2550 → OUT=4825.
+        assert_eq!(table_out(Axis::Child, 4825, 2550, false), 4825);
+    }
+
+    #[test]
+    fn self_axis_takes_minimum() {
+        assert_eq!(table_out(Axis::SelfAxis, 2550, 4825, false), 2550);
+        assert_eq!(table_out(Axis::SelfAxis, 4825, 2550, false), 2550);
+    }
+
+    #[test]
+    fn every_axis_is_classified() {
+        for axis in Axis::ALL {
+            // Must not panic, and bounds must be sane.
+            let out = table_out(axis, 10, 20, false);
+            assert!(out <= 20.max(10));
+        }
+    }
+
+    #[test]
+    fn down_axes_ignore_input() {
+        assert_eq!(table_out(Axis::Descendant, 7, 1_000_000, false), 7);
+        assert_eq!(table_out(Axis::Attribute, 3, 500, false), 3);
+    }
+
+    #[test]
+    fn up_axes_ignore_count() {
+        assert_eq!(table_out(Axis::FollowingSibling, 1_000_000, 5, false), 5);
+        assert_eq!(table_out(Axis::Ancestor, 1, 42, false), 42);
+    }
+
+    #[test]
+    fn kind_tests_bound_down_axes_by_input_like_fig7() {
+        // child::text() with 30k text nodes but 4825 contexts → 4825.
+        assert_eq!(table_out(Axis::Child, 30_000, 4825, true), 4825);
+        // ...and still by COUNT when COUNT is smaller.
+        assert_eq!(table_out(Axis::Child, 10, 4825, true), 10);
+    }
+}

@@ -1,0 +1,552 @@
+//! The [`Engine`] facade: parse → compile → optimize → execute.
+//!
+//! This is the public face of VAMANA (paper Fig 2): it owns a
+//! [`MassStore`], compiles XPath text through the XPath compiler and plan
+//! builder, runs the cost-driven optimizer, and executes plans with the
+//! pipelined engine.
+
+use crate::cost::estimate;
+use crate::error::{EngineError, Result};
+use crate::exec::{self, value::Value, Env};
+use crate::opt::{self, OptimizeOutcome, OptimizerOptions};
+use crate::plan::{builder::build_plan, display, Operator, QueryPlan};
+use vamana_flex::KeyRange;
+use vamana_mass::{DocId, MassStore, NodeEntry, RecordKind};
+use vamana_xpath::{parse, Expr};
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineOptions {
+    /// Run the cost-driven optimizer (`false` = execute default plans,
+    /// the paper's "VQP" configuration; `true` = "VQP-OPT").
+    pub optimize: bool,
+    /// XPath node-set semantics: results sorted in document order with
+    /// duplicates removed.
+    pub set_semantics: bool,
+    /// Optimizer iteration bound.
+    pub max_opt_iterations: usize,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            optimize: true,
+            set_semantics: true,
+            max_opt_iterations: 8,
+        }
+    }
+}
+
+/// A compiled-and-explained query (used by examples and the figures
+/// harness to show before/after plans).
+#[derive(Debug, Clone)]
+pub struct Explain {
+    /// Rendered default plan with cost annotations.
+    pub default_plan: String,
+    /// Rendered optimized plan with cost annotations.
+    pub optimized_plan: String,
+    /// Σ OUT of the default plan.
+    pub default_cost: u64,
+    /// Σ OUT of the optimized plan.
+    pub optimized_cost: u64,
+    /// Applied rule names, in order.
+    pub applied: Vec<&'static str>,
+    /// Optimizer iterations.
+    pub iterations: usize,
+}
+
+/// A streaming query cursor: owns its plan and pulls tuples through the
+/// pipelined executor one at a time (see [`Engine::stream`]).
+pub struct QueryStream<'s> {
+    store: &'s MassStore,
+    plan: Box<QueryPlan>,
+    root_ctx: NodeEntry,
+    iter: exec::OpIter<'s>,
+    done: bool,
+}
+
+impl<'s> QueryStream<'s> {
+    fn new(engine: &'s Engine, plan: QueryPlan, root_ctx: NodeEntry) -> Result<Self> {
+        let plan = Box::new(plan);
+        let top = match plan.op(plan.root()) {
+            Operator::Root { child } => *child,
+            _ => Some(plan.root()),
+        };
+        let iter = match top {
+            Some(top) => {
+                let env = Env {
+                    plan: &plan,
+                    store: engine.store(),
+                    root_ctx: &root_ctx,
+                };
+                exec::build_iter(env, top, None)?
+            }
+            None => exec::OpIter::Anchor(None),
+        };
+        Ok(QueryStream {
+            store: engine.store(),
+            plan,
+            root_ctx,
+            iter,
+            done: false,
+        })
+    }
+
+    /// Pulls the next tuple in pipeline order, or `None` when exhausted.
+    #[allow(clippy::should_implement_trait)] // fallible
+    pub fn next(&mut self) -> Result<Option<NodeEntry>> {
+        if self.done {
+            return Ok(None);
+        }
+        let env = Env {
+            plan: &self.plan,
+            store: self.store,
+            root_ctx: &self.root_ctx,
+        };
+        let item = self.iter.next(env)?;
+        if item.is_none() {
+            self.done = true;
+        }
+        Ok(item)
+    }
+
+    /// The (possibly optimized) plan this stream executes.
+    pub fn plan(&self) -> &QueryPlan {
+        &self.plan
+    }
+}
+
+/// The VAMANA XPath engine.
+pub struct Engine {
+    store: MassStore,
+    options: EngineOptions,
+}
+
+impl Engine {
+    /// Wraps a store with default options (optimizer on).
+    pub fn new(store: MassStore) -> Self {
+        Engine {
+            store,
+            options: EngineOptions::default(),
+        }
+    }
+
+    /// Wraps a store with explicit options.
+    pub fn with_options(store: MassStore, options: EngineOptions) -> Self {
+        Engine { store, options }
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &MassStore {
+        &self.store
+    }
+
+    /// Mutable store access (loading documents, updates).
+    pub fn store_mut(&mut self) -> &mut MassStore {
+        &mut self.store
+    }
+
+    /// Current options.
+    pub fn options(&self) -> &EngineOptions {
+        &self.options
+    }
+
+    /// Mutable options (toggle the optimizer between runs).
+    pub fn options_mut(&mut self) -> &mut EngineOptions {
+        &mut self.options
+    }
+
+    /// Convenience: parse and load an XML string as a document.
+    pub fn load_xml(&mut self, name: &str, xml: &str) -> Result<DocId> {
+        Ok(self.store.load_xml(name, xml)?)
+    }
+
+    fn doc_entry(&self, doc: DocId) -> Result<NodeEntry> {
+        let info = self.store.document(doc).ok_or(EngineError::NoDocuments)?;
+        Ok(NodeEntry {
+            key: info.doc_key.clone(),
+            kind: RecordKind::Document,
+            name: None,
+        })
+    }
+
+    fn doc_scope(&self, doc: DocId) -> Result<KeyRange> {
+        let info = self.store.document(doc).ok_or(EngineError::NoDocuments)?;
+        Ok(KeyRange::subtree(&info.doc_key))
+    }
+
+    /// Compiles an XPath expression to its default plan.
+    pub fn compile(&self, xpath: &str) -> Result<QueryPlan> {
+        let expr = parse(xpath)?;
+        build_plan(&expr)
+    }
+
+    /// Optimizes a plan for `doc` and reports the outcome.
+    pub fn optimize_plan(&self, plan: QueryPlan, doc: DocId) -> Result<OptimizeOutcome> {
+        let scope = self.doc_scope(doc)?;
+        let opts = OptimizerOptions {
+            max_iterations: self.options.max_opt_iterations,
+            set_semantics: self.options.set_semantics,
+            disabled_rules: Vec::new(),
+        };
+        opt::optimize(plan, &self.store, &scope, &opts)
+    }
+
+    /// Executes a plan against `doc`.
+    pub fn execute_plan(&self, plan: &QueryPlan, doc: DocId) -> Result<Vec<NodeEntry>> {
+        let root_ctx = self.doc_entry(doc)?;
+        let env = Env {
+            plan,
+            store: &self.store,
+            root_ctx: &root_ctx,
+        };
+        exec::run(env, self.options.set_semantics)
+    }
+
+    /// Compiles, (optionally) optimizes, and executes `xpath` on `doc`.
+    pub fn query_doc(&self, doc: DocId, xpath: &str) -> Result<Vec<NodeEntry>> {
+        let plan = self.compile(xpath)?;
+        let plan = if self.options.optimize {
+            self.optimize_plan(plan, doc)?.plan
+        } else {
+            plan
+        };
+        self.execute_plan(&plan, doc)
+    }
+
+    /// Evaluates `xpath` with the context node set to `ctx` (relative
+    /// paths start there; absolute paths still start at the containing
+    /// document's root). This is the §VII XQuery hook: "the context node
+    /// could be provided from another XPath expression".
+    pub fn query_from(&self, ctx: &NodeEntry, xpath: &str) -> Result<Vec<NodeEntry>> {
+        let expr = parse(xpath)?;
+        let plan = crate::plan::builder::build_relative_plan(&expr)?;
+        let doc = self
+            .store
+            .document_of(&ctx.key)
+            .ok_or_else(|| EngineError::Unsupported("context node is not stored".into()))?;
+        let plan = if self.options.optimize {
+            self.optimize_plan(plan, doc)?.plan
+        } else {
+            plan
+        };
+        let root_ctx = self.doc_entry(doc)?;
+        let env = Env {
+            plan: &plan,
+            store: &self.store,
+            root_ctx: &root_ctx,
+        };
+        exec::run_from(env, Some(ctx), self.options.set_semantics)
+    }
+
+    /// Runs `xpath` against every loaded document, concatenating results
+    /// in document order.
+    pub fn query(&self, xpath: &str) -> Result<Vec<NodeEntry>> {
+        if self.store.documents().is_empty() {
+            return Err(EngineError::NoDocuments);
+        }
+        let mut out = Vec::new();
+        for i in 0..self.store.documents().len() {
+            out.extend(self.query_doc(DocId(i as u32), xpath)?);
+        }
+        Ok(out)
+    }
+
+    /// Opens a *streaming* cursor over `xpath` on `doc`: tuples are
+    /// produced one `next()` at a time through the pipelined executor,
+    /// without materializing the result set (the paper's §VII execution
+    /// model as a public API). Tuples arrive in pipeline order; duplicate
+    /// elimination and document-order sorting are the caller's choice.
+    pub fn stream<'a>(&'a self, doc: DocId, xpath: &str) -> Result<QueryStream<'a>> {
+        let plan = self.compile(xpath)?;
+        let plan = if self.options.optimize {
+            self.optimize_plan(plan, doc)?.plan
+        } else {
+            plan
+        };
+        let root_ctx = self.doc_entry(doc)?;
+        QueryStream::new(self, plan, root_ctx)
+    }
+
+    /// Resolves the string values of a result set (element string-value,
+    /// attribute/text value).
+    pub fn string_values(&self, entries: &[NodeEntry]) -> Result<Vec<String>> {
+        entries
+            .iter()
+            .map(|e| Ok(self.store.string_value(&e.key)?))
+            .collect()
+    }
+
+    /// Resolves the names of a result set (empty string for unnamed
+    /// nodes). A value-index tuple's name is recovered from its record.
+    pub fn names_of(&self, entries: &[NodeEntry]) -> Result<Vec<String>> {
+        entries
+            .iter()
+            .map(|e| {
+                if let Some(n) = e.name {
+                    return Ok(self.store.names().resolve(n).to_string());
+                }
+                match self.store.get(&e.key)? {
+                    Some(rec) => Ok(rec
+                        .name
+                        .map(|n| self.store.names().resolve(n).to_string())
+                        .unwrap_or_default()),
+                    None => Ok(String::new()),
+                }
+            })
+            .collect()
+    }
+
+    /// Shows default vs optimized plan, annotated with live costs
+    /// (the paper's Figs 6–9 as text).
+    pub fn explain(&self, doc: DocId, xpath: &str) -> Result<Explain> {
+        let scope = self.doc_scope(doc)?;
+        let mut default_plan = self.compile(xpath)?;
+        // Clean-up is part of the default pipeline in the paper's figures.
+        opt::cleanup::cleanup(&mut default_plan);
+        let default_costs = estimate(&default_plan, &self.store, &scope)?;
+        let outcome = self.optimize_plan(default_plan.clone(), doc)?;
+        Ok(Explain {
+            default_plan: display::render(&default_plan, Some(&default_costs)),
+            optimized_plan: display::render(&outcome.plan, Some(&outcome.costs)),
+            default_cost: default_costs.total(),
+            optimized_cost: outcome.final_cost,
+            applied: outcome.applied,
+            iterations: outcome.iterations,
+        })
+    }
+
+    /// Answers `count(simple-path)` straight from the name index when the
+    /// path is a bare descendant step — the paper's "count on the index
+    /// level without going to data". Returns `None` for anything more
+    /// complex.
+    fn try_count_fast(&self, doc: DocId, expr: &Expr) -> Result<Option<f64>> {
+        let Expr::FunctionCall(name, args) = expr else {
+            return Ok(None);
+        };
+        if &**name != "count" || args.len() != 1 {
+            return Ok(None);
+        }
+        let Ok(mut plan) = build_plan(&args[0]) else {
+            return Ok(None);
+        };
+        opt::cleanup::cleanup(&mut plan);
+        let path = plan.context_path();
+        if path.len() != 1 {
+            return Ok(None);
+        }
+        let Operator::Step {
+            axis: axis @ (vamana_flex::Axis::Descendant | vamana_flex::Axis::DescendantOrSelf),
+            test,
+            context: None,
+            predicates,
+            ..
+        } = plan.op(path[0])
+        else {
+            return Ok(None);
+        };
+        if !predicates.is_empty() || matches!(test, crate::plan::TestSpec::AnyNode) {
+            return Ok(None);
+        }
+        let scope = self.doc_scope(doc)?;
+        Ok(Some(
+            crate::cost::count_nodetest(&self.store, *axis, test, &scope) as f64,
+        ))
+    }
+
+    /// Evaluates an arbitrary XPath expression on `doc`, returning an
+    /// XPath [`Value`] — supports scalar results like `count(//person)`.
+    /// Simple `count(//name)` calls are answered index-only, without
+    /// executing the path.
+    pub fn evaluate(&self, doc: DocId, xpath: &str) -> Result<Value> {
+        let expr = parse(xpath)?;
+        if let Some(n) = self.try_count_fast(doc, &expr)? {
+            return Ok(Value::Num(n));
+        }
+        match &expr {
+            Expr::Path(_) | Expr::Union(..) | Expr::Filter { .. } => {
+                let nodes = self.query_doc(doc, xpath)?;
+                Ok(Value::Nodes(nodes))
+            }
+            _ => {
+                // Scalar expression: build it as a predicate-style tree and
+                // evaluate once against the document node.
+                let mut plan = QueryPlan::new(Vec::new(), crate::plan::OpId(0));
+                let root = plan.push(Operator::Root { child: None });
+                plan.set_root(root);
+                let expr_id = crate::plan::builder::build_scalar(&mut plan, &expr)?;
+                let root_ctx = self.doc_entry(doc)?;
+                let env = Env {
+                    plan: &plan,
+                    store: &self.store,
+                    root_ctx: &root_ctx,
+                };
+                exec::eval_expr(env, expr_id, &root_ctx, 1, 1)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = r#"<site><people>
+      <person id="p0"><name>Ann</name></person>
+      <person id="p1"><name>Bob</name><watches><watch/><watch/></watches></person>
+      <person id="p2"><name>Cyd</name><address><province>Vermont</province></address></person>
+    </people></site>"#;
+
+    fn engine() -> Engine {
+        let mut store = MassStore::open_memory();
+        store.load_xml("doc", DOC).unwrap();
+        Engine::new(store)
+    }
+
+    #[test]
+    fn query_returns_document_order_nodeset() {
+        let e = engine();
+        let r = e.query("//person").unwrap();
+        assert_eq!(r.len(), 3);
+        assert!(r.windows(2).all(|w| w[0].key < w[1].key));
+    }
+
+    #[test]
+    fn optimized_and_default_agree() {
+        let mut e = engine();
+        for q in [
+            "//person/address",
+            "//watches/watch/ancestor::person",
+            "/descendant::name/parent::*/self::person/address",
+            "//province[text()='Vermont']/ancestor::person",
+            "//person[@id='p1']/watches/watch",
+            "//name",
+        ] {
+            e.options_mut().optimize = true;
+            let opt = e.query(q).unwrap();
+            e.options_mut().optimize = false;
+            let dflt = e.query(q).unwrap();
+            assert_eq!(opt, dflt, "optimizer changed semantics of {q}");
+        }
+    }
+
+    #[test]
+    fn string_values_and_names_resolve() {
+        let e = engine();
+        let r = e.query("//name").unwrap();
+        let vals = e.string_values(&r).unwrap();
+        assert_eq!(vals, vec!["Ann", "Bob", "Cyd"]);
+        let names = e.names_of(&r).unwrap();
+        assert!(names.iter().all(|n| n == "name"));
+    }
+
+    #[test]
+    fn explain_shows_costs_and_rules() {
+        let e = engine();
+        let doc = DocId(0);
+        let ex = e.explain(doc, "//person/address").unwrap();
+        assert!(ex.default_plan.contains("COUNT="), "{}", ex.default_plan);
+        assert!(ex.optimized_cost <= ex.default_cost);
+        assert!(!ex.applied.is_empty());
+    }
+
+    #[test]
+    fn evaluate_scalar_expressions() {
+        let e = engine();
+        let doc = DocId(0);
+        match e.evaluate(doc, "count(//person)").unwrap() {
+            Value::Num(n) => assert_eq!(n, 3.0),
+            other => panic!("wrong: {other:?}"),
+        }
+        match e.evaluate(doc, "1 + 2 * 3").unwrap() {
+            Value::Num(n) => assert_eq!(n, 7.0),
+            other => panic!("wrong: {other:?}"),
+        }
+        match e.evaluate(doc, "concat('a', 'b')").unwrap() {
+            Value::Str(s) => assert_eq!(s, "ab"),
+            other => panic!("wrong: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stream_yields_same_tuples_as_query() {
+        let e = engine();
+        let mut stream = e.stream(DocId(0), "//person/name").unwrap();
+        let mut streamed = Vec::new();
+        while let Some(t) = stream.next().unwrap() {
+            streamed.push(t);
+        }
+        streamed.sort_by(|a, b| a.key.cmp(&b.key));
+        assert_eq!(streamed, e.query("//person/name").unwrap());
+        // Exhausted streams stay exhausted.
+        assert!(stream.next().unwrap().is_none());
+        // The stream's plan is the optimized one.
+        assert!(!stream.plan().is_empty());
+    }
+
+    #[test]
+    fn stream_is_lazy() {
+        // Pulling one tuple from a large result must not touch the whole
+        // store.
+        let mut xml = String::from("<r>");
+        for i in 0..20_000 {
+            xml.push_str(&format!("<e>{i}</e>"));
+        }
+        xml.push_str("</r>");
+        let mut store = MassStore::open_memory();
+        store.load_xml("big", &xml).unwrap();
+        let e = Engine::new(store);
+        e.store().buffer_pool().reset_stats();
+        let mut stream = e.stream(DocId(0), "//e").unwrap();
+        assert!(stream.next().unwrap().is_some());
+        let b = e.store().stats().buffer;
+        let total = e.store().stats().pages as u64;
+        assert!(
+            b.hits + b.misses < total / 2,
+            "first tuple touched {} of {} pages",
+            b.hits + b.misses,
+            total
+        );
+    }
+
+    #[test]
+    fn count_fast_path_matches_execution() {
+        let e = engine();
+        let doc = DocId(0);
+        // Fast path fires for these...
+        for (q, expect) in [
+            ("count(//person)", 3.0),
+            ("count(//watch)", 2.0),
+            ("count(//@id)", 3.0),
+        ] {
+            match e.evaluate(doc, q).unwrap() {
+                Value::Num(n) => assert_eq!(n, expect, "{q}"),
+                other => panic!("{q}: {other:?}"),
+            }
+        }
+        // ...and complex arguments fall back to execution with the same
+        // answers.
+        match e.evaluate(doc, "count(//person[address])").unwrap() {
+            Value::Num(n) => assert_eq!(n, 1.0),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_documents_is_an_error() {
+        let e = Engine::new(MassStore::open_memory());
+        assert!(matches!(e.query("//a"), Err(EngineError::NoDocuments)));
+    }
+
+    #[test]
+    fn multiple_documents_queried_in_order() {
+        let mut store = MassStore::open_memory();
+        store.load_xml("a", "<r><x>1</x></r>").unwrap();
+        store.load_xml("b", "<r><x>2</x><x>3</x></r>").unwrap();
+        let e = Engine::new(store);
+        let r = e.query("//x").unwrap();
+        assert_eq!(e.string_values(&r).unwrap(), vec!["1", "2", "3"]);
+        let r = e.query_doc(DocId(1), "//x").unwrap();
+        assert_eq!(r.len(), 2);
+    }
+}

@@ -1,0 +1,283 @@
+//! The cost-driven optimizer (paper §VI).
+//!
+//! Each iteration runs three phases: **clean-up** ([`cleanup`]),
+//! **cost gathering** ([`crate::cost::estimate`]) and **re-writing**.
+//! Re-writing walks the selectivity-ordered operator list `L(P)`
+//! (most selective first) and tries the transformation library on each
+//! operator; a candidate is kept only if re-estimation shows its total
+//! cost does not increase — which is what guarantees the paper's claim
+//! that the optimized plan is never slower than the default plan.
+
+pub mod cleanup;
+pub mod rules;
+
+use crate::cost::{estimate, PlanCosts};
+use crate::error::Result;
+use crate::plan::QueryPlan;
+use rules::{RuleCtx, LIBRARY};
+use vamana_flex::KeyRange;
+use vamana_mass::MassStore;
+
+/// Optimizer configuration.
+#[derive(Debug, Clone)]
+pub struct OptimizerOptions {
+    /// Upper bound on clean-up/cost/rewrite iterations.
+    pub max_iterations: usize,
+    /// Node-set (duplicate-free) semantics — enables the ancestor fold.
+    pub set_semantics: bool,
+    /// Rule names to skip (ablation experiments).
+    pub disabled_rules: Vec<String>,
+}
+
+impl Default for OptimizerOptions {
+    fn default() -> Self {
+        OptimizerOptions {
+            max_iterations: 8,
+            set_semantics: true,
+            disabled_rules: Vec::new(),
+        }
+    }
+}
+
+/// What the optimizer did to a plan.
+#[derive(Debug, Clone)]
+pub struct OptimizeOutcome {
+    /// The final plan.
+    pub plan: QueryPlan,
+    /// Cost annotations of the final plan.
+    pub costs: PlanCosts,
+    /// Σ OUT of the default plan (after clean-up).
+    pub initial_cost: u64,
+    /// Σ OUT of the final plan.
+    pub final_cost: u64,
+    /// Names of the applied rules, in order.
+    pub applied: Vec<&'static str>,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Intermediate plans: one snapshot per applied rule, paired with the
+    /// rule name (drives the Fig 8-style transformation traces).
+    pub trace: Vec<(&'static str, QueryPlan)>,
+}
+
+/// Optimizes `plan` against live statistics from `store`, scoped to
+/// `scope`.
+pub fn optimize(
+    mut plan: QueryPlan,
+    store: &MassStore,
+    scope: &KeyRange,
+    options: &OptimizerOptions,
+) -> Result<OptimizeOutcome> {
+    let rule_ctx = RuleCtx {
+        set_semantics: options.set_semantics,
+    };
+    cleanup::cleanup(&mut plan);
+    let mut costs = estimate(&plan, store, scope)?;
+    let initial_cost = costs.total();
+    let mut applied = Vec::new();
+    let mut trace: Vec<(&'static str, QueryPlan)> = Vec::new();
+    let mut iterations = 0;
+
+    'outer: while iterations < options.max_iterations {
+        iterations += 1;
+        // Phase: re-writing, most selective operator first.
+        for (op, _delta) in costs.ordered.clone() {
+            for rule in LIBRARY {
+                if options.disabled_rules.iter().any(|d| d == rule.name) {
+                    continue;
+                }
+                let Some((mut candidate, replacement)) = (rule.apply)(&plan, op, &rule_ctx) else {
+                    continue;
+                };
+                cleanup::cleanup(&mut candidate);
+                let cand_costs = estimate(&candidate, store, scope)?;
+                // The paper's acceptance test is local: the transformed
+                // operator (or sub-query) must not handle more tuples
+                // than the operator it replaces. Ties fall back to the
+                // plan-wide tuple volume so a rewrite can never regress.
+                let old_local = costs.get(op).map(|c| c.input + c.output);
+                let new_local = cand_costs.get(replacement).map(|c| c.input + c.output);
+                let accept = match (old_local, new_local) {
+                    (Some(o), Some(n)) if n < o => true,
+                    (Some(o), Some(n)) if n == o => cand_costs.total() <= costs.total(),
+                    (Some(_), Some(_)) => false,
+                    _ => cand_costs.total() <= costs.total(),
+                };
+                if accept {
+                    plan = candidate;
+                    costs = cand_costs;
+                    applied.push(rule.name);
+                    trace.push((rule.name, plan.clone()));
+                    continue 'outer; // re-cost and restart the ordered walk
+                }
+            }
+        }
+        break;
+    }
+
+    let final_cost = costs.total();
+    Ok(OptimizeOutcome {
+        plan,
+        costs,
+        initial_cost,
+        final_cost,
+        applied,
+        iterations,
+        trace,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::builder::build_plan;
+    use crate::plan::{Operator, TestSpec};
+    use vamana_flex::Axis;
+    use vamana_xpath::parse;
+
+    /// XMark-shaped mini store: person > name/address structure with a
+    /// unique literal, watches, and sibling prices.
+    fn store() -> MassStore {
+        // Mirrors the paper's XMark proportions: names outnumber persons
+        // (items/categories have names too), addresses cover only part of
+        // the population (2550 persons vs 1256 addresses in Fig 6).
+        let mut xml = String::from("<site><people>");
+        for i in 0..30 {
+            xml.push_str(&format!("<person id='p{i}'><name>N{i}</name>"));
+            if i == 7 {
+                xml.push_str("<address><province>Vermont</province></address>");
+            } else if i % 3 == 0 {
+                xml.push_str("<address><city>C</city></address>");
+            }
+            xml.push_str("<watches><watch/><watch/></watches></person>");
+        }
+        xml.push_str("</people><open_auctions>");
+        for i in 0..10 {
+            xml.push_str(&format!(
+                "<open_auction><itemref/><price>9</price><item><name>item{i}</name></item></open_auction>"
+            ));
+        }
+        xml.push_str("</open_auctions></site>");
+        let mut s = MassStore::open_memory();
+        s.load_xml("x", &xml).unwrap();
+        s
+    }
+
+    fn optimize_query(store: &MassStore, q: &str) -> OptimizeOutcome {
+        let plan = build_plan(&parse(q).unwrap()).unwrap();
+        let scope = KeyRange::subtree(&store.documents()[0].doc_key);
+        optimize(plan, store, &scope, &OptimizerOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn q1_is_pushed_down() {
+        let s = store();
+        let out = optimize_query(&s, "//person/address");
+        assert!(
+            out.applied.contains(&"child-pushdown"),
+            "applied: {:?}",
+            out.applied
+        );
+        assert!(out.final_cost < out.initial_cost);
+        let path = out.plan.context_path();
+        assert!(matches!(
+            out.plan.op(path[0]),
+            Operator::Step { axis: Axis::Descendant, test: TestSpec::Named(n), .. } if &**n == "address"
+        ));
+    }
+
+    #[test]
+    fn q3_gets_both_fig8_transformations() {
+        let s = store();
+        let out = optimize_query(&s, "/descendant::name/parent::*/self::person/address");
+        assert!(
+            out.applied.contains(&"parent-inversion"),
+            "applied: {:?}",
+            out.applied
+        );
+        assert!(
+            out.applied.contains(&"child-pushdown"),
+            "applied: {:?}",
+            out.applied
+        );
+        assert!(out.final_cost < out.initial_cost);
+        // Final shape per Fig 11: descendant::address with nested exists.
+        let path = out.plan.context_path();
+        assert_eq!(path.len(), 1);
+    }
+
+    #[test]
+    fn q5_uses_the_value_index() {
+        let s = store();
+        let out = optimize_query(&s, "//province[text()='Vermont']/ancestor::person");
+        assert!(
+            out.applied.contains(&"value-index-step"),
+            "applied: {:?}",
+            out.applied
+        );
+        let path = out.plan.context_path();
+        assert!(
+            path.iter()
+                .any(|id| matches!(out.plan.op(*id), Operator::ValueStep { .. })),
+            "no value step in context path"
+        );
+        assert!(out.final_cost < out.initial_cost);
+    }
+
+    #[test]
+    fn q2_folds_duplicate_context() {
+        let s = store();
+        let out = optimize_query(&s, "//watches/watch/ancestor::person");
+        assert!(
+            out.applied.contains(&"ancestor-context-fold"),
+            "applied: {:?}",
+            out.applied
+        );
+    }
+
+    #[test]
+    fn optimizer_never_increases_cost() {
+        let s = store();
+        for q in [
+            "//person/address",
+            "//watches/watch/ancestor::person",
+            "/descendant::name/parent::*/self::person/address",
+            "//itemref/following-sibling::price/parent::*",
+            "//province[text()='Vermont']/ancestor::person",
+            "//person[name]/watches",
+            "//person[@id='p3']",
+        ] {
+            let out = optimize_query(&s, q);
+            assert!(
+                out.final_cost <= out.initial_cost,
+                "{q}: {} > {}",
+                out.final_cost,
+                out.initial_cost
+            );
+        }
+    }
+
+    #[test]
+    fn optimizer_terminates_on_fixpoints() {
+        let s = store();
+        let out = optimize_query(&s, "//name");
+        assert!(out.iterations <= 8);
+        assert!(
+            out.applied.is_empty(),
+            "no rule should fire on //name: {:?}",
+            out.applied
+        );
+    }
+
+    #[test]
+    fn disabled_set_semantics_blocks_fold() {
+        let s = store();
+        let plan = build_plan(&parse("//watches/watch/ancestor::person").unwrap()).unwrap();
+        let scope = KeyRange::subtree(&s.documents()[0].doc_key);
+        let opts = OptimizerOptions {
+            set_semantics: false,
+            ..Default::default()
+        };
+        let out = optimize(plan, &s, &scope, &opts).unwrap();
+        assert!(!out.applied.contains(&"ancestor-context-fold"));
+    }
+}

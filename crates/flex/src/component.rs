@@ -1,0 +1,330 @@
+//! Label allocation: sequential element/text labels, attribute labels,
+//! and insert-between labels.
+//!
+//! A *label* is one component of a FLEX key: a non-empty byte string over
+//! the alphabet `1..=255`. The allocators here maintain two global
+//! invariants that [`label_between`] relies on:
+//!
+//! * no label ever contains byte `0x00` (it is the flat-key terminator);
+//! * no label ever *ends* with byte `0x01` (digit `1` is the headroom
+//!   digit reserved for insertions, so `b == a ++ [1]` never occurs and a
+//!   label strictly between any two distinct labels always exists).
+
+use std::fmt;
+
+/// Error raised when a label cannot be produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LabelError {
+    /// The sibling ordinal exceeds the allocator's capacity
+    /// (more than ~2⁶⁰ siblings).
+    Overflow,
+    /// `label_between` was called with `lo >= hi`.
+    NotBetween,
+}
+
+impl fmt::Display for LabelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LabelError::Overflow => write!(f, "sibling label space exhausted"),
+            LabelError::NotBetween => write!(f, "label_between requires lo < hi"),
+        }
+    }
+}
+
+impl std::error::Error for LabelError {}
+
+/// Number of digits available per position in multi-byte labels
+/// (digits `2..=255`).
+const RADIX: u64 = 254;
+/// Smallest digit used by sequential allocation.
+const DIGIT0: u8 = 2;
+
+/// Length groups for sequential element labels: `(first_byte_base,
+/// first_byte_count, trailing_digits)`. First bytes increase across groups
+/// so longer labels always sort after all shorter ones.
+const GROUPS: [(u8, u64, u32); 5] = [
+    (0x40, 63, 0), // 1-byte labels: 0x40..=0x7E
+    (0x80, 63, 1), // 2-byte labels: 0x80..=0xBE + digit
+    (0xC0, 31, 2), // 3-byte labels
+    (0xE0, 15, 3), // 4-byte labels
+    (0xF0, 7, 4),  // 5-byte labels: capacity 7 * 254^4 ≈ 2.9e10
+];
+
+/// Capacity of group `g` in labels.
+fn group_capacity(g: usize) -> u64 {
+    let (_, count, digits) = GROUPS[g];
+    count * RADIX.pow(digits)
+}
+
+/// Returns the `i`-th sequential element label (0-based sibling ordinal).
+///
+/// Labels are strictly increasing in `i` under byte-wise comparison and
+/// mutually prefix-free. The first 63 siblings get one-byte labels; the
+/// next ~16k two bytes, and so on.
+///
+/// # Panics
+/// Panics if `i` exceeds the total capacity (~2.9 × 10¹⁰ siblings); use
+/// [`try_seq_label`] to handle that case.
+pub fn seq_label(i: u64) -> Vec<u8> {
+    try_seq_label(i).expect("sibling ordinal out of range")
+}
+
+/// Fallible variant of [`seq_label`].
+pub fn try_seq_label(mut i: u64) -> Result<Vec<u8>, LabelError> {
+    for (g, &(base, _count, digits)) in GROUPS.iter().enumerate() {
+        let cap = group_capacity(g);
+        if i < cap {
+            let per_first = RADIX.pow(digits);
+            let mut label = Vec::with_capacity(1 + digits as usize);
+            label.push(base + (i / per_first) as u8);
+            let mut rem = i % per_first;
+            // Most-significant digit first keeps byte order == numeric order.
+            for d in (0..digits).rev() {
+                let p = RADIX.pow(d);
+                label.push(DIGIT0 + (rem / p) as u8);
+                rem %= p;
+            }
+            return Ok(label);
+        }
+        i -= cap;
+    }
+    Err(LabelError::Overflow)
+}
+
+/// Attribute-label groups: first bytes `0x04..` sort *below* every element
+/// label (those start at `0x40`), so an element's attributes cluster
+/// between the element's own key and its first non-attribute child.
+const ATTR_GROUPS: [(u8, u64, u32); 3] = [
+    (0x04, 58, 0), // 1-byte: 0x04..=0x3D
+    (0x3E, 1, 1),  // 2-byte: 0x3E + digit
+    (0x3F, 1, 2),  // 3-byte: 0x3F + 2 digits
+];
+
+/// Returns the `i`-th attribute label for an element.
+///
+/// # Panics
+/// Panics past ~65k attributes on one element; use [`try_attr_label`].
+pub fn attr_label(i: u64) -> Vec<u8> {
+    try_attr_label(i).expect("attribute ordinal out of range")
+}
+
+/// Fallible variant of [`attr_label`].
+pub fn try_attr_label(mut i: u64) -> Result<Vec<u8>, LabelError> {
+    for &(base, count, digits) in ATTR_GROUPS.iter() {
+        let per_first = RADIX.pow(digits);
+        let cap = count * per_first;
+        if i < cap {
+            let mut label = Vec::with_capacity(1 + digits as usize);
+            label.push(base + (i / per_first) as u8);
+            let mut rem = i % per_first;
+            for d in (0..digits).rev() {
+                let p = RADIX.pow(d);
+                label.push(DIGIT0 + (rem / p) as u8);
+                rem %= p;
+            }
+            return Ok(label);
+        }
+        i -= cap;
+    }
+    Err(LabelError::Overflow)
+}
+
+/// Returns a label strictly between `lo` and `hi` (byte-wise), for
+/// inserting a new sibling between two existing ones without relabeling.
+///
+/// Preconditions (maintained by every allocator in this crate): `lo < hi`,
+/// neither contains `0x00`, and `hi != lo ++ [1]`. The result never ends
+/// in `0x00` or `0x01`, keeping the invariant alive for future inserts.
+pub fn label_between(lo: &[u8], hi: &[u8]) -> Result<Vec<u8>, LabelError> {
+    if lo >= hi {
+        return Err(LabelError::NotBetween);
+    }
+    // Find the first position where the labels differ.
+    let common = lo.iter().zip(hi.iter()).take_while(|(a, b)| a == b).count();
+    if common == lo.len() {
+        // `lo` is a strict prefix of `hi`.
+        let rest = &hi[common..];
+        debug_assert!(!rest.is_empty());
+        let mut out = lo.to_vec();
+        if rest[0] >= 3 {
+            // Room below hi's next byte: take its midpoint, which for
+            // rest[0] >= 3 is always in 2..rest[0].
+            out.push(rest[0] / 2 + 1);
+            debug_assert!(out[common] >= 2 && out[common] < rest[0]);
+        } else {
+            // rest[0] is 1 or 2: descend below it with the reserved digit 1
+            // and terminate with a mid digit. [1, 0x80] < [2] and < [1, x..]
+            // is not guaranteed, so recurse on the tail when rest[0] == 1.
+            if rest[0] == 2 {
+                out.push(1);
+                out.push(0x80);
+            } else {
+                // hi extends lo with digit 1: need tail strictly below
+                // rest[1..]; the invariant says rest has more bytes
+                // (labels never end in 1).
+                debug_assert!(rest.len() >= 2, "label ended in reserved digit 1");
+                out.push(1);
+                let tail = label_between(&[], &rest[1..])?;
+                out.extend_from_slice(&tail);
+            }
+        }
+        Ok(out)
+    } else {
+        let mut out = lo[..common].to_vec();
+        let (a, b) = (lo[common], hi[common]);
+        if b - a >= 2 {
+            out.push(a + (b - a) / 2);
+        } else {
+            // Adjacent bytes: keep lo's byte and grow past lo's tail.
+            out.push(a);
+            out.extend_from_slice(&lo[common + 1..]);
+            out.push(0x80);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn seq_labels_strictly_increase() {
+        let mut prev = seq_label(0);
+        for i in 1..40_000u64 {
+            let cur = seq_label(i);
+            assert!(prev < cur, "label {i} not increasing: {prev:?} !< {cur:?}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn seq_labels_cross_group_boundaries() {
+        // 1-byte group holds 63 labels.
+        assert_eq!(seq_label(62).len(), 1);
+        assert_eq!(seq_label(63).len(), 2);
+        let two_byte_cap = 63 + 63 * 254;
+        assert_eq!(seq_label(two_byte_cap - 1).len(), 2);
+        assert_eq!(seq_label(two_byte_cap).len(), 3);
+    }
+
+    #[test]
+    fn seq_labels_are_prefix_free_near_boundaries() {
+        let labels: Vec<_> = (0..2000u64).map(seq_label).collect();
+        for w in labels.windows(2) {
+            assert!(!w[1].starts_with(&w[0]), "{:?} prefixes {:?}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn labels_never_contain_zero_or_end_in_one() {
+        for i in (0..300_000u64).step_by(37) {
+            let l = seq_label(i);
+            assert!(!l.contains(&0), "{l:?}");
+            assert_ne!(*l.last().unwrap(), 1, "{l:?}");
+        }
+    }
+
+    #[test]
+    fn attr_labels_sort_below_element_labels() {
+        let a = attr_label(0);
+        let e = seq_label(0);
+        assert!(a < e);
+        let a_last = attr_label(58 + 254 + 254 * 254 - 1);
+        assert!(a_last < e, "{a_last:?} vs {e:?}");
+    }
+
+    #[test]
+    fn attr_labels_strictly_increase() {
+        let mut prev = attr_label(0);
+        for i in 1..5_000u64 {
+            let cur = attr_label(i);
+            assert!(prev < cur);
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn allocators_overflow_gracefully() {
+        assert_eq!(try_seq_label(u64::MAX), Err(LabelError::Overflow));
+        assert_eq!(try_attr_label(u64::MAX), Err(LabelError::Overflow));
+    }
+
+    #[test]
+    fn between_adjacent_seq_labels() {
+        for i in 0..500u64 {
+            let lo = seq_label(i);
+            let hi = seq_label(i + 1);
+            let mid = label_between(&lo, &hi).unwrap();
+            assert!(lo < mid && mid < hi, "{lo:?} {mid:?} {hi:?}");
+        }
+    }
+
+    #[test]
+    fn between_is_repeatable_downwards() {
+        // Insert 100 labels between two originally adjacent ones.
+        let lo = seq_label(5);
+        let mut hi = seq_label(6);
+        for _ in 0..100 {
+            let mid = label_between(&lo, &hi).unwrap();
+            assert!(lo < mid && mid < hi);
+            hi = mid;
+        }
+    }
+
+    #[test]
+    fn between_is_repeatable_upwards() {
+        let mut lo = seq_label(5);
+        let hi = seq_label(6);
+        for _ in 0..100 {
+            let mid = label_between(&lo, &hi).unwrap();
+            assert!(lo < mid && mid < hi);
+            lo = mid;
+        }
+    }
+
+    #[test]
+    fn between_rejects_unordered_input() {
+        assert_eq!(label_between(&[5], &[5]), Err(LabelError::NotBetween));
+        assert_eq!(label_between(&[6], &[5]), Err(LabelError::NotBetween));
+    }
+
+    #[test]
+    fn between_before_first_label() {
+        // Insert before the first element label (empty lo prefix is not a
+        // valid label, but attr/element boundary gives room).
+        let mid = label_between(&attr_label(0), &seq_label(0)).unwrap();
+        assert!(attr_label(0) < mid && mid < seq_label(0));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_between_any_two_seq_labels(i in 0u64..100_000, j in 0u64..100_000) {
+            prop_assume!(i != j);
+            let (lo, hi) = if i < j { (seq_label(i), seq_label(j)) } else { (seq_label(j), seq_label(i)) };
+            let mid = label_between(&lo, &hi).unwrap();
+            prop_assert!(lo < mid && mid < hi);
+            prop_assert!(!mid.contains(&0));
+            prop_assert_ne!(*mid.last().unwrap(), 1);
+        }
+
+        #[test]
+        fn prop_between_nested_inserts(seed in 0u64..1_000, steps in 1usize..40, dir in proptest::collection::vec(any::<bool>(), 40)) {
+            let mut lo = seq_label(seed);
+            let mut hi = seq_label(seed + 1);
+            for &go_up in dir.iter().take(steps) {
+                let mid = label_between(&lo, &hi).unwrap();
+                prop_assert!(lo < mid && mid < hi);
+                prop_assert_ne!(*mid.last().unwrap(), 1);
+                if go_up { lo = mid } else { hi = mid }
+            }
+        }
+
+        #[test]
+        fn prop_seq_order_matches_ordinal(i in 0u64..1_000_000, j in 0u64..1_000_000) {
+            let (li, lj) = (seq_label(i), seq_label(j));
+            prop_assert_eq!(i.cmp(&j), li.cmp(&lj));
+        }
+    }
+}

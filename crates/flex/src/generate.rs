@@ -1,0 +1,182 @@
+//! Bulk key generation for document loading.
+//!
+//! [`KeyGenerator`] assigns FLEX keys to a document walked in pre-order:
+//! the loader calls [`KeyGenerator::open_element`] / `close_element` /
+//! `attribute` / `leaf` as it traverses, and gets back document-order keys
+//! without having to track sibling ordinals itself.
+
+use crate::component::{attr_label, seq_label};
+use crate::key::FlexKey;
+
+/// Stateful pre-order key allocator.
+#[derive(Debug)]
+pub struct KeyGenerator {
+    /// Current path; each frame holds (key, next child ordinal, next attr
+    /// ordinal).
+    stack: Vec<Frame>,
+}
+
+#[derive(Debug)]
+struct Frame {
+    key: FlexKey,
+    next_child: u64,
+    next_attr: u64,
+}
+
+impl Default for KeyGenerator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl KeyGenerator {
+    /// A generator positioned at the document node.
+    pub fn new() -> Self {
+        KeyGenerator {
+            stack: vec![Frame {
+                key: FlexKey::root(),
+                next_child: 0,
+                next_attr: 0,
+            }],
+        }
+    }
+
+    /// Key of the node currently open (the document node initially).
+    pub fn current(&self) -> &FlexKey {
+        &self
+            .stack
+            .last()
+            .expect("document frame always present")
+            .key
+    }
+
+    /// Current nesting depth (document node = 0).
+    pub fn depth(&self) -> usize {
+        self.stack.len() - 1
+    }
+
+    /// Opens a child element/subtree and returns its key. Subsequent calls
+    /// allocate under it until [`KeyGenerator::close_element`].
+    pub fn open_element(&mut self) -> FlexKey {
+        let key = self.alloc_child();
+        self.stack.push(Frame {
+            key: key.clone(),
+            next_child: 0,
+            next_attr: 0,
+        });
+        key
+    }
+
+    /// Closes the current element.
+    ///
+    /// # Panics
+    /// Panics if only the document frame remains.
+    pub fn close_element(&mut self) {
+        assert!(self.stack.len() > 1, "close_element without open_element");
+        self.stack.pop();
+    }
+
+    /// Allocates a key for a leaf child (text, comment, PI) of the current
+    /// element.
+    pub fn leaf(&mut self) -> FlexKey {
+        self.alloc_child()
+    }
+
+    /// Allocates a key for an attribute of the current element. Attribute
+    /// keys sort after the element and before all its other children.
+    pub fn attribute(&mut self) -> FlexKey {
+        let frame = self.stack.last_mut().expect("document frame");
+        let label = attr_label(frame.next_attr);
+        frame.next_attr += 1;
+        frame.key.child(&label)
+    }
+
+    fn alloc_child(&mut self) -> FlexKey {
+        let frame = self.stack.last_mut().expect("document frame");
+        let label = seq_label(frame.next_child);
+        frame.next_child += 1;
+        frame.key.child(&label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preorder_walk_yields_increasing_keys() {
+        let mut g = KeyGenerator::new();
+        let mut keys = Vec::new();
+        let site = g.open_element();
+        keys.push(site);
+        for _ in 0..3 {
+            let person = g.open_element();
+            keys.push(person.clone());
+            keys.push(g.attribute()); // id
+            let name = g.open_element();
+            keys.push(name);
+            keys.push(g.leaf()); // text
+            g.close_element();
+            g.close_element();
+        }
+        g.close_element();
+        for w in keys.windows(2) {
+            assert!(w[0] < w[1], "{} !< {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn attribute_sorts_between_element_and_children() {
+        let mut g = KeyGenerator::new();
+        let person = g.open_element();
+        let id = g.attribute();
+        let name = g.open_element();
+        g.close_element();
+        g.close_element();
+        assert!(person < id);
+        assert!(id < name);
+        assert!(person.is_parent_of(&id));
+        assert!(person.is_parent_of(&name));
+    }
+
+    #[test]
+    fn siblings_after_nested_subtree_still_increase() {
+        let mut g = KeyGenerator::new();
+        let _root = g.open_element();
+        let a = g.open_element();
+        let deep = g.open_element();
+        g.close_element();
+        g.close_element();
+        let b = g.open_element();
+        g.close_element();
+        g.close_element();
+        assert!(a < deep && deep < b);
+        assert!(a.is_sibling_of(&b));
+    }
+
+    #[test]
+    fn depth_tracks_stack() {
+        let mut g = KeyGenerator::new();
+        assert_eq!(g.depth(), 0);
+        g.open_element();
+        assert_eq!(g.depth(), 1);
+        g.open_element();
+        assert_eq!(g.depth(), 2);
+        g.close_element();
+        assert_eq!(g.depth(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "close_element")]
+    fn close_at_document_level_panics() {
+        KeyGenerator::new().close_element();
+    }
+
+    #[test]
+    fn current_returns_open_element_key() {
+        let mut g = KeyGenerator::new();
+        assert!(g.current().is_root());
+        let e = g.open_element();
+        assert_eq!(g.current(), &e);
+    }
+}

@@ -1,0 +1,273 @@
+//! Buffer pool: an LRU cache of decoded pages over a [`PageStore`].
+//!
+//! The pool is the unit of "I/O" in experiments: hits and misses are
+//! counted so benchmarks can report how much of a document a query plan
+//! actually touched — the paper's index-only plans read only a fraction of
+//! the pages a scan would.
+
+use crate::error::Result;
+use crate::page::Page;
+use crate::pager::PageStore;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Buffer pool counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BufferStats {
+    /// Page requests served from the cache.
+    pub hits: u64,
+    /// Page requests that went to the backing store.
+    pub misses: u64,
+    /// Page images written back.
+    pub writes: u64,
+    /// Pages evicted to make room.
+    pub evictions: u64,
+}
+
+impl BufferStats {
+    /// Hit ratio in `[0, 1]`; 0 when nothing was requested.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct PoolInner {
+    /// page id → (page, last-used stamp). Stamps are updated in place on
+    /// hits (O(1)); eviction scans for the minimum stamp, which is cheap
+    /// because eviction only happens when the working set outgrows the
+    /// pool.
+    cache: HashMap<u32, (Arc<Page>, u64)>,
+    clock: u64,
+    stats: BufferStats,
+}
+
+/// Write-through LRU buffer pool.
+pub struct BufferPool {
+    store: Mutex<Box<dyn PageStore>>,
+    inner: Mutex<PoolInner>,
+    capacity: usize,
+}
+
+impl std::fmt::Debug for BufferPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BufferPool")
+            .field("capacity", &self.capacity)
+            .finish_non_exhaustive()
+    }
+}
+
+impl BufferPool {
+    /// Default number of cached pages (8 MiB of 8 KiB pages).
+    pub const DEFAULT_CAPACITY: usize = 1024;
+
+    /// Wraps `store` with a pool caching up to `capacity` pages.
+    pub fn new(store: Box<dyn PageStore>, capacity: usize) -> Self {
+        BufferPool {
+            store: Mutex::new(store),
+            inner: Mutex::new(PoolInner {
+                cache: HashMap::new(),
+                clock: 0,
+                stats: BufferStats::default(),
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Fetches page `id`, reading it from the store on a miss.
+    pub fn get(&self, id: u32) -> Result<Arc<Page>> {
+        {
+            let mut inner = self.inner.lock();
+            inner.clock += 1;
+            let clock = inner.clock;
+            if let Some((page, stamp)) = inner.cache.get_mut(&id) {
+                *stamp = clock;
+                let page = page.clone();
+                inner.stats.hits += 1;
+                return Ok(page);
+            }
+            inner.stats.misses += 1;
+        }
+        // Read outside the cache lock's hot path; re-acquire to install.
+        let image = self.store.lock().read_page(id)?;
+        let page = Arc::new(Page::decode(&image, id)?);
+        self.install(id, page.clone());
+        Ok(page)
+    }
+
+    fn install(&self, id: u32, page: Arc<Page>) {
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let stamp = inner.clock;
+        inner.cache.insert(id, (page, stamp));
+        while inner.cache.len() > self.capacity {
+            // Evict the least-recently-used entry (linear scan — rare).
+            let victim = inner
+                .cache
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(id, _)| *id);
+            match victim {
+                Some(v) => {
+                    inner.cache.remove(&v);
+                    inner.stats.evictions += 1;
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Writes `page` through to the store and refreshes the cache.
+    pub fn put(&self, id: u32, page: Page) -> Result<()> {
+        let image = page.encode()?;
+        self.store.lock().write_page(id, &image)?;
+        self.inner.lock().stats.writes += 1;
+        self.install(id, Arc::new(page));
+        Ok(())
+    }
+
+    /// Allocates a new page id in the backing store.
+    pub fn allocate(&self) -> Result<u32> {
+        self.store.lock().allocate()
+    }
+
+    /// Number of pages in the backing store.
+    pub fn page_count(&self) -> u32 {
+        self.store.lock().page_count()
+    }
+
+    /// Appends to the blob heap.
+    pub fn append_blob(&self, bytes: &[u8]) -> Result<u64> {
+        self.store.lock().append_blob(bytes)
+    }
+
+    /// Reads from the blob heap.
+    pub fn read_blob(&self, offset: u64, len: u32) -> Result<Vec<u8>> {
+        self.store.lock().read_blob(offset, len)
+    }
+
+    /// Persists the catalog image.
+    pub fn write_catalog(&self, bytes: &[u8]) -> Result<()> {
+        self.store.lock().write_catalog(bytes)
+    }
+
+    /// Reads the catalog image (empty if never written).
+    pub fn read_catalog(&self) -> Result<Vec<u8>> {
+        self.store.lock().read_catalog()
+    }
+
+    /// Snapshot of the pool counters.
+    pub fn stats(&self) -> BufferStats {
+        self.inner.lock().stats
+    }
+
+    /// Resets the counters (not the cache) — used between benchmark runs.
+    pub fn reset_stats(&self) {
+        self.inner.lock().stats = BufferStats::default();
+    }
+
+    /// Drops every cached page (cold-cache benchmarking).
+    pub fn clear_cache(&self) {
+        let mut inner = self.inner.lock();
+        inner.cache.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::names::NameId;
+    use crate::pager::MemoryPager;
+    use crate::record::NodeRecord;
+    use vamana_flex::{seq_label, FlexKey};
+
+    fn page_with(i: u64) -> Page {
+        let mut p = Page::new();
+        p.append(NodeRecord::element(
+            FlexKey::root().child(&seq_label(i)),
+            NameId(i as u32),
+        ))
+        .unwrap();
+        p
+    }
+
+    fn pool(capacity: usize, pages: u32) -> BufferPool {
+        let pool = BufferPool::new(Box::new(MemoryPager::new()), capacity);
+        for i in 0..pages {
+            let id = pool.allocate().unwrap();
+            pool.put(id, page_with(i as u64)).unwrap();
+        }
+        pool.reset_stats();
+        pool
+    }
+
+    #[test]
+    fn get_after_put_hits_cache() {
+        let pool = pool(8, 2);
+        pool.get(0).unwrap();
+        pool.get(0).unwrap();
+        let s = pool.stats();
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.misses, 0);
+    }
+
+    #[test]
+    fn cold_read_is_a_miss_then_hits() {
+        let pool = pool(8, 2);
+        pool.clear_cache();
+        pool.get(1).unwrap();
+        pool.get(1).unwrap();
+        let s = pool.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 1);
+        assert!((s.hit_ratio() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eviction_respects_lru_order() {
+        let pool = pool(2, 3);
+        pool.clear_cache();
+        pool.get(0).unwrap();
+        pool.get(1).unwrap();
+        pool.get(0).unwrap(); // 0 is now most recent
+        pool.get(2).unwrap(); // evicts 1
+        pool.reset_stats();
+        pool.get(0).unwrap(); // hit
+        pool.get(1).unwrap(); // miss
+        let s = pool.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+    }
+
+    #[test]
+    fn put_writes_through() {
+        let pool = pool(2, 1);
+        pool.put(0, page_with(42)).unwrap();
+        pool.clear_cache();
+        let p = pool.get(0).unwrap();
+        assert_eq!(p.records()[0].name, Some(NameId(42)));
+    }
+
+    #[test]
+    fn blob_round_trip_through_pool() {
+        let pool = pool(2, 0);
+        let off = pool.append_blob(b"overflow value").unwrap();
+        assert_eq!(pool.read_blob(off, 14).unwrap(), b"overflow value");
+    }
+
+    #[test]
+    fn eviction_counter_increments() {
+        let pool = pool(1, 3);
+        pool.clear_cache();
+        pool.reset_stats();
+        pool.get(0).unwrap();
+        pool.get(1).unwrap();
+        pool.get(2).unwrap();
+        assert_eq!(pool.stats().evictions, 2);
+    }
+}

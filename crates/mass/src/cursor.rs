@@ -1,0 +1,144 @@
+//! Forward cursor over the clustered index.
+//!
+//! A [`MassCursor`] iterates records in document order within a
+//! [`KeyRange`], crossing page boundaries through the buffer pool. Its
+//! [`MassCursor::seek`] method is the primitive behind MASS's
+//! sibling-jump evaluation: a child/sibling scan leaps over whole
+//! subtrees by seeking their `subtree_upper` bound instead of reading
+//! through them.
+
+use crate::error::Result;
+use crate::page::Page;
+use crate::record::NodeRecord;
+use crate::store::MassStore;
+use std::sync::Arc;
+use vamana_flex::KeyRange;
+
+/// Document-order record cursor bounded by a key range.
+pub struct MassCursor<'a> {
+    store: &'a MassStore,
+    hi: Option<Vec<u8>>,
+    /// Position in the store's sparse index.
+    page_pos: usize,
+    rec_pos: usize,
+    page: Option<Arc<Page>>,
+    /// Set by `seek`; resolved to `rec_pos` when the page is loaded.
+    pending_seek: Option<Vec<u8>>,
+    done: bool,
+}
+
+impl<'a> MassCursor<'a> {
+    /// A cursor positioned at the first record inside `range`.
+    pub fn new(store: &'a MassStore, range: KeyRange) -> Self {
+        let mut c = MassCursor {
+            store,
+            hi: range.hi.clone(),
+            page_pos: 0,
+            rec_pos: 0,
+            page: None,
+            pending_seek: None,
+            done: false,
+        };
+        c.seek(&range.lo);
+        c
+    }
+
+    /// Repositions the cursor at the first record with key `>= flat`
+    /// (which may be before or after the current position). The upper
+    /// bound is unchanged.
+    pub fn seek(&mut self, flat: &[u8]) {
+        self.page = None;
+        self.done = false;
+        if self.store.index.is_empty() {
+            self.done = true;
+            return;
+        }
+        let pos = self
+            .store
+            .index
+            .partition_point(|(first, _)| first.as_slice() <= flat);
+        self.page_pos = pos.saturating_sub(1);
+        self.pending_seek = Some(flat.to_vec());
+    }
+
+    /// Loads pages until the cursor rests on an in-range record.
+    /// Returns `false` when the range is exhausted.
+    fn position(&mut self) -> Result<bool> {
+        loop {
+            if self.done {
+                return Ok(false);
+            }
+            if self.page.is_none() {
+                if self.page_pos >= self.store.index.len() {
+                    self.done = true;
+                    return Ok(false);
+                }
+                let page = self.store.pool.get(self.store.index[self.page_pos].1)?;
+                self.rec_pos = match self.pending_seek.take() {
+                    Some(target) => match page.find(&target) {
+                        Ok(i) | Err(i) => i,
+                    },
+                    None => 0,
+                };
+                self.page = Some(page);
+            }
+            let page = self.page.as_ref().expect("just loaded");
+            if self.rec_pos >= page.len() {
+                self.page = None;
+                self.page_pos += 1;
+                continue;
+            }
+            if let Some(hi) = &self.hi {
+                if page.records()[self.rec_pos].key.as_flat() >= hi.as_slice() {
+                    self.done = true;
+                    return Ok(false);
+                }
+            }
+            return Ok(true);
+        }
+    }
+
+    /// Pulls the next record, or `None` when the range is exhausted.
+    #[allow(clippy::should_implement_trait)] // fallible, so not Iterator
+    pub fn next(&mut self) -> Result<Option<NodeRecord>> {
+        if !self.position()? {
+            return Ok(None);
+        }
+        let rec = self.page.as_ref().expect("positioned").records()[self.rec_pos].clone();
+        self.rec_pos += 1;
+        Ok(Some(rec))
+    }
+
+    /// Like [`MassCursor::next`], but returns a lightweight
+    /// [`crate::axes::NodeEntry`] without cloning the record's value —
+    /// the hot path for axis scans, which never look at values.
+    pub fn next_entry(&mut self) -> Result<Option<crate::axes::NodeEntry>> {
+        if !self.position()? {
+            return Ok(None);
+        }
+        let rec = &self.page.as_ref().expect("positioned").records()[self.rec_pos];
+        let entry = crate::axes::NodeEntry {
+            key: rec.key.clone(),
+            kind: rec.kind,
+            name: rec.name,
+        };
+        self.rec_pos += 1;
+        Ok(Some(entry))
+    }
+
+    /// Key of the record `next` would return, without consuming it.
+    pub fn peek_key(&mut self) -> Result<Option<Vec<u8>>> {
+        if !self.position()? {
+            return Ok(None);
+        }
+        Ok(Some(
+            self.page.as_ref().expect("positioned").records()[self.rec_pos]
+                .key
+                .as_flat()
+                .to_vec(),
+        ))
+    }
+}
+
+// Cursor behavior is tested together with the loader in
+// `crate::loader::tests` (a cursor needs a populated store).

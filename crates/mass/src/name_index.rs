@@ -1,0 +1,273 @@
+//! The name (node-test) index.
+//!
+//! For every interned name MASS keeps the sorted list of FLEX keys of the
+//! elements (and, separately, attributes) bearing that name, plus global
+//! lists per node kind (text, comment, PI). Because the lists are sorted
+//! in document order, the count of nodes satisfying a node test *within
+//! any structural range* is two binary searches — the paper's "count on
+//! the index level without going to data", which powers `COUNT(opᵢ)`.
+
+use crate::names::NameId;
+use vamana_flex::KeyRange;
+
+/// A sorted (document-order) list of flat keys.
+#[derive(Debug, Default, Clone)]
+pub struct SortedKeys {
+    keys: Vec<Vec<u8>>,
+}
+
+impl SortedKeys {
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Appends a key that must sort after every existing key (bulk load).
+    pub fn push_ordered(&mut self, flat: Vec<u8>) {
+        debug_assert!(
+            self.keys.last().is_none_or(|k| k < &flat),
+            "out-of-order push"
+        );
+        self.keys.push(flat);
+    }
+
+    /// Inserts a key at its sorted position (update path). Duplicate
+    /// inserts are ignored.
+    pub fn insert(&mut self, flat: Vec<u8>) {
+        if let Err(pos) = self.keys.binary_search(&flat) {
+            self.keys.insert(pos, flat);
+        }
+    }
+
+    /// Removes a key if present; returns whether it was there.
+    pub fn remove(&mut self, flat: &[u8]) -> bool {
+        match self.keys.binary_search_by(|k| k.as_slice().cmp(flat)) {
+            Ok(pos) => {
+                self.keys.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Index of the first key `>= flat`.
+    pub fn lower_bound(&self, flat: &[u8]) -> usize {
+        self.keys.partition_point(|k| k.as_slice() < flat)
+    }
+
+    /// Membership test — one binary search, no data access.
+    pub fn contains(&self, flat: &[u8]) -> bool {
+        self.keys
+            .binary_search_by(|k| k.as_slice().cmp(flat))
+            .is_ok()
+    }
+
+    /// Number of keys inside `range` — two binary searches, no data access.
+    pub fn count_in(&self, range: &KeyRange) -> u64 {
+        let lo = self.lower_bound(&range.lo);
+        let hi = match &range.hi {
+            Some(h) => self.keys.partition_point(|k| k.as_slice() < h.as_slice()),
+            None => self.keys.len(),
+        };
+        hi.saturating_sub(lo) as u64
+    }
+
+    /// Iterator over the keys inside `range`, in document order.
+    pub fn iter_in<'a>(&'a self, range: &KeyRange) -> impl Iterator<Item = &'a [u8]> + 'a {
+        self.slice_in(range).iter().map(|k| k.as_slice())
+    }
+
+    /// Borrowed slice of the keys inside `range` (zero-copy scans).
+    pub fn slice_in(&self, range: &KeyRange) -> &[Vec<u8>] {
+        let lo = self.lower_bound(&range.lo);
+        let hi = match &range.hi {
+            Some(h) => self.keys.partition_point(|k| k.as_slice() < h.as_slice()),
+            None => self.keys.len(),
+        };
+        &self.keys[lo..hi]
+    }
+
+    /// All keys, in document order.
+    pub fn iter(&self) -> impl Iterator<Item = &[u8]> {
+        self.keys.iter().map(|k| k.as_slice())
+    }
+}
+
+/// Per-name and per-kind key lists.
+#[derive(Debug, Default, Clone)]
+pub struct NameIndex {
+    elements: Vec<SortedKeys>,
+    attributes: Vec<SortedKeys>,
+    all_elements: SortedKeys,
+    text: SortedKeys,
+    comments: SortedKeys,
+    pis: SortedKeys,
+}
+
+impl NameIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn slot(list: &mut Vec<SortedKeys>, name: NameId) -> &mut SortedKeys {
+        let idx = name.0 as usize;
+        if list.len() <= idx {
+            list.resize_with(idx + 1, SortedKeys::default);
+        }
+        &mut list[idx]
+    }
+
+    /// Element list for `name` (empty if never seen).
+    pub fn elements(&self, name: NameId) -> &SortedKeys {
+        static EMPTY: SortedKeys = SortedKeys { keys: Vec::new() };
+        self.elements.get(name.0 as usize).unwrap_or(&EMPTY)
+    }
+
+    /// Attribute list for `name`.
+    pub fn attributes(&self, name: NameId) -> &SortedKeys {
+        static EMPTY: SortedKeys = SortedKeys { keys: Vec::new() };
+        self.attributes.get(name.0 as usize).unwrap_or(&EMPTY)
+    }
+
+    /// Keys of *all* elements regardless of name (wildcard node tests).
+    pub fn all_elements(&self) -> &SortedKeys {
+        &self.all_elements
+    }
+
+    /// All text-node keys.
+    pub fn text(&self) -> &SortedKeys {
+        &self.text
+    }
+
+    /// All comment keys.
+    pub fn comments(&self) -> &SortedKeys {
+        &self.comments
+    }
+
+    /// All processing-instruction keys.
+    pub fn pis(&self) -> &SortedKeys {
+        &self.pis
+    }
+
+    /// Mutable element list (loader/update path).
+    pub fn elements_mut(&mut self, name: NameId) -> &mut SortedKeys {
+        Self::slot(&mut self.elements, name)
+    }
+
+    /// Mutable all-elements list.
+    pub fn all_elements_mut(&mut self) -> &mut SortedKeys {
+        &mut self.all_elements
+    }
+
+    /// Mutable attribute list.
+    pub fn attributes_mut(&mut self, name: NameId) -> &mut SortedKeys {
+        Self::slot(&mut self.attributes, name)
+    }
+
+    /// Mutable text list.
+    pub fn text_mut(&mut self) -> &mut SortedKeys {
+        &mut self.text
+    }
+
+    /// Mutable comment list.
+    pub fn comments_mut(&mut self) -> &mut SortedKeys {
+        &mut self.comments
+    }
+
+    /// Mutable PI list.
+    pub fn pis_mut(&mut self) -> &mut SortedKeys {
+        &mut self.pis
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vamana_flex::{seq_label, FlexKey};
+
+    fn key(path: &[u64]) -> FlexKey {
+        let mut k = FlexKey::root();
+        for &i in path {
+            k = k.child(&seq_label(i));
+        }
+        k
+    }
+
+    fn flat(path: &[u64]) -> Vec<u8> {
+        key(path).into_flat()
+    }
+
+    #[test]
+    fn count_in_subtree_range() {
+        let mut s = SortedKeys::default();
+        for p in [&[0, 0][..], &[0, 1], &[0, 1, 2], &[0, 2], &[1, 0]] {
+            s.push_ordered(flat(p));
+        }
+        let r = KeyRange::subtree(&key(&[0, 1]));
+        assert_eq!(s.count_in(&r), 2); // [0,1] and [0,1,2]
+        assert_eq!(s.count_in(&KeyRange::all()), 5);
+        assert_eq!(s.count_in(&KeyRange::subtree(&key(&[7]))), 0);
+    }
+
+    #[test]
+    fn iter_in_matches_count() {
+        let mut s = SortedKeys::default();
+        for i in 0..50 {
+            s.push_ordered(flat(&[i / 10, i % 10]));
+        }
+        let r = KeyRange::subtree(&key(&[2]));
+        let items: Vec<_> = s.iter_in(&r).collect();
+        assert_eq!(items.len() as u64, s.count_in(&r));
+        assert_eq!(items.len(), 10);
+    }
+
+    #[test]
+    fn insert_and_remove_keep_order() {
+        let mut s = SortedKeys::default();
+        s.push_ordered(flat(&[0]));
+        s.push_ordered(flat(&[2]));
+        s.insert(flat(&[1]));
+        let keys: Vec<_> = s.iter().map(|k| k.to_vec()).collect();
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+        assert!(s.remove(&flat(&[1])));
+        assert!(!s.remove(&flat(&[1])));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_insert_ignored() {
+        let mut s = SortedKeys::default();
+        s.insert(flat(&[3]));
+        s.insert(flat(&[3]));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn name_index_separates_elements_and_attributes() {
+        let mut idx = NameIndex::new();
+        let name = NameId(0);
+        idx.elements_mut(name).push_ordered(flat(&[0]));
+        idx.attributes_mut(name).push_ordered(flat(&[0, 0]));
+        assert_eq!(idx.elements(name).len(), 1);
+        assert_eq!(idx.attributes(name).len(), 1);
+        // Unknown names resolve to the empty list, not a panic.
+        assert_eq!(idx.elements(NameId(99)).len(), 0);
+    }
+
+    #[test]
+    fn kind_lists_are_independent() {
+        let mut idx = NameIndex::new();
+        idx.text_mut().push_ordered(flat(&[0, 0]));
+        idx.comments_mut().push_ordered(flat(&[0, 1]));
+        idx.pis_mut().push_ordered(flat(&[0, 2]));
+        assert_eq!(idx.text().len(), 1);
+        assert_eq!(idx.comments().len(), 1);
+        assert_eq!(idx.pis().len(), 1);
+    }
+}

@@ -1,0 +1,98 @@
+//! Interned element/attribute names.
+//!
+//! Every distinct name in the store maps to a dense [`NameId`]; records
+//! carry ids, and the name index is keyed by id. Interning makes node-test
+//! comparison an integer compare and keeps records small.
+
+use std::collections::HashMap;
+
+/// Dense identifier of an interned name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NameId(pub u32);
+
+impl NameId {
+    /// Sentinel encoded in records that have no name (text, comments).
+    pub(crate) const NONE_RAW: u32 = u32::MAX;
+}
+
+/// Bidirectional name ↔ id table.
+#[derive(Debug, Default, Clone)]
+pub struct NameTable {
+    by_name: HashMap<Box<str>, NameId>,
+    by_id: Vec<Box<str>>,
+}
+
+impl NameTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its id (existing or fresh).
+    pub fn intern(&mut self, name: &str) -> NameId {
+        if let Some(id) = self.by_name.get(name) {
+            return *id;
+        }
+        let id = NameId(self.by_id.len() as u32);
+        self.by_id.push(name.into());
+        self.by_name.insert(name.into(), id);
+        id
+    }
+
+    /// Looks up an id without interning.
+    pub fn lookup(&self, name: &str) -> Option<NameId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The string for `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this table.
+    pub fn resolve(&self, id: NameId) -> &str {
+        &self.by_id[id.0 as usize]
+    }
+
+    /// Number of distinct names interned.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// True if no names are interned.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = NameTable::new();
+        let a = t.intern("person");
+        let b = t.intern("person");
+        assert_eq!(a, b);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense_and_resolve() {
+        let mut t = NameTable::new();
+        let p = t.intern("person");
+        let n = t.intern("name");
+        assert_eq!(p, NameId(0));
+        assert_eq!(n, NameId(1));
+        assert_eq!(t.resolve(p), "person");
+        assert_eq!(t.resolve(n), "name");
+    }
+
+    #[test]
+    fn lookup_does_not_intern() {
+        let mut t = NameTable::new();
+        assert_eq!(t.lookup("absent"), None);
+        t.intern("present");
+        assert!(t.lookup("present").is_some());
+        assert_eq!(t.len(), 1);
+    }
+}

@@ -1,0 +1,304 @@
+//! Slotted pages of the clustered MASS index.
+//!
+//! Records are clustered in document order (FLEX-key order). A page is
+//! decoded into a `Vec<NodeRecord>` when it enters the buffer pool and
+//! re-encoded on write-out; the on-disk image is `[magic u16][count u16]
+//! [reserved u32]` followed by the records back to back.
+
+use crate::error::{MassError, Result};
+use crate::record::NodeRecord;
+
+/// Fixed page size in bytes, disk image and capacity accounting.
+pub const PAGE_SIZE: usize = 8192;
+/// Bytes reserved for the page header.
+pub const PAGE_HEADER: usize = 8;
+/// Payload capacity of one page.
+pub const PAGE_CAPACITY: usize = PAGE_SIZE - PAGE_HEADER;
+
+const MAGIC: u16 = 0x4D41; // "MA"
+
+/// A decoded page: records sorted by key.
+#[derive(Debug, Clone, Default)]
+pub struct Page {
+    records: Vec<NodeRecord>,
+    encoded: usize,
+}
+
+impl Page {
+    /// An empty page.
+    pub fn new() -> Self {
+        Page::default()
+    }
+
+    /// The records, in key order.
+    pub fn records(&self) -> &[NodeRecord] {
+        &self.records
+    }
+
+    /// Number of records on the page.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the page holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Payload bytes currently used.
+    pub fn encoded_size(&self) -> usize {
+        self.encoded
+    }
+
+    /// True if a record of `len` encoded bytes still fits.
+    pub fn fits(&self, len: usize) -> bool {
+        self.encoded + len <= PAGE_CAPACITY
+    }
+
+    /// First key on the page (flat encoding).
+    pub fn first_key(&self) -> Option<&[u8]> {
+        self.records.first().map(|r| r.key.as_flat())
+    }
+
+    /// Last key on the page (flat encoding).
+    pub fn last_key(&self) -> Option<&[u8]> {
+        self.records.last().map(|r| r.key.as_flat())
+    }
+
+    /// Binary search for `flat`: `Ok(i)` if present at `i`, `Err(i)` for
+    /// the insertion point.
+    pub fn find(&self, flat: &[u8]) -> std::result::Result<usize, usize> {
+        self.records.binary_search_by(|r| r.key.as_flat().cmp(flat))
+    }
+
+    /// Appends a record that must sort after the current last record
+    /// (bulk-load path).
+    ///
+    /// # Panics
+    /// Panics (debug) if order would be violated; returns an error if the
+    /// record does not fit.
+    pub fn append(&mut self, rec: NodeRecord) -> Result<()> {
+        let len = rec.encoded_len();
+        if !self.fits(len) {
+            return Err(MassError::InvalidUpdate("page full".into()));
+        }
+        debug_assert!(
+            self.last_key().is_none_or(|k| k < rec.key.as_flat()),
+            "append out of order"
+        );
+        self.encoded += len;
+        self.records.push(rec);
+        Ok(())
+    }
+
+    /// Inserts a record at its sorted position (update path). The caller
+    /// splits the page first if it does not fit.
+    pub fn insert(&mut self, rec: NodeRecord) -> Result<()> {
+        let len = rec.encoded_len();
+        if !self.fits(len) {
+            return Err(MassError::InvalidUpdate("page full".into()));
+        }
+        match self.find(rec.key.as_flat()) {
+            Ok(_) => Err(MassError::InvalidUpdate("duplicate key".into())),
+            Err(pos) => {
+                self.encoded += len;
+                self.records.insert(pos, rec);
+                Ok(())
+            }
+        }
+    }
+
+    /// Removes the record at `idx`, returning it.
+    pub fn remove(&mut self, idx: usize) -> NodeRecord {
+        let rec = self.records.remove(idx);
+        self.encoded -= rec.encoded_len();
+        rec
+    }
+
+    /// Splits the page in half (by payload bytes), returning the upper
+    /// half as a new page.
+    pub fn split(&mut self) -> Page {
+        let target = self.encoded / 2;
+        let mut acc = 0usize;
+        let mut cut = self.records.len();
+        for (i, r) in self.records.iter().enumerate() {
+            acc += r.encoded_len();
+            if acc >= target && i + 1 < self.records.len() {
+                cut = i + 1;
+                break;
+            }
+        }
+        let upper: Vec<NodeRecord> = self.records.split_off(cut);
+        let upper_size: usize = upper.iter().map(NodeRecord::encoded_len).sum();
+        self.encoded -= upper_size;
+        Page {
+            records: upper,
+            encoded: upper_size,
+        }
+    }
+
+    /// Encodes the page into a `PAGE_SIZE` disk image.
+    pub fn encode(&self) -> Result<Vec<u8>> {
+        if self.encoded > PAGE_CAPACITY {
+            return Err(MassError::InvalidUpdate("page over capacity".into()));
+        }
+        let mut out = Vec::with_capacity(PAGE_SIZE);
+        out.extend_from_slice(&MAGIC.to_le_bytes());
+        out.extend_from_slice(&(self.records.len() as u16).to_le_bytes());
+        out.extend_from_slice(&[0u8; 4]);
+        for r in &self.records {
+            r.encode(&mut out);
+        }
+        out.resize(PAGE_SIZE, 0);
+        Ok(out)
+    }
+
+    /// Decodes a disk image.
+    pub fn decode(bytes: &[u8], page_id: u32) -> Result<Page> {
+        if bytes.len() != PAGE_SIZE {
+            return Err(MassError::CorruptPage {
+                page: page_id,
+                reason: format!("bad length {}", bytes.len()),
+            });
+        }
+        let magic = u16::from_le_bytes([bytes[0], bytes[1]]);
+        if magic != MAGIC {
+            return Err(MassError::CorruptPage {
+                page: page_id,
+                reason: "bad magic".into(),
+            });
+        }
+        let count = u16::from_le_bytes([bytes[2], bytes[3]]) as usize;
+        let mut records = Vec::with_capacity(count);
+        let mut at = PAGE_HEADER;
+        let mut encoded = 0usize;
+        for _ in 0..count {
+            let (rec, used) =
+                NodeRecord::decode(&bytes[at..]).map_err(|e| MassError::CorruptPage {
+                    page: page_id,
+                    reason: e.to_string(),
+                })?;
+            at += used;
+            encoded += used;
+            records.push(rec);
+        }
+        Ok(Page { records, encoded })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::names::NameId;
+    use vamana_flex::{seq_label, FlexKey};
+
+    fn rec(i: u64) -> NodeRecord {
+        NodeRecord::element(FlexKey::root().child(&seq_label(i)), NameId(i as u32))
+    }
+
+    #[test]
+    fn append_and_encode_round_trip() {
+        let mut p = Page::new();
+        for i in 0..20 {
+            p.append(rec(i)).unwrap();
+        }
+        let img = p.encode().unwrap();
+        assert_eq!(img.len(), PAGE_SIZE);
+        let back = Page::decode(&img, 0).unwrap();
+        assert_eq!(back.len(), 20);
+        assert_eq!(back.records(), p.records());
+        assert_eq!(back.encoded_size(), p.encoded_size());
+    }
+
+    #[test]
+    fn find_locates_keys() {
+        let mut p = Page::new();
+        for i in (0..30).step_by(3) {
+            p.append(rec(i)).unwrap();
+        }
+        assert_eq!(p.find(rec(6).key.as_flat()), Ok(2));
+        // Missing key yields the insertion point.
+        assert!(p.find(rec(7).key.as_flat()).is_err());
+    }
+
+    #[test]
+    fn insert_keeps_order() {
+        let mut p = Page::new();
+        p.append(rec(0)).unwrap();
+        p.append(rec(10)).unwrap();
+        p.insert(rec(5)).unwrap();
+        let keys: Vec<_> = p.records().iter().map(|r| r.key.clone()).collect();
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn duplicate_insert_rejected() {
+        let mut p = Page::new();
+        p.append(rec(1)).unwrap();
+        assert!(p.insert(rec(1)).is_err());
+    }
+
+    #[test]
+    fn remove_updates_size() {
+        let mut p = Page::new();
+        p.append(rec(0)).unwrap();
+        p.append(rec(1)).unwrap();
+        let before = p.encoded_size();
+        let r = p.remove(0);
+        assert_eq!(p.encoded_size(), before - r.encoded_len());
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn page_rejects_overflow() {
+        let mut p = Page::new();
+        let mut i = 0;
+        loop {
+            let r = rec(i);
+            if !p.fits(r.encoded_len()) {
+                assert!(p.append(r).is_err());
+                break;
+            }
+            p.append(r).unwrap();
+            i += 1;
+        }
+        assert!(p.encoded_size() <= PAGE_CAPACITY);
+        assert!(i > 100, "page should hold many small records, held {i}");
+    }
+
+    #[test]
+    fn split_halves_payload() {
+        let mut p = Page::new();
+        for i in 0..200 {
+            p.append(rec(i)).unwrap();
+        }
+        let total = p.encoded_size();
+        let upper = p.split();
+        assert!(p.encoded_size() > 0 && upper.encoded_size() > 0);
+        assert_eq!(p.encoded_size() + upper.encoded_size(), total);
+        assert!(p.last_key().unwrap() < upper.first_key().unwrap());
+        let diff = p.encoded_size().abs_diff(upper.encoded_size());
+        assert!(
+            diff < total / 4,
+            "unbalanced split: {} vs {}",
+            p.encoded_size(),
+            upper.encoded_size()
+        );
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Page::decode(&[0u8; 16], 0).is_err());
+        let mut img = Page::new().encode().unwrap();
+        img[0] = 0xFF;
+        assert!(Page::decode(&img, 3).is_err());
+    }
+
+    #[test]
+    fn empty_page_has_no_keys() {
+        let p = Page::new();
+        assert_eq!(p.first_key(), None);
+        assert_eq!(p.last_key(), None);
+        assert!(p.is_empty());
+    }
+}

@@ -1,0 +1,67 @@
+//! Store-level statistics.
+//!
+//! These are the numbers the paper's cost estimator reads "directly from
+//! the storage structure": page and tuple counts plus buffer-pool
+//! behavior. Name/value counts come from the indexes and are exposed on
+//! [`crate::store::MassStore`] itself.
+
+use crate::buffer::BufferStats;
+
+/// A snapshot of storage statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StoreStats {
+    /// Allocated pages in the clustered index.
+    pub pages: u32,
+    /// Stored node records (tuples).
+    pub tuples: u64,
+    /// Distinct interned names.
+    pub distinct_names: usize,
+    /// Distinct indexed string values.
+    pub distinct_values: usize,
+    /// Loaded documents.
+    pub documents: usize,
+    /// Buffer-pool counters since the last reset.
+    pub buffer: BufferStats,
+}
+
+impl StoreStats {
+    /// Average tuples per page (0 when no pages).
+    pub fn tuples_per_page(&self) -> f64 {
+        if self.pages == 0 {
+            0.0
+        } else {
+            self.tuples as f64 / self.pages as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuples_per_page_handles_empty() {
+        let s = StoreStats {
+            pages: 0,
+            tuples: 0,
+            distinct_names: 0,
+            distinct_values: 0,
+            documents: 0,
+            buffer: BufferStats::default(),
+        };
+        assert_eq!(s.tuples_per_page(), 0.0);
+    }
+
+    #[test]
+    fn tuples_per_page_divides() {
+        let s = StoreStats {
+            pages: 4,
+            tuples: 100,
+            distinct_names: 1,
+            distinct_values: 1,
+            documents: 1,
+            buffer: BufferStats::default(),
+        };
+        assert_eq!(s.tuples_per_page(), 25.0);
+    }
+}

@@ -1,0 +1,812 @@
+//! [`MassStore`]: the clustered, multi-document MASS index.
+//!
+//! Records of every loaded document live in FLEX-key order across
+//! fixed-size pages; an in-memory sparse index maps each page's first key
+//! to its page id. Name and value indexes hang off the store and answer
+//! the counting queries that drive VAMANA's cost model.
+//!
+//! Each document `i` is rooted at a *document record* with key
+//! `[seq_label(i)]` (kind [`RecordKind::Document`]); the whole database is
+//! the subtree of the empty key, so "cost over the entire database, one
+//! document, or a specific point" (paper §I.A) are all the same range
+//! query with different bounds.
+
+use crate::buffer::BufferPool;
+use crate::error::{MassError, Result};
+use crate::name_index::NameIndex;
+use crate::names::{NameId, NameTable};
+use crate::page::Page;
+use crate::pager::{FilePager, MemoryPager, PageStore};
+use crate::record::{NodeRecord, RecordKind, ValueRef};
+use crate::stats::StoreStats;
+use crate::value_index::{RangeOp, ValueIndex};
+use std::path::Path;
+use vamana_flex::{label_between, seq_label, FlexKey, KeyRange};
+
+/// Values longer than this go to the overflow blob heap.
+pub const INLINE_VALUE_MAX: usize = 1024;
+
+/// Identifier of a loaded document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DocId(pub u32);
+
+/// Registry entry for one document.
+#[derive(Debug, Clone)]
+pub struct DocInfo {
+    /// Caller-supplied document name.
+    pub name: Box<str>,
+    /// Key of the document record (the XPath document node).
+    pub doc_key: FlexKey,
+}
+
+/// The MASS storage structure.
+pub struct MassStore {
+    pub(crate) pool: BufferPool,
+    /// Sparse index: (first flat key on page, page id), key-ordered.
+    pub(crate) index: Vec<(Vec<u8>, u32)>,
+    pub(crate) names: NameTable,
+    pub(crate) name_index: NameIndex,
+    pub(crate) value_index: ValueIndex,
+    pub(crate) docs: Vec<DocInfo>,
+    pub(crate) tuples: u64,
+    /// Page ids emptied by deletes, reused by later inserts.
+    pub(crate) free_pages: Vec<u32>,
+}
+
+impl std::fmt::Debug for MassStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MassStore")
+            .field("pages", &self.index.len())
+            .field("tuples", &self.tuples)
+            .field("documents", &self.docs.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl MassStore {
+    /// An empty in-memory store with the default buffer-pool size.
+    pub fn open_memory() -> Self {
+        Self::with_pager(Box::new(MemoryPager::new()), BufferPool::DEFAULT_CAPACITY)
+    }
+
+    /// An empty in-memory store with `capacity` cached pages.
+    pub fn open_memory_with_capacity(capacity: usize) -> Self {
+        Self::with_pager(Box::new(MemoryPager::new()), capacity)
+    }
+
+    /// Creates a new file-backed store at `path` (truncates existing).
+    pub fn create_file<P: AsRef<Path>>(path: P, capacity: usize) -> Result<Self> {
+        Ok(Self::with_pager(
+            Box::new(FilePager::create(path)?),
+            capacity,
+        ))
+    }
+
+    /// Wraps an arbitrary pager.
+    pub fn with_pager(pager: Box<dyn PageStore>, capacity: usize) -> Self {
+        MassStore {
+            pool: BufferPool::new(pager, capacity),
+            index: Vec::new(),
+            names: NameTable::new(),
+            name_index: NameIndex::new(),
+            value_index: ValueIndex::new(),
+            docs: Vec::new(),
+            tuples: 0,
+            free_pages: Vec::new(),
+        }
+    }
+
+    // ---- names ---------------------------------------------------------
+
+    /// The name table.
+    pub fn names(&self) -> &NameTable {
+        &self.names
+    }
+
+    /// Interns a name (update/load path).
+    pub fn intern(&mut self, name: &str) -> NameId {
+        self.names.intern(name)
+    }
+
+    /// Id for `name` if it occurs anywhere in the store.
+    pub fn name_id(&self, name: &str) -> Option<NameId> {
+        self.names.lookup(name)
+    }
+
+    // ---- documents ------------------------------------------------------
+
+    /// Loaded documents.
+    pub fn documents(&self) -> &[DocInfo] {
+        &self.docs
+    }
+
+    /// Document info by id.
+    pub fn document(&self, id: DocId) -> Option<&DocInfo> {
+        self.docs.get(id.0 as usize)
+    }
+
+    /// Looks a document up by name.
+    pub fn document_by_name(&self, name: &str) -> Option<(DocId, &DocInfo)> {
+        self.docs
+            .iter()
+            .enumerate()
+            .find(|(_, d)| &*d.name == name)
+            .map(|(i, d)| (DocId(i as u32), d))
+    }
+
+    /// The document that contains `key` (by its first label).
+    pub fn document_of(&self, key: &FlexKey) -> Option<DocId> {
+        let first = key.labels().next()?;
+        let doc_key = FlexKey::root().child(first);
+        self.docs
+            .iter()
+            .position(|d| d.doc_key == doc_key)
+            .map(|i| DocId(i as u32))
+    }
+
+    // ---- point access ---------------------------------------------------
+
+    /// Position in the sparse index of the page that could hold `flat`.
+    pub(crate) fn page_pos_for(&self, flat: &[u8]) -> Option<usize> {
+        if self.index.is_empty() {
+            return None;
+        }
+        let pos = self
+            .index
+            .partition_point(|(first, _)| first.as_slice() <= flat);
+        if pos == 0 {
+            None // before the first page's first key
+        } else {
+            Some(pos - 1)
+        }
+    }
+
+    /// Fetches the record at `key`, if present.
+    pub fn get(&self, key: &FlexKey) -> Result<Option<NodeRecord>> {
+        let flat = key.as_flat();
+        let Some(pos) = self.page_pos_for(flat) else {
+            // Could still be on page 0 if it starts exactly at `flat`.
+            return Ok(None);
+        };
+        let page = self.pool.get(self.index[pos].1)?;
+        match page.find(flat) {
+            Ok(i) => Ok(Some(page.records()[i].clone())),
+            Err(_) => Ok(None),
+        }
+    }
+
+    /// True if `key` is stored.
+    pub fn contains(&self, key: &FlexKey) -> Result<bool> {
+        Ok(self.get(key)?.is_some())
+    }
+
+    /// Point lookup returning a lightweight entry (key/kind/name) without
+    /// cloning the record's value — the hot path for parent/ancestor
+    /// navigation, which never needs values.
+    pub fn get_entry(&self, key: &FlexKey) -> Result<Option<crate::axes::NodeEntry>> {
+        let flat = key.as_flat();
+        let Some(pos) = self.page_pos_for(flat) else {
+            return Ok(None);
+        };
+        let page = self.pool.get(self.index[pos].1)?;
+        match page.find(flat) {
+            Ok(i) => {
+                let rec = &page.records()[i];
+                Ok(Some(crate::axes::NodeEntry {
+                    key: rec.key.clone(),
+                    kind: rec.kind,
+                    name: rec.name,
+                }))
+            }
+            Err(_) => Ok(None),
+        }
+    }
+
+    /// Resolves a record's value, following overflow references.
+    pub fn resolve_value(&self, rec: &NodeRecord) -> Result<Option<String>> {
+        match &rec.value {
+            ValueRef::None => Ok(None),
+            ValueRef::Inline(s) => Ok(Some(s.to_string())),
+            ValueRef::Overflow { offset, len } => {
+                let bytes = self.pool.read_blob(*offset, *len)?;
+                String::from_utf8(bytes)
+                    .map(Some)
+                    .map_err(|_| MassError::CorruptRecord("non-UTF8 overflow value".into()))
+            }
+        }
+    }
+
+    /// XPath string-value of the node at `key`: direct value for leaves,
+    /// concatenated descendant text for elements/documents.
+    pub fn string_value(&self, key: &FlexKey) -> Result<String> {
+        let Some(rec) = self.get(key)? else {
+            return Ok(String::new());
+        };
+        match rec.kind {
+            RecordKind::Element | RecordKind::Document => {
+                let mut out = String::new();
+                let mut cur = crate::cursor::MassCursor::new(self, KeyRange::descendants(key));
+                while let Some(r) = cur.next()? {
+                    if r.kind == RecordKind::Text {
+                        if let Some(v) = self.resolve_value(&r)? {
+                            out.push_str(&v);
+                        }
+                    }
+                }
+                Ok(out)
+            }
+            _ => Ok(self.resolve_value(&rec)?.unwrap_or_default()),
+        }
+    }
+
+    // ---- counting (the cost-model API) -----------------------------------
+
+    /// Count of elements named `name` inside `range` — index-only.
+    pub fn count_elements_in(&self, name: NameId, range: &KeyRange) -> u64 {
+        self.name_index.elements(name).count_in(range)
+    }
+
+    /// Database-wide element count for `name`.
+    pub fn count_elements(&self, name: NameId) -> u64 {
+        self.count_elements_in(name, &KeyRange::all())
+    }
+
+    /// Count of attributes named `name` inside `range`.
+    pub fn count_attributes_in(&self, name: NameId, range: &KeyRange) -> u64 {
+        self.name_index.attributes(name).count_in(range)
+    }
+
+    /// Count of all elements (any name) inside `range`.
+    pub fn count_all_elements_in(&self, range: &KeyRange) -> u64 {
+        self.name_index.all_elements().count_in(range)
+    }
+
+    /// Count of text nodes inside `range`.
+    pub fn count_text_in(&self, range: &KeyRange) -> u64 {
+        self.name_index.text().count_in(range)
+    }
+
+    /// Count of comment nodes inside `range`.
+    pub fn count_comments_in(&self, range: &KeyRange) -> u64 {
+        self.name_index.comments().count_in(range)
+    }
+
+    /// Count of processing instructions inside `range`.
+    pub fn count_pis_in(&self, range: &KeyRange) -> u64 {
+        self.name_index.pis().count_in(range)
+    }
+
+    /// `TC(value)`: exact occurrences of `value` database-wide.
+    pub fn text_count(&self, value: &str) -> u64 {
+        self.value_index.text_count(value)
+    }
+
+    /// `TC(value)` within `range`.
+    pub fn text_count_in(&self, value: &str, range: &KeyRange) -> u64 {
+        self.value_index.text_count_in(value, range)
+    }
+
+    /// Count of nodes whose numeric value satisfies `op bound` in `range`.
+    pub fn numeric_count_in(&self, op: RangeOp, bound: f64, range: &KeyRange) -> u64 {
+        self.value_index.numeric_count_in(op, bound, range)
+    }
+
+    /// The name index (read-only).
+    pub fn name_index(&self) -> &NameIndex {
+        &self.name_index
+    }
+
+    /// The value index (read-only).
+    pub fn value_index(&self) -> &ValueIndex {
+        &self.value_index
+    }
+
+    /// Storage statistics snapshot.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            pages: self.index.len() as u32,
+            tuples: self.tuples,
+            distinct_names: self.names.len(),
+            distinct_values: self.value_index.distinct_values(),
+            documents: self.docs.len(),
+            buffer: self.pool.stats(),
+        }
+    }
+
+    /// The buffer pool (for stats reset / cache clearing in experiments).
+    pub fn buffer_pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
+    // ---- bulk-load internals (used by the loader) -------------------------
+
+    /// Converts a value string to a [`ValueRef`], spilling long values to
+    /// the blob heap.
+    pub(crate) fn make_value(&mut self, value: &str) -> Result<ValueRef> {
+        if value.len() <= INLINE_VALUE_MAX {
+            Ok(ValueRef::Inline(value.into()))
+        } else {
+            let offset = self.pool.append_blob(value.as_bytes())?;
+            Ok(ValueRef::Overflow {
+                offset,
+                len: value.len() as u32,
+            })
+        }
+    }
+
+    /// Registers a freshly created record in the secondary indexes.
+    pub(crate) fn index_record(&mut self, rec: &NodeRecord, value: Option<&str>, ordered: bool) {
+        let flat = rec.key.as_flat().to_vec();
+        match rec.kind {
+            RecordKind::Element => {
+                let name = rec.name.expect("element has a name");
+                let list = self.name_index.elements_mut(name);
+                if ordered {
+                    list.push_ordered(flat.clone());
+                    self.name_index.all_elements_mut().push_ordered(flat);
+                } else {
+                    list.insert(flat.clone());
+                    self.name_index.all_elements_mut().insert(flat);
+                }
+            }
+            RecordKind::Attribute => {
+                let name = rec.name.expect("attribute has a name");
+                let list = self.name_index.attributes_mut(name);
+                if ordered {
+                    list.push_ordered(flat.clone());
+                } else {
+                    list.insert(flat.clone());
+                }
+                if let Some(v) = value {
+                    if ordered {
+                        self.value_index.insert_ordered(v, flat);
+                    } else {
+                        self.value_index.insert(v, flat);
+                    }
+                }
+            }
+            RecordKind::Text => {
+                let list = self.name_index.text_mut();
+                if ordered {
+                    list.push_ordered(flat.clone());
+                } else {
+                    list.insert(flat.clone());
+                }
+                if let Some(v) = value {
+                    if ordered {
+                        self.value_index.insert_ordered(v, flat);
+                    } else {
+                        self.value_index.insert(v, flat);
+                    }
+                }
+            }
+            RecordKind::Comment => {
+                let list = self.name_index.comments_mut();
+                if ordered {
+                    list.push_ordered(flat);
+                } else {
+                    list.insert(flat);
+                }
+            }
+            RecordKind::Pi => {
+                let list = self.name_index.pis_mut();
+                if ordered {
+                    list.push_ordered(flat);
+                } else {
+                    list.insert(flat);
+                }
+            }
+            RecordKind::Document => {}
+        }
+        self.tuples += 1;
+    }
+
+    /// Removes a record from the secondary indexes.
+    fn unindex_record(&mut self, rec: &NodeRecord) -> Result<()> {
+        let flat = rec.key.as_flat();
+        match rec.kind {
+            RecordKind::Element => {
+                let name = rec.name.expect("element has a name");
+                self.name_index.elements_mut(name).remove(flat);
+                self.name_index.all_elements_mut().remove(flat);
+            }
+            RecordKind::Attribute => {
+                let name = rec.name.expect("attribute has a name");
+                self.name_index.attributes_mut(name).remove(flat);
+                if let Some(v) = self.resolve_value(rec)? {
+                    self.value_index.remove(&v, flat);
+                }
+            }
+            RecordKind::Text => {
+                self.name_index.text_mut().remove(flat);
+                if let Some(v) = self.resolve_value(rec)? {
+                    self.value_index.remove(&v, flat);
+                }
+            }
+            RecordKind::Comment => {
+                self.name_index.comments_mut().remove(flat);
+            }
+            RecordKind::Pi => {
+                self.name_index.pis_mut().remove(flat);
+            }
+            RecordKind::Document => {}
+        }
+        self.tuples -= 1;
+        Ok(())
+    }
+
+    // ---- updates ----------------------------------------------------------
+
+    /// Allocates a page, preferring ids freed by earlier deletes.
+    pub(crate) fn allocate_page(&mut self) -> Result<u32> {
+        match self.free_pages.pop() {
+            Some(id) => Ok(id),
+            None => self.pool.allocate(),
+        }
+    }
+
+    /// Inserts a record into the clustered index at its key position,
+    /// splitting the target page if needed.
+    pub(crate) fn insert_record(&mut self, rec: NodeRecord) -> Result<()> {
+        let flat = rec.key.as_flat().to_vec();
+        if self.index.is_empty() {
+            let id = self.allocate_page()?;
+            let mut page = Page::new();
+            page.append(rec)?;
+            self.pool.put(id, page)?;
+            self.index.push((flat, id));
+            return Ok(());
+        }
+        let pos = match self.page_pos_for(&flat) {
+            Some(p) => p,
+            None => {
+                // New key sorts before the first page: extend page 0's range.
+                self.index[0].0 = flat.clone();
+                0
+            }
+        };
+        let page_id = self.index[pos].1;
+        let mut page = (*self.pool.get(page_id)?).clone();
+        if page.fits(rec.encoded_len()) {
+            page.insert(rec)?;
+            self.pool.put(page_id, page)?;
+        } else {
+            let mut upper = page.split();
+            let upper_first = upper
+                .first_key()
+                .ok_or_else(|| MassError::InvalidUpdate("split produced empty page".into()))?
+                .to_vec();
+            if flat.as_slice() < upper_first.as_slice() {
+                page.insert(rec)?;
+            } else {
+                upper.insert(rec)?;
+            }
+            let new_id = self.allocate_page()?;
+            self.pool.put(page_id, page)?;
+            self.pool.put(new_id, upper)?;
+            self.index.insert(pos + 1, (upper_first, new_id));
+        }
+        Ok(())
+    }
+
+    /// The key of `parent`'s last child (any node kind), if it has one.
+    pub fn last_child_key(&self, parent: &FlexKey) -> Result<Option<FlexKey>> {
+        let range = KeyRange::descendants(parent);
+        let Some(last) = self.last_key_in(&range)? else {
+            return Ok(None);
+        };
+        // Truncate the descendant to the child level.
+        let child_level = parent.level() + 1;
+        let mut key = FlexKey::root();
+        for (i, label) in last.labels().enumerate() {
+            if i >= child_level {
+                break;
+            }
+            key = key.child(label);
+        }
+        Ok(Some(key))
+    }
+
+    /// Largest stored key inside `range`.
+    pub(crate) fn last_key_in(&self, range: &KeyRange) -> Result<Option<FlexKey>> {
+        if self.index.is_empty() || range.is_empty() {
+            return Ok(None);
+        }
+        // Find the last page whose first key is below the upper bound.
+        let page_pos = match &range.hi {
+            Some(hi) => {
+                let p = self
+                    .index
+                    .partition_point(|(first, _)| first.as_slice() < hi.as_slice());
+                if p == 0 {
+                    return Ok(None);
+                }
+                p - 1
+            }
+            None => self.index.len() - 1,
+        };
+        // Scan backwards through pages (usually just one).
+        for pos in (0..=page_pos).rev() {
+            let page = self.pool.get(self.index[pos].1)?;
+            let idx = match &range.hi {
+                Some(hi) => match page.find(hi) {
+                    Ok(i) | Err(i) => i,
+                },
+                None => page.len(),
+            };
+            if idx > 0 {
+                let rec = &page.records()[idx - 1];
+                if rec.key.as_flat() >= range.lo.as_slice() {
+                    return Ok(Some(rec.key.clone()));
+                }
+                return Ok(None);
+            }
+        }
+        Ok(None)
+    }
+
+    /// The next sibling key of `key` (any kind), if one exists.
+    pub fn next_sibling_key(&self, key: &FlexKey) -> Result<Option<FlexKey>> {
+        let Some(parent) = key.parent() else {
+            return Ok(None);
+        };
+        let Some(upper) = key.subtree_upper() else {
+            return Ok(None);
+        };
+        let bound = if parent.is_root() {
+            None
+        } else {
+            parent.subtree_upper()
+        };
+        let mut cursor = crate::cursor::MassCursor::new(
+            self,
+            KeyRange {
+                lo: upper,
+                hi: bound,
+            },
+        );
+        Ok(cursor.next()?.map(|r| r.key))
+    }
+
+    /// Inserts a new element under `parent` after all existing children,
+    /// returning its key.
+    pub fn append_element(&mut self, parent: &FlexKey, name: &str) -> Result<FlexKey> {
+        if self.get(parent)?.is_none() {
+            return Err(MassError::InvalidUpdate("parent does not exist".into()));
+        }
+        let key = self.next_child_key(parent)?;
+        let name_id = self.intern(name);
+        let rec = NodeRecord::element(key.clone(), name_id);
+        self.insert_record(rec.clone())?;
+        self.index_record(&rec, None, false);
+        Ok(key)
+    }
+
+    /// Inserts a new text node under `parent` after all existing children.
+    pub fn append_text(&mut self, parent: &FlexKey, value: &str) -> Result<FlexKey> {
+        if self.get(parent)?.is_none() {
+            return Err(MassError::InvalidUpdate("parent does not exist".into()));
+        }
+        let key = self.next_child_key(parent)?;
+        let vref = self.make_value(value)?;
+        let rec = NodeRecord {
+            key: key.clone(),
+            kind: RecordKind::Text,
+            name: None,
+            value: vref,
+        };
+        self.insert_record(rec.clone())?;
+        self.index_record(&rec, Some(value), false);
+        Ok(key)
+    }
+
+    /// Inserts a new element *between* two adjacent sibling subtrees.
+    pub fn insert_element_after(&mut self, sibling: &FlexKey, name: &str) -> Result<FlexKey> {
+        let parent = sibling
+            .parent()
+            .ok_or_else(|| MassError::InvalidUpdate("cannot insert sibling of root".into()))?;
+        let key = match self.next_sibling_key(sibling)? {
+            Some(next) => {
+                let label = label_between(
+                    sibling.last_label().expect("non-root"),
+                    next.last_label().expect("non-root"),
+                )?;
+                parent.child(&label)
+            }
+            None => self.next_child_key(&parent)?,
+        };
+        let name_id = self.intern(name);
+        let rec = NodeRecord::element(key.clone(), name_id);
+        self.insert_record(rec.clone())?;
+        self.index_record(&rec, None, false);
+        Ok(key)
+    }
+
+    fn next_child_key(&mut self, parent: &FlexKey) -> Result<FlexKey> {
+        match self.last_child_key(parent)? {
+            Some(last) => {
+                let label = label_after(last.last_label().expect("child key has label"));
+                Ok(parent.child(&label))
+            }
+            None => Ok(parent.child(&seq_label(0))),
+        }
+    }
+
+    /// Inserts a parsed XML fragment as the last child of `parent`,
+    /// returning the key of the fragment's root element. The fragment
+    /// must have a single root element.
+    pub fn append_fragment(&mut self, parent: &FlexKey, xml: &str) -> Result<FlexKey> {
+        let doc = vamana_xml::parse(xml)
+            .map_err(|e| MassError::InvalidUpdate(format!("fragment parse failed: {e}")))?;
+        let root = doc
+            .root_element()
+            .ok_or_else(|| MassError::InvalidUpdate("fragment has no root element".into()))?;
+        self.append_node_recursive(parent, &doc, root)
+    }
+
+    fn append_node_recursive(
+        &mut self,
+        parent: &FlexKey,
+        doc: &vamana_xml::Document,
+        node: vamana_xml::NodeId,
+    ) -> Result<FlexKey> {
+        use vamana_xml::NodeKind;
+        match doc.kind(node) {
+            NodeKind::Element { name } => {
+                let name = name.to_string();
+                let key = self.append_element(parent, &name)?;
+                for attr in doc.attributes(node) {
+                    let aname = doc.name(attr).expect("attribute name").to_string();
+                    let avalue = doc.value(attr).expect("attribute value").to_string();
+                    self.append_attribute(&key, &aname, &avalue)?;
+                }
+                let children: Vec<_> = doc.children(node).collect();
+                for child in children {
+                    self.append_node_recursive(&key, doc, child)?;
+                }
+                Ok(key)
+            }
+            NodeKind::Text { value } => {
+                let value = value.to_string();
+                self.append_text(parent, &value)
+            }
+            other => Err(MassError::InvalidUpdate(format!(
+                "unsupported fragment node kind {other:?}"
+            ))),
+        }
+    }
+
+    /// Attaches an attribute to an existing element.
+    pub fn append_attribute(
+        &mut self,
+        element: &FlexKey,
+        name: &str,
+        value: &str,
+    ) -> Result<FlexKey> {
+        let Some(rec) = self.get(element)? else {
+            return Err(MassError::InvalidUpdate("element does not exist".into()));
+        };
+        if rec.kind != RecordKind::Element {
+            return Err(MassError::InvalidUpdate(
+                "attributes attach to elements".into(),
+            ));
+        }
+        // Find the next free attribute ordinal by scanning existing
+        // attribute children (they cluster first).
+        let mut ordinal = 0u64;
+        let mut cursor = crate::cursor::MassCursor::new(self, KeyRange::descendants(element));
+        while let Some(r) = cursor.next()? {
+            if r.kind == RecordKind::Attribute && element.is_parent_of(&r.key) {
+                ordinal += 1;
+            } else {
+                break;
+            }
+        }
+        let key = element.child(&vamana_flex::attr_label(ordinal));
+        let name_id = self.intern(name);
+        let vref = self.make_value(value)?;
+        let rec = NodeRecord {
+            key: key.clone(),
+            kind: RecordKind::Attribute,
+            name: Some(name_id),
+            value: vref,
+        };
+        self.insert_record(rec.clone())?;
+        self.index_record(&rec, Some(value), false);
+        Ok(key)
+    }
+
+    /// Deletes the node at `key` and its whole subtree. Returns the number
+    /// of records removed.
+    pub fn delete_subtree(&mut self, key: &FlexKey) -> Result<u64> {
+        let range = KeyRange::subtree(key);
+        if self.index.is_empty() {
+            return Ok(0);
+        }
+        let start = self.page_pos_for(&range.lo).unwrap_or(0);
+        let mut removed = 0u64;
+        let mut pos = start;
+        let mut dead_pages = Vec::new();
+        while pos < self.index.len() {
+            if let Some(hi) = &range.hi {
+                if self.index[pos].0.as_slice() >= hi.as_slice() {
+                    break;
+                }
+            }
+            let page_id = self.index[pos].1;
+            let mut page = (*self.pool.get(page_id)?).clone();
+            let mut i = 0;
+            let mut touched = false;
+            while i < page.len() {
+                let in_range = range.contains(page.records()[i].key.as_flat());
+                if in_range {
+                    let rec = page.remove(i);
+                    self.unindex_record(&rec)?;
+                    removed += 1;
+                    touched = true;
+                } else {
+                    i += 1;
+                }
+            }
+            if touched {
+                if page.is_empty() {
+                    dead_pages.push(pos);
+                } else {
+                    self.index[pos].0 = page.first_key().expect("non-empty").to_vec();
+                }
+                self.pool.put(page_id, page)?;
+            }
+            pos += 1;
+        }
+        // Remove emptied pages from the sparse index and put their ids on
+        // the free list for reuse.
+        for p in dead_pages.into_iter().rev() {
+            let (_, page_id) = self.index.remove(p);
+            self.free_pages.push(page_id);
+        }
+        Ok(removed)
+    }
+}
+
+/// A label strictly greater than `label`, for appending after the last
+/// sibling. Never ends in `0x00`/`0x01`.
+fn label_after(label: &[u8]) -> Vec<u8> {
+    let mut out = label.to_vec();
+    let last = *out.last().expect("labels are non-empty");
+    if last < 0xFF {
+        *out.last_mut().expect("non-empty") = last + 1;
+    } else {
+        out.push(0x80);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_after_increments() {
+        assert_eq!(label_after(&[0x40]), vec![0x41]);
+        assert_eq!(label_after(&[0x80, 0x02]), vec![0x80, 0x03]);
+    }
+
+    #[test]
+    fn label_after_extends_at_max() {
+        assert_eq!(label_after(&[0xFF]), vec![0xFF, 0x80]);
+        assert!(label_after(&[0xFF]).as_slice() > &[0xFF][..]);
+    }
+
+    #[test]
+    fn empty_store_basics() {
+        let store = MassStore::open_memory();
+        assert_eq!(store.stats().tuples, 0);
+        assert_eq!(store.documents().len(), 0);
+        assert!(store
+            .get(&FlexKey::root().child(&seq_label(0)))
+            .unwrap()
+            .is_none());
+    }
+    // Full store behavior is exercised via the loader tests in
+    // `crate::loader` and the integration tests.
+}

@@ -1,0 +1,412 @@
+//! Exhaustive tests of all 13 XPath axes evaluated through MASS,
+//! cross-checked against an independent DOM-based oracle.
+
+use vamana_flex::{Axis, FlexKey, KeyRange};
+use vamana_mass::axes::{axis_stream, NodeFilter};
+use vamana_mass::{MassStore, RecordKind};
+
+const DOC: &str = r#"<site xmlns:x="urn:x">
+  <people>
+    <person id="p0"><name>Ann</name><emailaddress>a@x</emailaddress>
+      <address><city>Monroe</city><province>Vermont</province></address>
+    </person>
+    <person id="p1"><name>Bob</name>
+      <watches><watch open_auction="oa1"/><watch open_auction="oa2"/></watches>
+    </person>
+  </people>
+  <open_auctions>
+    <open_auction id="oa1"><itemref item="i0"/><price>12</price></open_auction>
+  </open_auctions>
+</site>"#;
+
+struct Fixture {
+    store: MassStore,
+}
+
+impl Fixture {
+    fn new() -> Self {
+        let mut store = MassStore::open_memory();
+        store.load_xml("doc", DOC).unwrap();
+        Fixture { store }
+    }
+
+    /// Key of the `i`-th element named `name` (document order).
+    fn elem(&self, name: &str, i: usize) -> FlexKey {
+        let id = self
+            .store
+            .name_id(name)
+            .unwrap_or_else(|| panic!("no name {name}"));
+        let flat = self
+            .store
+            .name_index()
+            .elements(id)
+            .iter()
+            .nth(i)
+            .unwrap_or_else(|| panic!("no element {name}[{i}]"));
+        FlexKey::from_flat(flat.to_vec())
+    }
+
+    /// Names of the elements reached by `axis` from `ctx` with test `*`.
+    fn run_star(&self, ctx: &FlexKey, axis: Axis) -> Vec<String> {
+        let stream = axis_stream(
+            &self.store,
+            ctx,
+            RecordKind::Element,
+            axis,
+            NodeFilter::any_element(),
+        )
+        .unwrap();
+        stream
+            .collect()
+            .unwrap()
+            .into_iter()
+            .map(|e| self.store.names().resolve(e.name.unwrap()).to_string())
+            .collect()
+    }
+
+    /// Names reached with a name test.
+    fn run_named(&self, ctx: &FlexKey, axis: Axis, name: &str) -> usize {
+        let Some(id) = self.store.name_id(name) else {
+            return 0;
+        };
+        let stream = axis_stream(
+            &self.store,
+            ctx,
+            RecordKind::Element,
+            axis,
+            NodeFilter::element(id),
+        )
+        .unwrap();
+        stream.collect().unwrap().len()
+    }
+}
+
+#[test]
+fn child_axis_elements_only() {
+    let f = Fixture::new();
+    let site = f.elem("site", 0);
+    assert_eq!(
+        f.run_star(&site, Axis::Child),
+        vec!["people", "open_auctions"]
+    );
+    let person0 = f.elem("person", 0);
+    assert_eq!(
+        f.run_star(&person0, Axis::Child),
+        vec!["name", "emailaddress", "address"]
+    );
+}
+
+#[test]
+fn child_axis_excludes_attributes() {
+    let f = Fixture::new();
+    let person0 = f.elem("person", 0);
+    let stream = axis_stream(
+        &f.store,
+        &person0,
+        RecordKind::Element,
+        Axis::Child,
+        NodeFilter::any(),
+    )
+    .unwrap();
+    for e in stream.collect().unwrap() {
+        assert_ne!(e.kind, RecordKind::Attribute);
+    }
+}
+
+#[test]
+fn descendant_axis_counts() {
+    let f = Fixture::new();
+    let site = f.elem("site", 0);
+    assert_eq!(f.run_named(&site, Axis::Descendant, "person"), 2);
+    assert_eq!(f.run_named(&site, Axis::Descendant, "watch"), 2);
+    assert_eq!(f.run_named(&site, Axis::Descendant, "site"), 0); // strict
+    let people = f.elem("people", 0);
+    assert_eq!(f.run_named(&people, Axis::Descendant, "price"), 0); // other subtree
+}
+
+#[test]
+fn descendant_or_self_includes_context() {
+    let f = Fixture::new();
+    let site = f.elem("site", 0);
+    assert_eq!(f.run_named(&site, Axis::DescendantOrSelf, "site"), 1);
+    assert_eq!(f.run_named(&site, Axis::DescendantOrSelf, "person"), 2);
+}
+
+#[test]
+fn parent_axis() {
+    let f = Fixture::new();
+    let name0 = f.elem("name", 0);
+    assert_eq!(f.run_star(&name0, Axis::Parent), vec!["person"]);
+    assert_eq!(f.run_named(&name0, Axis::Parent, "person"), 1);
+    assert_eq!(f.run_named(&name0, Axis::Parent, "site"), 0);
+    // Parent of the root element is the document node — not an element.
+    let site = f.elem("site", 0);
+    assert_eq!(f.run_star(&site, Axis::Parent), Vec::<String>::new());
+}
+
+#[test]
+fn ancestor_axis_outermost_first() {
+    let f = Fixture::new();
+    let city = f.elem("city", 0);
+    assert_eq!(
+        f.run_star(&city, Axis::Ancestor),
+        vec!["site", "people", "person", "address"]
+    );
+    assert_eq!(
+        f.run_star(&city, Axis::AncestorOrSelf),
+        vec!["site", "people", "person", "address", "city"]
+    );
+}
+
+#[test]
+fn following_axis_skips_descendants_and_ancestors() {
+    let f = Fixture::new();
+    let person0 = f.elem("person", 0);
+    let following = f.run_star(&person0, Axis::Following);
+    // person1's subtree plus open_auctions subtree; nothing from person0.
+    assert!(following.contains(&"person".to_string()));
+    assert!(following.contains(&"open_auction".to_string()));
+    assert!(!following.contains(&"city".to_string())); // own descendant
+    assert!(!following.contains(&"people".to_string())); // ancestor
+    assert!(!following.contains(&"site".to_string()));
+}
+
+#[test]
+fn preceding_axis_excludes_ancestors() {
+    let f = Fixture::new();
+    let price = f.elem("price", 0);
+    let preceding = f.run_star(&price, Axis::Preceding);
+    assert!(preceding.contains(&"person".to_string()));
+    assert!(preceding.contains(&"itemref".to_string())); // earlier sibling
+    assert!(!preceding.contains(&"open_auction".to_string())); // ancestor
+    assert!(!preceding.contains(&"site".to_string())); // ancestor
+    assert!(!preceding.contains(&"open_auctions".to_string())); // ancestor
+}
+
+#[test]
+fn sibling_axes() {
+    let f = Fixture::new();
+    let email = f.elem("emailaddress", 0);
+    assert_eq!(f.run_star(&email, Axis::FollowingSibling), vec!["address"]);
+    assert_eq!(f.run_star(&email, Axis::PrecedingSibling), vec!["name"]);
+    let itemref = f.elem("itemref", 0);
+    assert_eq!(f.run_star(&itemref, Axis::FollowingSibling), vec!["price"]);
+    // First child has no preceding siblings.
+    let name0 = f.elem("name", 0);
+    assert_eq!(
+        f.run_star(&name0, Axis::PrecedingSibling),
+        Vec::<String>::new()
+    );
+}
+
+#[test]
+fn self_axis_respects_node_test() {
+    let f = Fixture::new();
+    let person0 = f.elem("person", 0);
+    assert_eq!(f.run_named(&person0, Axis::SelfAxis, "person"), 1);
+    assert_eq!(f.run_named(&person0, Axis::SelfAxis, "name"), 0);
+}
+
+#[test]
+fn attribute_axis() {
+    let f = Fixture::new();
+    let person0 = f.elem("person", 0);
+    let id = f.store.name_id("id").unwrap();
+    let stream = axis_stream(
+        &f.store,
+        &person0,
+        RecordKind::Element,
+        Axis::Attribute,
+        NodeFilter::attribute(id),
+    )
+    .unwrap();
+    let attrs = stream.collect().unwrap();
+    assert_eq!(attrs.len(), 1);
+    assert_eq!(attrs[0].kind, RecordKind::Attribute);
+    let rec = f.store.get(&attrs[0].key).unwrap().unwrap();
+    assert_eq!(f.store.resolve_value(&rec).unwrap().unwrap(), "p0");
+    // Watch has two attributes named open_auction? One each.
+    let watch0 = f.elem("watch", 0);
+    let oa = f.store.name_id("open_auction").unwrap();
+    let stream = axis_stream(
+        &f.store,
+        &watch0,
+        RecordKind::Element,
+        Axis::Attribute,
+        NodeFilter::attribute(oa),
+    )
+    .unwrap();
+    assert_eq!(stream.collect().unwrap().len(), 1);
+}
+
+#[test]
+fn attribute_context_has_no_children_or_siblings() {
+    let f = Fixture::new();
+    let person0 = f.elem("person", 0);
+    let stream = axis_stream(
+        &f.store,
+        &person0,
+        RecordKind::Element,
+        Axis::Attribute,
+        NodeFilter {
+            kind: vamana_mass::KindFilter::Attribute,
+            name: None,
+        },
+    )
+    .unwrap();
+    let attr = stream.collect().unwrap().into_iter().next().unwrap();
+    for axis in [
+        Axis::Child,
+        Axis::Descendant,
+        Axis::FollowingSibling,
+        Axis::PrecedingSibling,
+        Axis::Attribute,
+    ] {
+        let s = axis_stream(
+            &f.store,
+            &attr.key,
+            RecordKind::Attribute,
+            axis,
+            NodeFilter::any(),
+        )
+        .unwrap();
+        assert!(
+            s.collect().unwrap().is_empty(),
+            "axis {axis} should be empty for attributes"
+        );
+    }
+    // But parent works.
+    let s = axis_stream(
+        &f.store,
+        &attr.key,
+        RecordKind::Attribute,
+        Axis::Parent,
+        NodeFilter::any_element(),
+    )
+    .unwrap();
+    assert_eq!(s.collect().unwrap().len(), 1);
+}
+
+#[test]
+fn namespace_axis_synthesizes_in_scope_declarations() {
+    let f = Fixture::new();
+    let city = f.elem("city", 0);
+    let stream = axis_stream(
+        &f.store,
+        &city,
+        RecordKind::Element,
+        Axis::Namespace,
+        NodeFilter {
+            kind: vamana_mass::KindFilter::Attribute,
+            name: None,
+        },
+    )
+    .unwrap();
+    let ns = stream.collect().unwrap();
+    assert_eq!(ns.len(), 1);
+    assert_eq!(f.store.names().resolve(ns[0].name.unwrap()), "xmlns:x");
+}
+
+#[test]
+fn text_node_test_on_child_axis() {
+    let f = Fixture::new();
+    let name0 = f.elem("name", 0);
+    let stream = axis_stream(
+        &f.store,
+        &name0,
+        RecordKind::Element,
+        Axis::Child,
+        NodeFilter::text(),
+    )
+    .unwrap();
+    let texts = stream.collect().unwrap();
+    assert_eq!(texts.len(), 1);
+    let rec = f.store.get(&texts[0].key).unwrap().unwrap();
+    assert_eq!(f.store.resolve_value(&rec).unwrap().unwrap(), "Ann");
+}
+
+#[test]
+fn streams_yield_document_order() {
+    let f = Fixture::new();
+    let site = f.elem("site", 0);
+    for axis in [
+        Axis::Child,
+        Axis::Descendant,
+        Axis::DescendantOrSelf,
+        Axis::Following,
+    ] {
+        let stream = axis_stream(
+            &f.store,
+            &site,
+            RecordKind::Element,
+            axis,
+            NodeFilter::any(),
+        )
+        .unwrap();
+        let keys: Vec<_> = stream
+            .collect()
+            .unwrap()
+            .into_iter()
+            .map(|e| e.key)
+            .collect();
+        for w in keys.windows(2) {
+            assert!(w[0] < w[1], "axis {axis} out of order");
+        }
+    }
+}
+
+#[test]
+fn counts_match_stream_lengths() {
+    // The cost model's COUNT must agree with what execution produces.
+    let f = Fixture::new();
+    let site = f.elem("site", 0);
+    for name in ["person", "name", "watch", "price", "province"] {
+        let id = f.store.name_id(name).unwrap();
+        let counted = f.store.count_elements_in(id, &KeyRange::descendants(&site));
+        let streamed = f.run_named(&site, Axis::Descendant, name) as u64;
+        assert_eq!(counted, streamed, "mismatch for {name}");
+    }
+}
+
+#[test]
+fn every_axis_runs_from_every_element() {
+    // Smoke test: no axis panics or violates document order anywhere.
+    let f = Fixture::new();
+    let all_elems: Vec<FlexKey> = {
+        let mut keys = Vec::new();
+        for name in [
+            "site",
+            "people",
+            "person",
+            "name",
+            "address",
+            "city",
+            "province",
+            "watches",
+            "watch",
+            "open_auctions",
+            "open_auction",
+            "itemref",
+            "price",
+            "emailaddress",
+        ] {
+            if let Some(id) = f.store.name_id(name) {
+                for flat in f.store.name_index().elements(id).iter() {
+                    keys.push(FlexKey::from_flat(flat.to_vec()));
+                }
+            }
+        }
+        keys
+    };
+    assert!(all_elems.len() >= 15);
+    for key in &all_elems {
+        for axis in Axis::ALL {
+            let stream =
+                axis_stream(&f.store, key, RecordKind::Element, axis, NodeFilter::any()).unwrap();
+            let entries = stream.collect().unwrap();
+            for w in entries.windows(2) {
+                assert!(w[0].key < w[1].key, "axis {axis} out of order from {key}");
+            }
+        }
+    }
+}

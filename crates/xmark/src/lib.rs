@@ -1,0 +1,490 @@
+//! # vamana-xmark
+//!
+//! A deterministic generator for XMark-style `auction.xml` documents
+//! (Schmidt et al., VLDB 2002). The original `xmlgen` C program is not
+//! available offline, so this crate synthesizes documents with the same
+//! element vocabulary, nesting and entity proportions — everything the
+//! VAMANA evaluation queries (Q1–Q5) exercise:
+//!
+//! * `site / people / person` with `name`, `emailaddress`, optional
+//!   `address` (with `city`, `country`, and sometimes `province`),
+//!   optional `watches / watch`;
+//! * `site / regions / <continent> / item` with nested `description`;
+//! * `site / open_auctions / open_auction` with `itemref`, `bidder`,
+//!   `current`, and `site / closed_auctions / closed_auction` with
+//!   `itemref` followed by `price` (the sibling pair Q4 navigates);
+//! * `site / categories / category`.
+//!
+//! Documents are seeded and fully deterministic: the same
+//! [`XmarkConfig`] always yields byte-identical output.
+//!
+//! ```
+//! use vamana_xmark::{XmarkConfig, generate_string};
+//!
+//! let xml = generate_string(&XmarkConfig::with_scale(0.001));
+//! assert!(xml.starts_with("<site>"));
+//! ```
+
+pub mod names;
+pub mod scale;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vamana_xml::{Document, NodeId};
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct XmarkConfig {
+    /// XMark scale factor: 1.0 ≈ a 100 MB document; the evaluation sweeps
+    /// roughly 0.01 (1 MB) to 0.5 (50 MB).
+    pub scale: f64,
+    /// RNG seed; same seed + scale ⇒ identical document.
+    pub seed: u64,
+}
+
+impl Default for XmarkConfig {
+    fn default() -> Self {
+        XmarkConfig {
+            scale: 0.01,
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl XmarkConfig {
+    /// Config at `scale` with the default seed.
+    pub fn with_scale(scale: f64) -> Self {
+        XmarkConfig {
+            scale,
+            ..Default::default()
+        }
+    }
+
+    fn count(&self, base: u64) -> u64 {
+        ((base as f64 * self.scale).round() as u64).max(1)
+    }
+
+    /// Number of persons at this scale (25 500 at scale 1, as in XMark).
+    pub fn persons(&self) -> u64 {
+        self.count(25_500)
+    }
+
+    /// Number of open auctions (12 000 at scale 1).
+    pub fn open_auctions(&self) -> u64 {
+        self.count(12_000)
+    }
+
+    /// Number of closed auctions (3 000 at scale 1).
+    pub fn closed_auctions(&self) -> u64 {
+        self.count(3_000)
+    }
+
+    /// Number of items across all regions (21 750 at scale 1).
+    pub fn items(&self) -> u64 {
+        self.count(21_750)
+    }
+
+    /// Number of categories (1 000 at scale 1).
+    pub fn categories(&self) -> u64 {
+        self.count(1_000)
+    }
+}
+
+/// Generates an auction document as a parsed [`Document`] arena.
+pub fn generate(config: &XmarkConfig) -> Document {
+    Generator::new(config).run()
+}
+
+/// Generates an auction document as XML text.
+pub fn generate_string(config: &XmarkConfig) -> String {
+    let doc = generate(config);
+    vamana_xml::write_document(&doc, &vamana_xml::WriteOptions::default())
+}
+
+struct Generator<'a> {
+    config: &'a XmarkConfig,
+    rng: StdRng,
+    doc: Document,
+}
+
+impl<'a> Generator<'a> {
+    fn new(config: &'a XmarkConfig) -> Self {
+        Generator {
+            config,
+            rng: StdRng::seed_from_u64(config.seed),
+            doc: Document::new(),
+        }
+    }
+
+    fn run(mut self) -> Document {
+        let site = self.doc.push_element(Document::ROOT, "site");
+        self.regions(site);
+        self.categories(site);
+        self.people(site);
+        self.open_auctions(site);
+        self.closed_auctions(site);
+        self.doc
+    }
+
+    fn sentence(&mut self, words: usize) -> String {
+        let mut s = String::new();
+        for i in 0..words {
+            if i > 0 {
+                s.push(' ');
+            }
+            s.push_str(names::pick(&mut self.rng, names::WORDS));
+        }
+        s
+    }
+
+    fn regions(&mut self, site: NodeId) {
+        let regions = self.doc.push_element(site, "regions");
+        let continents = [
+            "africa",
+            "asia",
+            "australia",
+            "europe",
+            "namerica",
+            "samerica",
+        ];
+        let per = (self.config.items() / continents.len() as u64).max(1);
+        let mut item_id = 0u64;
+        for continent in continents {
+            let c = self.doc.push_element(regions, continent);
+            for _ in 0..per {
+                let item = self.doc.push_element(c, "item");
+                self.doc
+                    .push_attribute(item, "id", &format!("item{item_id}"));
+                item_id += 1;
+                let loc = self.doc.push_element(item, "location");
+                let country = names::pick(&mut self.rng, names::COUNTRIES).to_string();
+                self.doc.push_text(loc, &country);
+                let name = self.doc.push_element(item, "name");
+                let text = self.sentence(2);
+                self.doc.push_text(name, &text);
+                let desc = self.doc.push_element(item, "description");
+                let text_el = self.doc.push_element(desc, "text");
+                let body = self.sentence(12);
+                self.doc.push_text(text_el, &body);
+                let qty = self.doc.push_element(item, "quantity");
+                let q = self.rng.gen_range(1..=5).to_string();
+                self.doc.push_text(qty, &q);
+                for _ in 0..self.rng.gen_range(1..=2) {
+                    let inc = self.doc.push_element(item, "incategory");
+                    let cat = format!(
+                        "category{}",
+                        self.rng.gen_range(0..self.config.categories())
+                    );
+                    self.doc.push_attribute(inc, "category", &cat);
+                }
+                if self.rng.gen_bool(0.25) {
+                    let mailbox = self.doc.push_element(item, "mailbox");
+                    for _ in 0..self.rng.gen_range(1..=2) {
+                        let mail = self.doc.push_element(mailbox, "mail");
+                        let from = self.doc.push_element(mail, "from");
+                        let f = format!(
+                            "{} {}",
+                            names::pick(&mut self.rng, names::FIRST_NAMES),
+                            names::pick(&mut self.rng, names::LAST_NAMES)
+                        );
+                        self.doc.push_text(from, &f);
+                        let date = self.doc.push_element(mail, "date");
+                        let d = format!(
+                            "{:02}/{:02}/{}",
+                            self.rng.gen_range(1..=12),
+                            self.rng.gen_range(1..=28),
+                            self.rng.gen_range(1998..=2004)
+                        );
+                        self.doc.push_text(date, &d);
+                        let text = self.doc.push_element(mail, "text");
+                        let body = self.sentence(10);
+                        self.doc.push_text(text, &body);
+                    }
+                }
+            }
+        }
+    }
+
+    fn categories(&mut self, site: NodeId) {
+        let categories = self.doc.push_element(site, "categories");
+        for i in 0..self.config.categories() {
+            let cat = self.doc.push_element(categories, "category");
+            self.doc.push_attribute(cat, "id", &format!("category{i}"));
+            let name = self.doc.push_element(cat, "name");
+            let text = self.sentence(1);
+            self.doc.push_text(name, &text);
+            let desc = self.doc.push_element(cat, "description");
+            let text_el = self.doc.push_element(desc, "text");
+            let body = self.sentence(8);
+            self.doc.push_text(text_el, &body);
+        }
+    }
+
+    fn people(&mut self, site: NodeId) {
+        let people = self.doc.push_element(site, "people");
+        let n = self.config.persons();
+        for i in 0..n {
+            let person = self.doc.push_element(people, "person");
+            self.doc.push_attribute(person, "id", &format!("person{i}"));
+            let name = self.doc.push_element(person, "name");
+            let first = names::pick(&mut self.rng, names::FIRST_NAMES);
+            let last = names::pick(&mut self.rng, names::LAST_NAMES);
+            let full = format!("{first} {last}");
+            self.doc.push_text(name, &full);
+            let email = self.doc.push_element(person, "emailaddress");
+            let addr = format!("{last}@{}.com", names::pick(&mut self.rng, names::DOMAINS));
+            self.doc.push_text(email, &addr);
+            if self.rng.gen_bool(0.3) {
+                let phone = self.doc.push_element(person, "phone");
+                let num = format!(
+                    "+{} ({}) {}",
+                    self.rng.gen_range(1..99),
+                    self.rng.gen_range(100..999),
+                    self.rng.gen_range(1_000_000..9_999_999)
+                );
+                self.doc.push_text(phone, &num);
+            }
+            // Roughly half the persons carry an address — the paper's
+            // Fig 6 counts 2550 persons vs 1256 addresses.
+            if self.rng.gen_bool(0.49) {
+                let address = self.doc.push_element(person, "address");
+                let street = self.doc.push_element(address, "street");
+                let st = format!(
+                    "{} {} St",
+                    self.rng.gen_range(1..99),
+                    names::pick(&mut self.rng, names::LAST_NAMES)
+                );
+                self.doc.push_text(street, &st);
+                let city = self.doc.push_element(address, "city");
+                let ci = names::pick(&mut self.rng, names::CITIES).to_string();
+                self.doc.push_text(city, &ci);
+                let country = self.doc.push_element(address, "country");
+                let co = names::pick(&mut self.rng, names::COUNTRIES).to_string();
+                self.doc.push_text(country, &co);
+                if co == "United States" {
+                    let province = self.doc.push_element(address, "province");
+                    let pr = names::pick(&mut self.rng, names::PROVINCES).to_string();
+                    self.doc.push_text(province, &pr);
+                }
+                let zip = self.doc.push_element(address, "zipcode");
+                let z = self.rng.gen_range(1..99_999).to_string();
+                self.doc.push_text(zip, &z);
+            }
+            if self.rng.gen_bool(0.5) {
+                let profile = self.doc.push_element(person, "profile");
+                let income = format!("{:.2}", self.rng.gen_range(9_000.0..100_000.0));
+                self.doc.push_attribute(profile, "income", &income);
+                for _ in 0..self.rng.gen_range(0..=3) {
+                    let interest = self.doc.push_element(profile, "interest");
+                    let cat = format!(
+                        "category{}",
+                        self.rng.gen_range(0..self.config.categories())
+                    );
+                    self.doc.push_attribute(interest, "category", &cat);
+                }
+                if self.rng.gen_bool(0.6) {
+                    let edu = self.doc.push_element(profile, "education");
+                    let level = names::pick(
+                        &mut self.rng,
+                        &["High School", "College", "Graduate School", "Other"],
+                    )
+                    .to_string();
+                    self.doc.push_text(edu, &level);
+                }
+                let age = self.doc.push_element(profile, "age");
+                let a = self.rng.gen_range(18..80).to_string();
+                self.doc.push_text(age, &a);
+            }
+            if self.rng.gen_bool(0.3) {
+                let cc = self.doc.push_element(person, "creditcard");
+                let num = format!(
+                    "{} {} {} {}",
+                    self.rng.gen_range(1000..9999),
+                    self.rng.gen_range(1000..9999),
+                    self.rng.gen_range(1000..9999),
+                    self.rng.gen_range(1000..9999)
+                );
+                self.doc.push_text(cc, &num);
+            }
+            if self.rng.gen_bool(0.4) {
+                let watches = self.doc.push_element(person, "watches");
+                for _ in 0..self.rng.gen_range(1..=4) {
+                    let watch = self.doc.push_element(watches, "watch");
+                    let oa = format!(
+                        "open_auction{}",
+                        self.rng.gen_range(0..self.config.open_auctions().max(1))
+                    );
+                    self.doc.push_attribute(watch, "open_auction", &oa);
+                }
+            }
+        }
+    }
+
+    fn open_auctions(&mut self, site: NodeId) {
+        let auctions = self.doc.push_element(site, "open_auctions");
+        let items = self.config.items();
+        let persons = self.config.persons();
+        for i in 0..self.config.open_auctions() {
+            let a = self.doc.push_element(auctions, "open_auction");
+            self.doc
+                .push_attribute(a, "id", &format!("open_auction{i}"));
+            let initial = self.doc.push_element(a, "initial");
+            let v = format!("{:.2}", self.rng.gen_range(1.0..200.0));
+            self.doc.push_text(initial, &v);
+            for _ in 0..self.rng.gen_range(0..=3) {
+                let bidder = self.doc.push_element(a, "bidder");
+                let pref = self.doc.push_element(bidder, "personref");
+                let p = format!("person{}", self.rng.gen_range(0..persons));
+                self.doc.push_attribute(pref, "person", &p);
+                let incr = self.doc.push_element(bidder, "increase");
+                let inc = format!("{:.2}", self.rng.gen_range(1.0..20.0));
+                self.doc.push_text(incr, &inc);
+            }
+            let current = self.doc.push_element(a, "current");
+            let cur = format!("{:.2}", self.rng.gen_range(1.0..400.0));
+            self.doc.push_text(current, &cur);
+            let itemref = self.doc.push_element(a, "itemref");
+            let it = format!("item{}", self.rng.gen_range(0..items));
+            self.doc.push_attribute(itemref, "item", &it);
+            let seller = self.doc.push_element(a, "seller");
+            let s = format!("person{}", self.rng.gen_range(0..persons));
+            self.doc.push_attribute(seller, "person", &s);
+            let quantity = self.doc.push_element(a, "quantity");
+            let q = self.rng.gen_range(1..=5).to_string();
+            self.doc.push_text(quantity, &q);
+        }
+    }
+
+    fn closed_auctions(&mut self, site: NodeId) {
+        let auctions = self.doc.push_element(site, "closed_auctions");
+        let items = self.config.items();
+        let persons = self.config.persons();
+        for _ in 0..self.config.closed_auctions() {
+            let a = self.doc.push_element(auctions, "closed_auction");
+            let seller = self.doc.push_element(a, "seller");
+            let s = format!("person{}", self.rng.gen_range(0..persons));
+            self.doc.push_attribute(seller, "person", &s);
+            let buyer = self.doc.push_element(a, "buyer");
+            let b = format!("person{}", self.rng.gen_range(0..persons));
+            self.doc.push_attribute(buyer, "person", &b);
+            // itemref directly followed by price: the sibling pair that
+            // Q4 (`//itemref/following-sibling::price/parent::*`) walks.
+            let itemref = self.doc.push_element(a, "itemref");
+            let it = format!("item{}", self.rng.gen_range(0..items));
+            self.doc.push_attribute(itemref, "item", &it);
+            let price = self.doc.push_element(a, "price");
+            let p = format!("{:.2}", self.rng.gen_range(1.0..500.0));
+            self.doc.push_text(price, &p);
+            let date = self.doc.push_element(a, "date");
+            let d = format!(
+                "{:02}/{:02}/{}",
+                self.rng.gen_range(1..=12),
+                self.rng.gen_range(1..=28),
+                self.rng.gen_range(1998..=2004)
+            );
+            self.doc.push_text(date, &d);
+            let quantity = self.doc.push_element(a, "quantity");
+            let q = self.rng.gen_range(1..=5).to_string();
+            self.doc.push_text(quantity, &q);
+            if self.rng.gen_bool(0.3) {
+                let annotation = self.doc.push_element(a, "annotation");
+                let desc = self.doc.push_element(annotation, "description");
+                let text = self.doc.push_element(desc, "text");
+                let body = self.sentence(8);
+                self.doc.push_text(text, &body);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_string(&XmarkConfig::with_scale(0.002));
+        let b = generate_string(&XmarkConfig::with_scale(0.002));
+        assert_eq!(a, b);
+        let c = generate_string(&XmarkConfig {
+            scale: 0.002,
+            seed: 99,
+        });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn entity_counts_follow_scale() {
+        let cfg = XmarkConfig::with_scale(0.01);
+        assert_eq!(cfg.persons(), 255);
+        assert_eq!(cfg.open_auctions(), 120);
+        assert_eq!(cfg.closed_auctions(), 30);
+        assert_eq!(cfg.categories(), 10);
+    }
+
+    #[test]
+    fn document_has_xmark_shape() {
+        let doc = generate(&XmarkConfig::with_scale(0.002));
+        let site = doc.root_element().unwrap();
+        assert_eq!(doc.name(site), Some("site"));
+        let top: Vec<_> = doc
+            .children(site)
+            .filter_map(|c| doc.name(c).map(str::to_string))
+            .collect();
+        assert_eq!(
+            top,
+            vec![
+                "regions",
+                "categories",
+                "people",
+                "open_auctions",
+                "closed_auctions"
+            ]
+        );
+    }
+
+    #[test]
+    fn queries_have_matches() {
+        // The evaluation queries must find work at any scale.
+        let xml = generate_string(&XmarkConfig::with_scale(0.004));
+        let doc = vamana_xml::parse(&xml).unwrap();
+        let mut persons = 0;
+        let mut addresses = 0;
+        let mut provinces = 0;
+        let mut watches = 0;
+        let mut itemrefs = 0;
+        for n in doc.descendants(vamana_xml::Document::ROOT) {
+            match doc.name(n) {
+                Some("person") => persons += 1,
+                Some("address") => addresses += 1,
+                Some("province") => provinces += 1,
+                Some("watch") => watches += 1,
+                Some("itemref") => itemrefs += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(persons, 102);
+        assert!(
+            addresses > persons / 3 && addresses < persons,
+            "addresses={addresses}"
+        );
+        assert!(provinces > 0, "need provinces for Q5");
+        assert!(watches > 0, "need watches for Q2");
+        assert!(itemrefs > 0, "need itemrefs for Q4");
+    }
+
+    #[test]
+    fn generated_xml_reparses() {
+        let xml = generate_string(&XmarkConfig::with_scale(0.002));
+        let doc = vamana_xml::parse(&xml).unwrap();
+        assert!(doc.len() > 100);
+    }
+
+    #[test]
+    fn size_grows_roughly_linearly() {
+        let small = generate_string(&XmarkConfig::with_scale(0.002)).len();
+        let large = generate_string(&XmarkConfig::with_scale(0.008)).len();
+        let ratio = large as f64 / small as f64;
+        assert!(ratio > 3.0 && ratio < 5.0, "ratio={ratio}");
+    }
+}

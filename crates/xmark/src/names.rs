@@ -1,0 +1,153 @@
+//! Word pools for the generator (modeled on the vocabulary `xmlgen`
+//! draws from; "Yung Flach" — the paper's running example — is included).
+
+use rand::Rng;
+
+/// Picks a random entry from a pool.
+pub fn pick<'a, R: Rng>(rng: &mut R, pool: &[&'a str]) -> &'a str {
+    pool[rng.gen_range(0..pool.len())]
+}
+
+/// First names.
+pub const FIRST_NAMES: &[&str] = &[
+    "Yung", "Ann", "Bob", "Carla", "Dmitri", "Elena", "Farid", "Grete", "Hiro", "Ines", "Jamal",
+    "Kiri", "Luis", "Mei", "Nadia", "Omar", "Priya", "Quentin", "Rosa", "Sven", "Tara", "Umberto",
+    "Vera", "Wen", "Ximena", "Yusuf", "Zoe", "Anil", "Berta", "Chen",
+];
+
+/// Last names.
+pub const LAST_NAMES: &[&str] = &[
+    "Flach",
+    "Smith",
+    "Garcia",
+    "Ivanov",
+    "Okafor",
+    "Müller",
+    "Rossi",
+    "Tanaka",
+    "Kowalski",
+    "Nakamura",
+    "Pfisterer",
+    "Johnson",
+    "Brown",
+    "Silva",
+    "Kim",
+    "Novak",
+    "Larsen",
+    "Dubois",
+    "Haines",
+    "Acharya",
+    "Osei",
+    "Berg",
+    "Castillo",
+    "Reyes",
+    "Weiss",
+    "Moreau",
+    "Lindgren",
+];
+
+/// Email domains.
+pub const DOMAINS: &[&str] = &[
+    "auth", "acme", "example", "mail", "univ", "labs", "data", "auctions", "wpi",
+];
+
+/// Countries (United States present so provinces are emitted).
+pub const COUNTRIES: &[&str] = &[
+    "United States",
+    "United States",
+    "Germany",
+    "Japan",
+    "Brazil",
+    "Kenya",
+    "France",
+    "Australia",
+    "India",
+    "Canada",
+    "Poland",
+    "Mexico",
+];
+
+/// Cities.
+pub const CITIES: &[&str] = &[
+    "Monroe",
+    "Worcester",
+    "Springfield",
+    "Riverton",
+    "Lakeside",
+    "Fairview",
+    "Georgetown",
+    "Ashland",
+    "Milton",
+    "Clinton",
+    "Dayton",
+    "Salem",
+];
+
+/// US provinces/states — Vermont first, it anchors Q5.
+pub const PROVINCES: &[&str] = &[
+    "Vermont",
+    "Massachusetts",
+    "Oregon",
+    "Texas",
+    "Iowa",
+    "Nevada",
+    "Maine",
+    "Ohio",
+    "Georgia",
+    "Utah",
+    "Kansas",
+    "Idaho",
+];
+
+/// Filler vocabulary for description text.
+pub const WORDS: &[&str] = &[
+    "gold",
+    "vintage",
+    "rare",
+    "mint",
+    "boxed",
+    "antique",
+    "signed",
+    "limited",
+    "edition",
+    "classic",
+    "portable",
+    "hand",
+    "crafted",
+    "imported",
+    "original",
+    "refurbished",
+    "sealed",
+    "collector",
+    "series",
+    "deluxe",
+    "compact",
+    "heavy",
+    "light",
+    "silver",
+    "bronze",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pick_is_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(pick(&mut a, FIRST_NAMES), pick(&mut b, FIRST_NAMES));
+        }
+    }
+
+    #[test]
+    fn pools_are_non_empty_and_contain_anchors() {
+        assert!(FIRST_NAMES.contains(&"Yung"));
+        assert!(LAST_NAMES.contains(&"Flach"));
+        assert!(PROVINCES.contains(&"Vermont"));
+        assert!(CITIES.contains(&"Monroe"));
+    }
+}

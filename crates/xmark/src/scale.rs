@@ -1,0 +1,50 @@
+//! Mapping between target document sizes and XMark scale factors.
+//!
+//! The evaluation sweeps document *megabytes* (Figs 12–16 plot execution
+//! time against document size), so the harness asks for "a 10 MB
+//! document". Generation cost is linear in scale, so we calibrate once
+//! with a small probe and extrapolate.
+
+use crate::{generate_string, XmarkConfig};
+
+/// Bytes produced per unit of scale, measured with a small probe
+/// document. Cached per process after the first call.
+pub fn bytes_per_scale() -> f64 {
+    use std::sync::OnceLock;
+    static CACHE: OnceLock<f64> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        let probe_scale = 0.005;
+        let bytes = generate_string(&XmarkConfig::with_scale(probe_scale)).len() as f64;
+        bytes / probe_scale
+    })
+}
+
+/// Scale factor that yields approximately `megabytes` of XML text.
+pub fn scale_for_megabytes(megabytes: f64) -> f64 {
+    (megabytes * 1_048_576.0 / bytes_per_scale()).max(1e-4)
+}
+
+/// Config for a document of approximately `megabytes` MB.
+pub fn config_for_megabytes(megabytes: f64) -> XmarkConfig {
+    XmarkConfig::with_scale(scale_for_megabytes(megabytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_hits_target_within_tolerance() {
+        let cfg = config_for_megabytes(1.0);
+        let bytes = generate_string(&cfg).len() as f64;
+        let target = 1_048_576.0;
+        let err = (bytes - target).abs() / target;
+        assert!(err < 0.25, "1MB target missed by {:.0}%", err * 100.0);
+    }
+
+    #[test]
+    fn scale_grows_with_size() {
+        assert!(scale_for_megabytes(10.0) > scale_for_megabytes(1.0));
+        assert!(scale_for_megabytes(0.0) >= 1e-4);
+    }
+}

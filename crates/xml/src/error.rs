@@ -1,0 +1,111 @@
+//! Error type for XML parsing.
+
+use std::fmt;
+
+/// The category of a parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlErrorKind {
+    /// Input ended in the middle of a construct.
+    UnexpectedEof,
+    /// A close tag did not match the innermost open tag.
+    MismatchedTag { expected: String, found: String },
+    /// A tag, attribute, or reference was syntactically malformed.
+    Malformed(String),
+    /// An entity reference could not be resolved.
+    UnknownEntity(String),
+    /// Content appeared after the document element closed.
+    TrailingContent,
+    /// The document contained no element at all.
+    NoRootElement,
+    /// More than one top-level element.
+    MultipleRoots,
+}
+
+/// A parse error with the byte offset and 1-based line/column where it
+/// occurred.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    /// What went wrong.
+    pub kind: XmlErrorKind,
+    /// Byte offset into the input.
+    pub offset: usize,
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column number (in bytes).
+    pub column: usize,
+}
+
+impl XmlError {
+    pub(crate) fn new(kind: XmlErrorKind, input: &str, offset: usize) -> Self {
+        let mut line = 1usize;
+        let mut last_nl = 0usize;
+        for (i, b) in input.as_bytes()[..offset.min(input.len())]
+            .iter()
+            .enumerate()
+        {
+            if *b == b'\n' {
+                line += 1;
+                last_nl = i + 1;
+            }
+        }
+        XmlError {
+            kind,
+            offset,
+            line,
+            column: offset.saturating_sub(last_nl) + 1,
+        }
+    }
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "XML parse error at line {}, column {}: ",
+            self.line, self.column
+        )?;
+        match &self.kind {
+            XmlErrorKind::UnexpectedEof => write!(f, "unexpected end of input"),
+            XmlErrorKind::MismatchedTag { expected, found } => {
+                write!(
+                    f,
+                    "mismatched close tag: expected </{expected}>, found </{found}>"
+                )
+            }
+            XmlErrorKind::Malformed(what) => write!(f, "malformed {what}"),
+            XmlErrorKind::UnknownEntity(name) => write!(f, "unknown entity &{name};"),
+            XmlErrorKind::TrailingContent => write!(f, "content after document element"),
+            XmlErrorKind::NoRootElement => write!(f, "document has no root element"),
+            XmlErrorKind::MultipleRoots => write!(f, "document has multiple root elements"),
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_and_column_are_computed_from_offset() {
+        let input = "ab\ncd\nef";
+        let err = XmlError::new(XmlErrorKind::UnexpectedEof, input, 7);
+        assert_eq!(err.line, 3);
+        assert_eq!(err.column, 2);
+    }
+
+    #[test]
+    fn offset_zero_is_line_one_column_one() {
+        let err = XmlError::new(XmlErrorKind::UnexpectedEof, "x", 0);
+        assert_eq!((err.line, err.column), (1, 1));
+    }
+
+    #[test]
+    fn display_mentions_position() {
+        let err = XmlError::new(XmlErrorKind::Malformed("tag".into()), "<", 0);
+        let s = err.to_string();
+        assert!(s.contains("line 1"), "{s}");
+        assert!(s.contains("malformed tag"), "{s}");
+    }
+}

@@ -1,0 +1,172 @@
+//! Entity escaping and unescaping for XML character data and attributes.
+
+use crate::error::{XmlError, XmlErrorKind};
+
+/// Escapes `text` for use as XML character data (`&`, `<`, `>`).
+pub fn escape_text(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for ch in text.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+/// Escapes `text` for use inside a double-quoted attribute value.
+pub fn escape_attr(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for ch in text.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+/// Resolves the five predefined entities and numeric character references in
+/// `raw`, appending the result to `out`.
+///
+/// `input`/`base` are used only for error positions.
+pub(crate) fn unescape_into(
+    raw: &str,
+    out: &mut String,
+    input: &str,
+    base: usize,
+) -> Result<(), XmlError> {
+    let bytes = raw.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] != b'&' {
+            // Copy the longest run without '&' in one shot.
+            let start = i;
+            while i < bytes.len() && bytes[i] != b'&' {
+                i += 1;
+            }
+            out.push_str(&raw[start..i]);
+            continue;
+        }
+        let semi = raw[i..].find(';').map(|p| i + p).ok_or_else(|| {
+            XmlError::new(
+                XmlErrorKind::Malformed("entity reference".into()),
+                input,
+                base + i,
+            )
+        })?;
+        let name = &raw[i + 1..semi];
+        match name {
+            "amp" => out.push('&'),
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "quot" => out.push('"'),
+            "apos" => out.push('\''),
+            _ if name.starts_with("#x") || name.starts_with("#X") => {
+                let cp = u32::from_str_radix(&name[2..], 16).map_err(|_| {
+                    XmlError::new(
+                        XmlErrorKind::UnknownEntity(name.to_string()),
+                        input,
+                        base + i,
+                    )
+                })?;
+                out.push(char::from_u32(cp).ok_or_else(|| {
+                    XmlError::new(
+                        XmlErrorKind::UnknownEntity(name.to_string()),
+                        input,
+                        base + i,
+                    )
+                })?);
+            }
+            _ if name.starts_with('#') => {
+                let cp = name[1..].parse::<u32>().map_err(|_| {
+                    XmlError::new(
+                        XmlErrorKind::UnknownEntity(name.to_string()),
+                        input,
+                        base + i,
+                    )
+                })?;
+                out.push(char::from_u32(cp).ok_or_else(|| {
+                    XmlError::new(
+                        XmlErrorKind::UnknownEntity(name.to_string()),
+                        input,
+                        base + i,
+                    )
+                })?);
+            }
+            _ => {
+                return Err(XmlError::new(
+                    XmlErrorKind::UnknownEntity(name.to_string()),
+                    input,
+                    base + i,
+                ))
+            }
+        }
+        i = semi + 1;
+    }
+    Ok(())
+}
+
+/// Resolves predefined entities and numeric character references.
+pub fn unescape(raw: &str) -> Result<String, XmlError> {
+    let mut out = String::with_capacity(raw.len());
+    unescape_into(raw, &mut out, raw, 0)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_text_covers_markup_chars() {
+        assert_eq!(escape_text("a<b&c>d"), "a&lt;b&amp;c&gt;d");
+    }
+
+    #[test]
+    fn escape_attr_covers_quotes() {
+        assert_eq!(escape_attr(r#"a"b'c"#), "a&quot;b&apos;c");
+    }
+
+    #[test]
+    fn unescape_predefined_entities() {
+        assert_eq!(unescape("&lt;&gt;&amp;&quot;&apos;").unwrap(), "<>&\"'");
+    }
+
+    #[test]
+    fn unescape_decimal_and_hex_references() {
+        assert_eq!(unescape("&#65;&#x42;&#x63;").unwrap(), "ABc");
+    }
+
+    #[test]
+    fn unescape_rejects_unknown_entity() {
+        assert!(unescape("&nbsp;").is_err());
+    }
+
+    #[test]
+    fn unescape_rejects_unterminated_reference() {
+        assert!(unescape("&amp").is_err());
+    }
+
+    #[test]
+    fn unescape_rejects_out_of_range_codepoint() {
+        assert!(unescape("&#x110000;").is_err());
+    }
+
+    #[test]
+    fn round_trip_text() {
+        let original = "price < 10 & \"quoted\"";
+        assert_eq!(unescape(&escape_attr(original)).unwrap(), original);
+    }
+
+    #[test]
+    fn unescape_plain_text_is_identity() {
+        assert_eq!(unescape("hello world").unwrap(), "hello world");
+    }
+}

@@ -1,0 +1,484 @@
+//! A non-validating XML parser producing a [`Document`] arena.
+//!
+//! Supported: elements, attributes (single or double quoted), character
+//! data, CDATA sections, comments, processing instructions, the XML
+//! declaration, predefined entities and numeric character references.
+//! Not supported (rejected or skipped): DTDs beyond skipping a `<!DOCTYPE
+//! ...>` without an internal subset, parameter entities, namespaces-aware
+//! processing (prefixes are kept as part of the name).
+
+use crate::error::{XmlError, XmlErrorKind};
+use crate::escape::unescape_into;
+use crate::model::{Document, NodeId};
+
+/// Parses `input` into a [`Document`].
+///
+/// This is the main entry point of the crate:
+///
+/// ```
+/// let doc = vamana_xml::parse("<a><b/>text</a>").unwrap();
+/// assert_eq!(doc.name(doc.root_element().unwrap()), Some("a"));
+/// ```
+pub fn parse(input: &str) -> Result<Document, XmlError> {
+    Parser::new(input).parse()
+}
+
+/// Streaming state for a single parse. Use [`parse`] unless you need
+/// configuration.
+pub struct Parser<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    /// When true (default), whitespace-only text between elements is
+    /// dropped. XMark documents put no significant whitespace-only text
+    /// nodes, and dropping them keeps node counts meaningful.
+    keep_whitespace: bool,
+}
+
+impl<'a> Parser<'a> {
+    /// Creates a parser over `input` with default options.
+    pub fn new(input: &'a str) -> Self {
+        Parser {
+            input,
+            bytes: input.as_bytes(),
+            pos: 0,
+            keep_whitespace: false,
+        }
+    }
+
+    /// Keep whitespace-only text nodes instead of dropping them.
+    pub fn preserve_whitespace(mut self) -> Self {
+        self.keep_whitespace = true;
+        self
+    }
+
+    fn err(&self, kind: XmlErrorKind) -> XmlError {
+        XmlError::new(kind, self.input, self.pos)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.bytes[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, s: &str) -> Result<(), XmlError> {
+        if self.starts_with(s) {
+            self.pos += s.len();
+            Ok(())
+        } else if self.pos >= self.bytes.len() {
+            Err(self.err(XmlErrorKind::UnexpectedEof))
+        } else {
+            Err(self.err(XmlErrorKind::Malformed(format!("expected `{s}`"))))
+        }
+    }
+
+    fn read_until(&mut self, delim: &str, what: &str) -> Result<&'a str, XmlError> {
+        match self.input[self.pos..].find(delim) {
+            Some(rel) => {
+                let s = &self.input[self.pos..self.pos + rel];
+                self.pos += rel + delim.len();
+                Ok(s)
+            }
+            None => {
+                self.pos = self.bytes.len();
+                Err(self.err(XmlErrorKind::Malformed(format!("unterminated {what}"))))
+            }
+        }
+    }
+
+    fn is_name_start(b: u8) -> bool {
+        b.is_ascii_alphabetic() || b == b'_' || b == b':' || b >= 0x80
+    }
+
+    fn is_name_char(b: u8) -> bool {
+        Self::is_name_start(b) || b.is_ascii_digit() || b == b'-' || b == b'.'
+    }
+
+    fn read_name(&mut self) -> Result<&'a str, XmlError> {
+        let start = self.pos;
+        match self.peek() {
+            Some(b) if Self::is_name_start(b) => self.pos += 1,
+            Some(_) => return Err(self.err(XmlErrorKind::Malformed("name".into()))),
+            None => return Err(self.err(XmlErrorKind::UnexpectedEof)),
+        }
+        while matches!(self.peek(), Some(b) if Self::is_name_char(b)) {
+            self.pos += 1;
+        }
+        Ok(&self.input[start..self.pos])
+    }
+
+    /// Runs the parse to completion.
+    pub fn parse(mut self) -> Result<Document, XmlError> {
+        let mut doc = Document::new();
+        // Prolog: XML declaration, comments, PIs, optional DOCTYPE.
+        self.skip_ws();
+        if self.starts_with("<?xml") {
+            self.pos += 5;
+            self.read_until("?>", "XML declaration")?;
+        }
+        loop {
+            self.skip_ws();
+            if self.starts_with("<!--") {
+                self.pos += 4;
+                let text = self.read_until("-->", "comment")?;
+                doc.push_comment(Document::ROOT, text);
+            } else if self.starts_with("<!DOCTYPE") {
+                self.skip_doctype()?;
+            } else if self.starts_with("<?") {
+                self.parse_pi(&mut doc, Document::ROOT)?;
+            } else {
+                break;
+            }
+        }
+        if self.peek() != Some(b'<') {
+            return Err(self.err(XmlErrorKind::NoRootElement));
+        }
+        self.parse_element(&mut doc, Document::ROOT)?;
+        // Epilog: only whitespace, comments and PIs may follow.
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                None => break,
+                Some(b'<') if self.starts_with("<!--") => {
+                    self.pos += 4;
+                    let text = self.read_until("-->", "comment")?;
+                    doc.push_comment(Document::ROOT, text);
+                }
+                Some(b'<') if self.starts_with("<?") => {
+                    self.parse_pi(&mut doc, Document::ROOT)?;
+                }
+                Some(b'<') => return Err(self.err(XmlErrorKind::MultipleRoots)),
+                Some(_) => return Err(self.err(XmlErrorKind::TrailingContent)),
+            }
+        }
+        Ok(doc)
+    }
+
+    fn skip_doctype(&mut self) -> Result<(), XmlError> {
+        // Skip to the matching '>' allowing one level of [...] internal
+        // subset (entities inside it are not processed).
+        self.pos += "<!DOCTYPE".len();
+        let mut depth = 0i32;
+        loop {
+            match self.peek() {
+                None => return Err(self.err(XmlErrorKind::UnexpectedEof)),
+                Some(b'[') => {
+                    depth += 1;
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    depth -= 1;
+                    self.pos += 1;
+                }
+                Some(b'>') if depth <= 0 => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                Some(_) => self.pos += 1,
+            }
+        }
+    }
+
+    fn parse_pi(&mut self, doc: &mut Document, parent: NodeId) -> Result<(), XmlError> {
+        self.expect("<?")?;
+        let target = self.read_name()?.to_string();
+        self.skip_ws();
+        let data = self.read_until("?>", "processing instruction")?;
+        doc.push_pi(parent, &target, data.trim_end());
+        Ok(())
+    }
+
+    /// Parses one element (the cursor sits on `<`). Iterative, with an
+    /// explicit open-element stack, so arbitrarily deep documents cannot
+    /// overflow the call stack.
+    fn parse_element(&mut self, doc: &mut Document, parent: NodeId) -> Result<(), XmlError> {
+        let mut stack: Vec<(NodeId, String)> = Vec::new();
+        let mut current = parent;
+        let mut text = String::new();
+
+        macro_rules! flush_text {
+            () => {
+                if !text.is_empty() {
+                    if self.keep_whitespace || !text.chars().all(char::is_whitespace) {
+                        doc.push_text(current, &text);
+                    }
+                    text.clear();
+                }
+            };
+        }
+
+        loop {
+            match self.peek() {
+                None => {
+                    return if stack.is_empty() {
+                        Err(self.err(XmlErrorKind::NoRootElement))
+                    } else {
+                        Err(self.err(XmlErrorKind::UnexpectedEof))
+                    }
+                }
+                Some(b'<') if self.starts_with("<!--") => {
+                    flush_text!();
+                    self.pos += 4;
+                    let c = self.read_until("-->", "comment")?;
+                    doc.push_comment(current, c);
+                }
+                Some(b'<') if self.starts_with("<![CDATA[") => {
+                    self.pos += 9;
+                    let c = self.read_until("]]>", "CDATA section")?;
+                    text.push_str(c);
+                }
+                Some(b'<') if self.starts_with("<?") => {
+                    flush_text!();
+                    self.parse_pi(doc, current)?;
+                }
+                Some(b'<') if self.starts_with("</") => {
+                    flush_text!();
+                    self.pos += 2;
+                    let name = self.read_name()?;
+                    self.skip_ws();
+                    self.expect(">")?;
+                    let (_, open_name) = stack.pop().ok_or_else(|| {
+                        self.err(XmlErrorKind::Malformed("close tag without open tag".into()))
+                    })?;
+                    if open_name != name {
+                        return Err(self.err(XmlErrorKind::MismatchedTag {
+                            expected: open_name,
+                            found: name.to_string(),
+                        }));
+                    }
+                    current = match stack.last() {
+                        Some((id, _)) => *id,
+                        None => return Ok(()),
+                    };
+                }
+                Some(b'<') => {
+                    flush_text!();
+                    self.pos += 1;
+                    let name = self.read_name()?.to_string();
+                    let elem = doc.push_element(current, &name);
+                    // Attributes.
+                    loop {
+                        self.skip_ws();
+                        match self.peek() {
+                            Some(b'>') => {
+                                self.pos += 1;
+                                stack.push((elem, name));
+                                current = elem;
+                                break;
+                            }
+                            Some(b'/') => {
+                                self.pos += 1;
+                                self.expect(">")?;
+                                if stack.is_empty() {
+                                    return Ok(());
+                                }
+                                break;
+                            }
+                            Some(b) if Self::is_name_start(b) => {
+                                let aname = self.read_name()?.to_string();
+                                self.skip_ws();
+                                self.expect("=")?;
+                                self.skip_ws();
+                                let quote = match self.peek() {
+                                    Some(q @ (b'"' | b'\'')) => q,
+                                    _ => {
+                                        return Err(self.err(XmlErrorKind::Malformed(
+                                            "attribute value".into(),
+                                        )))
+                                    }
+                                };
+                                self.pos += 1;
+                                let raw_start = self.pos;
+                                let raw = self.read_until(
+                                    if quote == b'"' { "\"" } else { "'" },
+                                    "attribute value",
+                                )?;
+                                let mut val = String::with_capacity(raw.len());
+                                unescape_into(raw, &mut val, self.input, raw_start)?;
+                                doc.push_attribute(elem, &aname, &val);
+                            }
+                            Some(_) => {
+                                return Err(self.err(XmlErrorKind::Malformed("start tag".into())))
+                            }
+                            None => return Err(self.err(XmlErrorKind::UnexpectedEof)),
+                        }
+                    }
+                }
+                Some(_) => {
+                    // Character data up to the next '<'.
+                    let start = self.pos;
+                    while !matches!(self.peek(), None | Some(b'<')) {
+                        self.pos += 1;
+                    }
+                    if stack.is_empty() {
+                        // Text before the root element.
+                        let chunk = &self.input[start..self.pos];
+                        if chunk.chars().all(char::is_whitespace) {
+                            continue;
+                        }
+                        self.pos = start;
+                        return Err(self.err(XmlErrorKind::Malformed("text outside root".into())));
+                    }
+                    unescape_into(&self.input[start..self.pos], &mut text, self.input, start)?;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::NodeKind;
+
+    #[test]
+    fn parses_nested_elements_and_text() {
+        let doc = parse("<person><name>Yung Flach</name></person>").unwrap();
+        let person = doc.root_element().unwrap();
+        let name = doc.first_child(person).unwrap();
+        assert_eq!(doc.name(name), Some("name"));
+        assert_eq!(doc.string_value(name), "Yung Flach");
+    }
+
+    #[test]
+    fn parses_attributes_with_both_quote_styles() {
+        let doc = parse(r#"<watch open_auction="oa108" id='w1'/>"#).unwrap();
+        let w = doc.root_element().unwrap();
+        assert_eq!(doc.attribute(w, "open_auction"), Some("oa108"));
+        assert_eq!(doc.attribute(w, "id"), Some("w1"));
+    }
+
+    #[test]
+    fn self_closing_root() {
+        let doc = parse("<empty/>").unwrap();
+        assert_eq!(doc.name(doc.root_element().unwrap()), Some("empty"));
+        assert_eq!(doc.children(doc.root_element().unwrap()).count(), 0);
+    }
+
+    #[test]
+    fn xml_declaration_and_doctype_skipped() {
+        let doc =
+            parse("<?xml version=\"1.0\"?><!DOCTYPE site [ <!ELEMENT a (b)> ]><site/>").unwrap();
+        assert_eq!(doc.name(doc.root_element().unwrap()), Some("site"));
+    }
+
+    #[test]
+    fn entities_in_text_and_attributes() {
+        let doc = parse(r#"<a b="x &amp; y">1 &lt; 2</a>"#).unwrap();
+        let a = doc.root_element().unwrap();
+        assert_eq!(doc.attribute(a, "b"), Some("x & y"));
+        assert_eq!(doc.string_value(a), "1 < 2");
+    }
+
+    #[test]
+    fn cdata_is_text() {
+        let doc = parse("<a><![CDATA[<not&markup>]]></a>").unwrap();
+        assert_eq!(
+            doc.string_value(doc.root_element().unwrap()),
+            "<not&markup>"
+        );
+    }
+
+    #[test]
+    fn comments_and_pis_are_nodes() {
+        let doc = parse("<a><!-- hi --><?php run?></a>").unwrap();
+        let a = doc.root_element().unwrap();
+        let kids: Vec<_> = doc.children(a).collect();
+        assert_eq!(kids.len(), 2);
+        assert!(matches!(doc.kind(kids[0]), NodeKind::Comment { .. }));
+        assert!(matches!(
+            doc.kind(kids[1]),
+            NodeKind::ProcessingInstruction { .. }
+        ));
+    }
+
+    #[test]
+    fn whitespace_only_text_dropped_by_default() {
+        let doc = parse("<a>\n  <b/>\n</a>").unwrap();
+        let a = doc.root_element().unwrap();
+        assert_eq!(doc.children(a).count(), 1);
+    }
+
+    #[test]
+    fn whitespace_preserved_when_asked() {
+        let doc = Parser::new("<a>\n  <b/>\n</a>")
+            .preserve_whitespace()
+            .parse()
+            .unwrap();
+        let a = doc.root_element().unwrap();
+        assert_eq!(doc.children(a).count(), 3);
+    }
+
+    #[test]
+    fn mismatched_tag_reports_names() {
+        let err = parse("<a><b></a></b>").unwrap_err();
+        match err.kind {
+            XmlErrorKind::MismatchedTag { expected, found } => {
+                assert_eq!(expected, "b");
+                assert_eq!(found, "a");
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unterminated_document_is_eof() {
+        let err = parse("<a><b>").unwrap_err();
+        assert_eq!(err.kind, XmlErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn multiple_roots_rejected() {
+        let err = parse("<a/><b/>").unwrap_err();
+        assert_eq!(err.kind, XmlErrorKind::MultipleRoots);
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert_eq!(parse("").unwrap_err().kind, XmlErrorKind::NoRootElement);
+        assert_eq!(parse("   ").unwrap_err().kind, XmlErrorKind::NoRootElement);
+    }
+
+    #[test]
+    fn deeply_nested_document_does_not_overflow() {
+        let depth = 200_000;
+        let mut s = String::new();
+        for _ in 0..depth {
+            s.push_str("<d>");
+        }
+        for _ in 0..depth {
+            s.push_str("</d>");
+        }
+        let doc = parse(&s).unwrap();
+        assert_eq!(doc.len(), depth + 1);
+    }
+
+    #[test]
+    fn comment_in_prolog_attaches_to_document() {
+        let doc = parse("<!-- license --><a/>").unwrap();
+        let kids: Vec<_> = doc.children(Document::ROOT).collect();
+        assert_eq!(kids.len(), 2);
+        assert!(matches!(doc.kind(kids[0]), NodeKind::Comment { .. }));
+    }
+
+    #[test]
+    fn text_outside_root_rejected() {
+        assert!(parse("hello<a/>").is_err());
+    }
+
+    #[test]
+    fn unknown_entity_rejected_with_position() {
+        let err = parse("<a>&bogus;</a>").unwrap_err();
+        assert!(matches!(err.kind, XmlErrorKind::UnknownEntity(_)));
+        assert_eq!(err.line, 1);
+    }
+}

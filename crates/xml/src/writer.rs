@@ -1,0 +1,166 @@
+//! Serialization of a [`Document`] back to XML text.
+
+use crate::escape::{escape_attr, escape_text};
+use crate::model::{Document, NodeId, NodeKind};
+use std::fmt::Write as _;
+
+/// Options controlling serialization.
+#[derive(Debug, Clone, Default)]
+pub struct WriteOptions {
+    /// Emit an `<?xml version="1.0"?>` declaration first.
+    pub declaration: bool,
+    /// Indent nested elements by this many spaces per level
+    /// (`None` = compact output, required for byte-exact round-trips).
+    pub indent: Option<usize>,
+}
+
+/// Serializes the whole document.
+pub fn write_document(doc: &Document, opts: &WriteOptions) -> String {
+    let mut out = String::new();
+    if opts.declaration {
+        out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+        if opts.indent.is_some() {
+            out.push('\n');
+        }
+    }
+    for child in doc.children(Document::ROOT) {
+        write_node(doc, child, opts, 0, &mut out);
+        if opts.indent.is_some() {
+            out.push('\n');
+        }
+    }
+    out
+}
+
+fn write_indent(out: &mut String, opts: &WriteOptions, level: usize) {
+    if let Some(n) = opts.indent {
+        out.push('\n');
+        for _ in 0..level * n {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_node(doc: &Document, id: NodeId, opts: &WriteOptions, level: usize, out: &mut String) {
+    match doc.kind(id) {
+        NodeKind::Document => {}
+        NodeKind::Element { name } => {
+            out.push('<');
+            out.push_str(name);
+            for attr in doc.attributes(id) {
+                let _ = write!(
+                    out,
+                    " {}=\"{}\"",
+                    doc.name(attr).unwrap_or(""),
+                    escape_attr(doc.value(attr).unwrap_or(""))
+                );
+            }
+            let mut children = doc.children(id).peekable();
+            if children.peek().is_none() {
+                out.push_str("/>");
+                return;
+            }
+            out.push('>');
+            // Mixed content (any text child) suppresses indentation so that
+            // significant text is not polluted with whitespace.
+            let mixed = doc.children(id).any(|c| doc.kind(c).is_text());
+            for child in children {
+                if !mixed {
+                    write_indent(out, opts, level + 1);
+                }
+                write_node(doc, child, opts, level + 1, out);
+            }
+            if !mixed {
+                write_indent(out, opts, level);
+            }
+            out.push_str("</");
+            out.push_str(name);
+            out.push('>');
+        }
+        NodeKind::Text { value } => out.push_str(&escape_text(value)),
+        NodeKind::Comment { value } => {
+            let _ = write!(out, "<!--{value}-->");
+        }
+        NodeKind::ProcessingInstruction { target, data } => {
+            if data.is_empty() {
+                let _ = write!(out, "<?{target}?>");
+            } else {
+                let _ = write!(out, "<?{target} {data}?>");
+            }
+        }
+        NodeKind::Attribute { .. } => unreachable!("attributes are written with their element"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn compact_round_trip() {
+        let src = r#"<person id="p1"><name>Yung Flach</name><watches><watch open_auction="oa1"/></watches></person>"#;
+        let doc = parse(src).unwrap();
+        let out = write_document(&doc, &WriteOptions::default());
+        assert_eq!(out, src);
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let src = r#"<a b="x &amp; y">1 &lt; 2 &amp; 3</a>"#;
+        let doc = parse(src).unwrap();
+        let out = write_document(&doc, &WriteOptions::default());
+        let doc2 = parse(&out).unwrap();
+        assert_eq!(
+            doc.string_value(doc.root_element().unwrap()),
+            doc2.string_value(doc2.root_element().unwrap())
+        );
+    }
+
+    #[test]
+    fn indentation_applies_to_element_only_content() {
+        let doc = parse("<a><b><c/></b></a>").unwrap();
+        let out = write_document(
+            &doc,
+            &WriteOptions {
+                declaration: false,
+                indent: Some(2),
+            },
+        );
+        assert!(out.contains("\n  <b>"), "{out}");
+        assert!(out.contains("\n    <c/>"), "{out}");
+    }
+
+    #[test]
+    fn mixed_content_is_not_indented() {
+        let doc = parse("<a>text<b/></a>").unwrap();
+        let out = write_document(
+            &doc,
+            &WriteOptions {
+                declaration: false,
+                indent: Some(2),
+            },
+        );
+        assert!(out.contains("<a>text<b/></a>"), "{out}");
+    }
+
+    #[test]
+    fn declaration_emitted_when_requested() {
+        let doc = parse("<a/>").unwrap();
+        let out = write_document(
+            &doc,
+            &WriteOptions {
+                declaration: true,
+                indent: None,
+            },
+        );
+        assert!(out.starts_with("<?xml"));
+    }
+
+    #[test]
+    fn comments_and_pis_round_trip() {
+        let src = "<a><!--note--><?go now?></a>";
+        let doc = parse(src).unwrap();
+        assert_eq!(write_document(&doc, &WriteOptions::default()), src);
+    }
+}

@@ -1,0 +1,263 @@
+//! The XPath 1.0 abstract syntax tree.
+
+use std::fmt;
+use vamana_flex::Axis;
+
+/// Equality operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EqOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+/// Relational operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RelOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `div`
+    Div,
+    /// `mod`
+    Mod,
+}
+
+/// A node test within a location step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeTest {
+    /// A (possibly prefixed) name.
+    Name(Box<str>),
+    /// `*`
+    Wildcard,
+    /// `prefix:*`
+    NsWildcard(Box<str>),
+    /// `text()`
+    Text,
+    /// `node()`
+    Node,
+    /// `comment()`
+    Comment,
+    /// `processing-instruction()` with optional target literal.
+    Pi(Option<Box<str>>),
+}
+
+/// One location step: `axis::test[pred]...`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Step {
+    /// The axis.
+    pub axis: Axis,
+    /// The node test.
+    pub test: NodeTest,
+    /// Zero or more predicates.
+    pub predicates: Vec<Expr>,
+}
+
+impl Step {
+    /// A step with no predicates.
+    pub fn new(axis: Axis, test: NodeTest) -> Self {
+        Step {
+            axis,
+            test,
+            predicates: Vec::new(),
+        }
+    }
+}
+
+/// A location path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocationPath {
+    /// True for paths starting at the document root (`/...`).
+    pub absolute: bool,
+    /// The steps, outermost first.
+    pub steps: Vec<Step>,
+}
+
+/// An XPath expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A location path.
+    Path(LocationPath),
+    /// A filter expression with an optional trailing relative path:
+    /// `primary[p1][p2]/rel/ative`.
+    Filter {
+        /// The primary expression being filtered.
+        primary: Box<Expr>,
+        /// Predicates applied to the primary's node-set.
+        predicates: Vec<Expr>,
+        /// Optional continuation path.
+        path: Option<LocationPath>,
+    },
+    /// `a or b`
+    Or(Box<Expr>, Box<Expr>),
+    /// `a and b`
+    And(Box<Expr>, Box<Expr>),
+    /// `a = b`, `a != b`
+    Equality(EqOp, Box<Expr>, Box<Expr>),
+    /// `a < b` etc.
+    Relational(RelOp, Box<Expr>, Box<Expr>),
+    /// `a + b` etc.
+    Arithmetic(ArithOp, Box<Expr>, Box<Expr>),
+    /// Unary minus.
+    Neg(Box<Expr>),
+    /// `a | b`
+    Union(Box<Expr>, Box<Expr>),
+    /// String literal.
+    Literal(Box<str>),
+    /// Numeric literal.
+    Number(f64),
+    /// `$name`
+    Var(Box<str>),
+    /// `name(arg, ...)`
+    FunctionCall(Box<str>, Vec<Expr>),
+}
+
+impl fmt::Display for NodeTest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeTest::Name(n) => write!(f, "{n}"),
+            NodeTest::Wildcard => write!(f, "*"),
+            NodeTest::NsWildcard(p) => write!(f, "{p}:*"),
+            NodeTest::Text => write!(f, "text()"),
+            NodeTest::Node => write!(f, "node()"),
+            NodeTest::Comment => write!(f, "comment()"),
+            NodeTest::Pi(None) => write!(f, "processing-instruction()"),
+            NodeTest::Pi(Some(t)) => write!(f, "processing-instruction('{t}')"),
+        }
+    }
+}
+
+impl fmt::Display for Step {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}::{}", self.axis, self.test)?;
+        for p in &self.predicates {
+            write!(f, "[{p}]")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for LocationPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.absolute {
+            write!(f, "/")?;
+        }
+        for (i, s) in self.steps.iter().enumerate() {
+            if i > 0 {
+                write!(f, "/")?;
+            }
+            write!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Path(p) => write!(f, "{p}"),
+            Expr::Filter {
+                primary,
+                predicates,
+                path,
+            } => {
+                write!(f, "({primary})")?;
+                for p in predicates {
+                    write!(f, "[{p}]")?;
+                }
+                if let Some(p) = path {
+                    write!(f, "/{p}")?;
+                }
+                Ok(())
+            }
+            Expr::Or(a, b) => write!(f, "{a} or {b}"),
+            Expr::And(a, b) => write!(f, "{a} and {b}"),
+            Expr::Equality(EqOp::Eq, a, b) => write!(f, "{a} = {b}"),
+            Expr::Equality(EqOp::Ne, a, b) => write!(f, "{a} != {b}"),
+            Expr::Relational(op, a, b) => {
+                let s = match op {
+                    RelOp::Lt => "<",
+                    RelOp::Le => "<=",
+                    RelOp::Gt => ">",
+                    RelOp::Ge => ">=",
+                };
+                write!(f, "{a} {s} {b}")
+            }
+            Expr::Arithmetic(op, a, b) => {
+                let s = match op {
+                    ArithOp::Add => "+",
+                    ArithOp::Sub => "-",
+                    ArithOp::Mul => "*",
+                    ArithOp::Div => "div",
+                    ArithOp::Mod => "mod",
+                };
+                write!(f, "{a} {s} {b}")
+            }
+            Expr::Neg(e) => write!(f, "-{e}"),
+            Expr::Union(a, b) => write!(f, "{a} | {b}"),
+            Expr::Literal(s) => write!(f, "'{s}'"),
+            Expr::Number(n) => write!(f, "{n}"),
+            Expr::Var(v) => write!(f, "${v}"),
+            Expr::FunctionCall(name, args) => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_round_trips_visually() {
+        let step = Step::new(Axis::Descendant, NodeTest::Name("name".into()));
+        assert_eq!(step.to_string(), "descendant::name");
+        let path = LocationPath {
+            absolute: true,
+            steps: vec![step],
+        };
+        assert_eq!(path.to_string(), "/descendant::name");
+    }
+
+    #[test]
+    fn display_predicates() {
+        let mut step = Step::new(Axis::Child, NodeTest::Name("person".into()));
+        step.predicates.push(Expr::Number(3.0));
+        assert_eq!(step.to_string(), "child::person[3]");
+    }
+
+    #[test]
+    fn display_kind_tests() {
+        assert_eq!(NodeTest::Text.to_string(), "text()");
+        assert_eq!(
+            NodeTest::Pi(Some("php".into())).to_string(),
+            "processing-instruction('php')"
+        );
+        assert_eq!(NodeTest::NsWildcard("x".into()).to_string(), "x:*");
+    }
+}

@@ -1,0 +1,47 @@
+//! XPath parse errors.
+
+use std::fmt;
+
+/// A lexing or parsing failure with its character position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset into the expression text.
+    pub offset: usize,
+}
+
+impl ParseError {
+    /// Creates an error at `offset`.
+    pub fn new(message: impl Into<String>, offset: usize) -> Self {
+        ParseError {
+            message: message.into(),
+            offset,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "XPath parse error at offset {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_offset_and_message() {
+        let e = ParseError::new("unexpected token", 7);
+        let s = e.to_string();
+        assert!(s.contains("offset 7"));
+        assert!(s.contains("unexpected token"));
+    }
+}

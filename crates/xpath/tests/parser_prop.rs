@@ -1,0 +1,89 @@
+//! Property tests for the XPath front end: the parser must never panic,
+//! and pretty-printed location paths must re-parse to the same AST.
+
+use proptest::prelude::*;
+use vamana_flex::Axis;
+use vamana_xpath::{ast, parse, Expr, LocationPath, NodeTest, Step};
+
+proptest! {
+    /// Arbitrary input never panics — it parses or errors.
+    #[test]
+    fn parser_total_on_arbitrary_strings(input in ".{0,60}") {
+        let _ = parse(&input);
+    }
+
+    /// Arbitrary ASCII-ish operator soup never panics either.
+    #[test]
+    fn parser_total_on_operator_soup(input in "[a-z@/\\[\\]()*.:'|=<>! 0-9-]{0,40}") {
+        let _ = parse(&input);
+    }
+}
+
+fn axis_strategy() -> impl Strategy<Value = Axis> {
+    (0..Axis::ALL.len()).prop_map(|i| Axis::ALL[i])
+}
+
+fn test_strategy() -> impl Strategy<Value = NodeTest> {
+    prop_oneof![
+        "[a-z][a-z0-9]{0,6}".prop_map(|s| NodeTest::Name(s.into())),
+        Just(NodeTest::Wildcard),
+        Just(NodeTest::Text),
+        Just(NodeTest::Node),
+        Just(NodeTest::Comment),
+        Just(NodeTest::Pi(None)),
+    ]
+}
+
+fn pred_strategy() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        (1u32..20).prop_map(|n| Expr::Number(n as f64)),
+        "[a-z]{1,5}".prop_map(|s| Expr::Path(LocationPath {
+            absolute: false,
+            steps: vec![Step::new(Axis::Child, NodeTest::Name(s.into()))],
+        })),
+        ("[a-z]{1,5}", "[A-Za-z ]{0,8}").prop_map(|(n, v)| Expr::Equality(
+            ast::EqOp::Eq,
+            Box::new(Expr::Path(LocationPath {
+                absolute: false,
+                steps: vec![Step::new(Axis::Child, NodeTest::Name(n.into()))],
+            })),
+            Box::new(Expr::Literal(v.into())),
+        )),
+    ]
+}
+
+fn path_strategy() -> impl Strategy<Value = LocationPath> {
+    (
+        any::<bool>(),
+        proptest::collection::vec(
+            (
+                axis_strategy(),
+                test_strategy(),
+                proptest::collection::vec(pred_strategy(), 0..2),
+            ),
+            1..5,
+        ),
+    )
+        .prop_map(|(absolute, steps)| LocationPath {
+            absolute,
+            steps: steps
+                .into_iter()
+                .map(|(axis, test, predicates)| Step {
+                    axis,
+                    test,
+                    predicates,
+                })
+                .collect(),
+        })
+}
+
+proptest! {
+    /// Display → parse is the identity on location paths.
+    #[test]
+    fn display_reparses_to_same_ast(path in path_strategy()) {
+        let printed = path.to_string();
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("own output failed to parse: `{printed}`: {e}"));
+        prop_assert_eq!(reparsed, Expr::Path(path), "printed as `{}`", printed);
+    }
+}

@@ -1,0 +1,86 @@
+//! The FLWOR abstract syntax tree.
+
+use vamana_xpath::Expr;
+
+/// An XQuery-lite expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum XqExpr {
+    /// A FLWOR expression.
+    Flwor(Box<Flwor>),
+    /// An embedded XPath expression (may reference bound variables).
+    XPath(Expr),
+    /// A direct element constructor.
+    ElementCtor {
+        /// Element name.
+        name: String,
+        /// Static attributes.
+        attrs: Vec<(String, String)>,
+        /// Ordered content.
+        children: Vec<Content>,
+    },
+}
+
+/// Content inside an element constructor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// Literal character data.
+    Text(String),
+    /// `{ expr }` — evaluated and spliced in.
+    Embed(XqExpr),
+}
+
+/// A FLWOR expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Flwor {
+    /// `for`/`let` clauses, in order.
+    pub clauses: Vec<Clause>,
+    /// Optional `where` filter.
+    pub where_clause: Option<Expr>,
+    /// Optional `order by` key with descending flag.
+    pub order_by: Option<(Expr, bool)>,
+    /// The `return` expression, evaluated once per surviving tuple.
+    pub ret: XqExpr,
+}
+
+/// One binding clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Clause {
+    /// `for $var [at $pos] in expr` — iterates the node sequence,
+    /// optionally binding the 1-based iteration position.
+    For {
+        /// Variable name (without `$`).
+        var: String,
+        /// Optional positional variable (`at $pos`).
+        pos: Option<String>,
+        /// Source expression.
+        source: Expr,
+    },
+    /// `let $var := expr` — binds the whole sequence.
+    Let {
+        /// Variable name (without `$`).
+        var: String,
+        /// Bound expression.
+        source: Expr,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ast_shapes_construct() {
+        let f = Flwor {
+            clauses: vec![Clause::For {
+                var: "p".into(),
+                pos: None,
+                source: vamana_xpath::parse("//person").unwrap(),
+            }],
+            where_clause: None,
+            order_by: None,
+            ret: XqExpr::XPath(vamana_xpath::parse("$p/name").unwrap()),
+        };
+        assert_eq!(f.clauses.len(), 1);
+        assert!(matches!(f.ret, XqExpr::XPath(_)));
+    }
+}

@@ -1,0 +1,80 @@
+//! # vamana-xquery
+//!
+//! A FLWOR ("XQuery-lite") layer over the VAMANA engine. The paper
+//! positions VAMANA as the XPath kernel of an XQuery processor — §V-B
+//! and §VII note that "the leaf operator could receive context nodes
+//! from another expression", and the algebra carries a `J` join operator
+//! for exactly that. This crate is that outer expression layer:
+//!
+//! ```text
+//! for $p in //people/person
+//! let $n := $p/name
+//! where $p/address/province = 'Vermont'
+//! order by $n
+//! return <resident>{ $n/text() }</resident>
+//! ```
+//!
+//! Supported grammar (keywords are reserved words at clause position):
+//!
+//! ```text
+//! FLWOR   := (ForClause | LetClause)+ ["where" Expr] ["order" "by" Expr ["descending"]]
+//!            "return" Return
+//! For     := "for" $var "in" XPathExpr
+//! Let     := "let" $var ":=" XPathExpr
+//! Return  := ElementCtor | XPathExpr
+//! Ctor    := "<" name ">" (text | "{" Expr "}")* "</" name ">"
+//! ```
+//!
+//! XPath fragments are parsed by [`vamana_xpath`] and may reference
+//! bound variables (`$p/name`); variable paths evaluate through
+//! [`vamana_core::Engine::query_from`] — the engine's "context node from
+//! another expression" hook — so every FLWOR iteration runs on the same
+//! index-driven, cost-optimized machinery as plain XPath.
+
+pub mod ast;
+pub mod eval;
+pub mod parser;
+
+pub use ast::{Clause, Content, Flwor, XqExpr};
+pub use eval::{Item, XQueryEngine};
+pub use parser::parse_xquery;
+
+use std::fmt;
+
+/// Errors from parsing or evaluating an XQuery expression.
+#[derive(Debug)]
+pub enum XQueryError {
+    /// Syntax error in the FLWOR skeleton.
+    Parse(String),
+    /// An embedded XPath fragment failed to parse.
+    XPath(vamana_xpath::ParseError),
+    /// Evaluation failure (engine errors, unbound variables, ...).
+    Eval(String),
+}
+
+impl fmt::Display for XQueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XQueryError::Parse(m) => write!(f, "XQuery parse error: {m}"),
+            XQueryError::XPath(e) => write!(f, "in embedded XPath: {e}"),
+            XQueryError::Eval(m) => write!(f, "XQuery evaluation error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for XQueryError {}
+
+impl From<vamana_xpath::ParseError> for XQueryError {
+    fn from(e: vamana_xpath::ParseError) -> Self {
+        XQueryError::XPath(e)
+    }
+}
+
+impl From<vamana_core::EngineError> for XQueryError {
+    fn from(e: vamana_core::EngineError) -> Self {
+        XQueryError::Eval(e.to_string())
+    }
+}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, XQueryError>;

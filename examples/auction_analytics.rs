@@ -1,0 +1,97 @@
+//! Auction analytics: a realistic workload over a generated XMark
+//! auction site — the use case the paper's introduction motivates
+//! (structural queries over large XML data), including live updates with
+//! always-fresh statistics.
+//!
+//! ```sh
+//! cargo run --release --example auction_analytics
+//! ```
+
+use vamana::xmark::{generate, XmarkConfig};
+use vamana::{DocId, Engine, MassStore, Value};
+
+fn num(v: Value) -> f64 {
+    match v {
+        Value::Num(n) => n,
+        other => panic!("expected number, got {other:?}"),
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = XmarkConfig::with_scale(0.02);
+    let doc = generate(&config);
+    let mut store = MassStore::open_memory();
+    store.load_document("auction.xml", &doc)?;
+    let mut engine = Engine::new(store);
+    let d = DocId(0);
+
+    println!("== auction site report ==");
+    println!(
+        "persons:          {}",
+        num(engine.evaluate(d, "count(//person)")?)
+    );
+    println!(
+        "open auctions:    {}",
+        num(engine.evaluate(d, "count(//open_auction)")?)
+    );
+    println!(
+        "closed auctions:  {}",
+        num(engine.evaluate(d, "count(//closed_auction)")?)
+    );
+    println!(
+        "items:            {}",
+        num(engine.evaluate(d, "count(//item)")?)
+    );
+    println!(
+        "gross closed-auction volume: {:.2}",
+        num(engine.evaluate(d, "sum(//closed_auction/price)")?)
+    );
+
+    // Who watches the most auctions?
+    let watchers = engine.query_doc(d, "//person[count(watches/watch) >= 3]/name")?;
+    println!("\npersons watching ≥3 auctions: {}", watchers.len());
+    for name in engine.string_values(&watchers)?.iter().take(5) {
+        println!("  {name}");
+    }
+
+    // Vermont residents (Q5's shape) and their email addresses.
+    let vermonters = engine.query_doc(
+        d,
+        "//province[text()='Vermont']/ancestor::person/emailaddress",
+    )?;
+    println!("\nVermont residents: {}", vermonters.len());
+    for email in engine.string_values(&vermonters)?.iter().take(5) {
+        println!("  {email}");
+    }
+
+    // Expensive closed auctions via a range predicate.
+    let pricey = engine.query_doc(d, "//closed_auction[price > 450]")?;
+    println!("\nclosed auctions above 450: {}", pricey.len());
+
+    // Update the store: register a new person, then show the statistics
+    // (and therefore the optimizer's costs) reflect it immediately —
+    // the paper's no-histogram freshness property.
+    let person_name = engine.store().name_id("person").expect("persons exist");
+    let before = engine.store().count_elements(person_name);
+    let people_key = {
+        let people = engine.store().name_id("people").expect("people element");
+        let flat = engine
+            .store()
+            .name_index()
+            .elements(people)
+            .iter()
+            .next()
+            .expect("one people element")
+            .to_vec();
+        vamana::flex::FlexKey::from_flat(flat)
+    };
+    let store = engine.store_mut();
+    let new_person = store.append_element(&people_key, "person")?;
+    let name_el = store.append_element(&new_person, "name")?;
+    store.append_text(&name_el, "Freshly Inserted")?;
+    let after = engine.store().count_elements(person_name);
+    println!("\nCOUNT(person): {before} -> {after} (no ANALYZE required)");
+    let found = engine.query_doc(d, "//person[name='Freshly Inserted']")?;
+    println!("query finds the new person: {}", found.len() == 1);
+    Ok(())
+}

@@ -1,0 +1,79 @@
+//! Engine shootout: run the paper's five evaluation queries on one
+//! generated document across all four engines (VAMANA default, VAMANA
+//! optimized, DOM traversal, structural join) and print a timing table —
+//! a one-document preview of Figures 12–16.
+//!
+//! ```sh
+//! cargo run --release --example engine_shootout [megabytes]
+//! ```
+
+use std::time::Instant;
+use vamana::baseline::dom::DomEngine;
+use vamana::baseline::join::StructuralJoinEngine;
+use vamana::baseline::XPathEngine;
+use vamana::xmark::{generate_string, scale};
+use vamana::{Engine, MassStore, VamanaAdapter};
+
+const QUERIES: &[(&str, &str)] = &[
+    ("Q1", "//person/address"),
+    ("Q2", "//watches/watch/ancestor::person"),
+    ("Q3", "/descendant::name/parent::*/self::person/address"),
+    ("Q4", "//itemref/following-sibling::price/parent::*"),
+    ("Q5", "//province[text()='Vermont']/ancestor::person"),
+];
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let megabytes: f64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(2.0);
+    eprintln!("generating ~{megabytes} MB XMark document...");
+    let xml = generate_string(&scale::config_for_megabytes(megabytes));
+    eprintln!("actual size: {:.1} MB", xml.len() as f64 / 1_048_576.0);
+
+    eprintln!("building engines...");
+    let mut store = MassStore::open_memory();
+    store.load_xml("auction.xml", &xml)?;
+    let vamana_opt = VamanaAdapter::optimized(Engine::new(store));
+    let mut store = MassStore::open_memory();
+    store.load_xml("auction.xml", &xml)?;
+    let vamana_default = VamanaAdapter::default_plan(Engine::new(store));
+    let dom = DomEngine::from_xml(&xml)?;
+    let join = StructuralJoinEngine::from_xml(&xml)?;
+
+    let engines: Vec<&dyn XPathEngine> = vec![&vamana_opt, &vamana_default, &dom, &join];
+
+    println!(
+        "\n{:<4} {:<16} {:>10} {:>12}",
+        "qry", "engine", "results", "time"
+    );
+    println!("{}", "-".repeat(46));
+    for (label, query) in QUERIES {
+        for engine in &engines {
+            let start = Instant::now();
+            match engine.count(query) {
+                Ok(n) => {
+                    println!(
+                        "{:<4} {:<16} {:>10} {:>10.2?}",
+                        label,
+                        engine.label(),
+                        n,
+                        start.elapsed()
+                    );
+                }
+                Err(e) => {
+                    println!(
+                        "{:<4} {:<16} {:>10} {:>12}",
+                        label,
+                        engine.label(),
+                        "-",
+                        "unsupported"
+                    );
+                    let _ = e;
+                }
+            }
+        }
+        println!();
+    }
+    Ok(())
+}

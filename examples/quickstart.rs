@@ -1,0 +1,82 @@
+//! Quickstart: load an XML document into MASS and run XPath queries with
+//! the cost-driven VAMANA engine.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use vamana::{Engine, MassStore};
+
+const AUCTION: &str = r#"<site>
+  <people>
+    <person id="person144">
+      <name>Yung Flach</name>
+      <emailaddress>Flach@auth.gr</emailaddress>
+      <address>
+        <street>92 Pfisterer St</street>
+        <city>Monroe</city>
+        <country>United States</country>
+        <zipcode>12</zipcode>
+      </address>
+      <watches>
+        <watch open_auction="open_auction108"/>
+        <watch open_auction="open_auction94"/>
+        <watch open_auction="open_auction110"/>
+      </watches>
+    </person>
+    <person id="person145">
+      <name>Ann Smith</name>
+      <emailaddress>smith@acme.com</emailaddress>
+    </person>
+  </people>
+</site>"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Load documents into the MASS storage structure.
+    let mut store = MassStore::open_memory();
+    store.load_xml("auction", AUCTION)?;
+    println!(
+        "loaded: {} tuples on {} pages ({:.1} tuples/page)",
+        store.stats().tuples,
+        store.stats().pages,
+        store.stats().tuples_per_page()
+    );
+
+    // 2. Wrap the store in an engine (optimizer on by default).
+    let engine = Engine::new(store);
+
+    // 3. Run the paper's running-example queries.
+    let q1 = "descendant::name/parent::*/self::person/address";
+    let hits = engine.query(q1)?;
+    println!("\nQ1 {q1}");
+    for (name, value) in engine
+        .names_of(&hits)?
+        .into_iter()
+        .zip(engine.string_values(&hits)?)
+    {
+        println!("  <{name}> {value}");
+    }
+
+    let q2 = "//name[text() = 'Yung Flach']/following-sibling::emailaddress";
+    let hits = engine.query(q2)?;
+    println!("\nQ2 {q2}");
+    for value in engine.string_values(&hits)? {
+        println!("  {value}");
+    }
+
+    // 4. Scalar expressions work too.
+    println!(
+        "\ncount(//watch) = {:?}",
+        engine.evaluate(vamana::DocId(0), "count(//watch)")?
+    );
+
+    // 5. Exact, index-fed statistics (no histograms): the counts the cost
+    //    model uses are always up to date.
+    let person = engine.store().name_id("person").expect("person occurs");
+    println!("COUNT(person) = {}", engine.store().count_elements(person));
+    println!(
+        "TC('Yung Flach') = {}",
+        engine.store().text_count("Yung Flach")
+    );
+    Ok(())
+}

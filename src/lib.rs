@@ -1,0 +1,107 @@
+//! # vamana
+//!
+//! Umbrella crate for the VAMANA reproduction — *"VAMANA: A Scalable
+//! Cost-Driven XPath Engine"* (Raghavan, Deschler & Rundensteiner,
+//! ICDE 2005) — re-exporting every layer of the stack:
+//!
+//! | layer | crate |
+//! |---|---|
+//! | XML model & parser | [`xml`] |
+//! | FLEX structural keys | [`flex`] |
+//! | MASS storage structure | [`mass`] |
+//! | XPath 1.0 compiler | [`xpath`] |
+//! | **VAMANA engine** (algebra, cost model, optimizer, executor) | [`core`] |
+//! | baseline engines (DOM, structural join) | [`baseline`] |
+//! | XMark-style data generator | [`xmark`] |
+//!
+//! ```
+//! use vamana::{Engine, MassStore};
+//!
+//! let mut store = MassStore::open_memory();
+//! store.load_xml("auction",
+//!     "<site><person id='p0'><name>Yung Flach</name></person></site>").unwrap();
+//! let engine = Engine::new(store);
+//! assert_eq!(engine.query("//person[name = 'Yung Flach']").unwrap().len(), 1);
+//! ```
+
+pub use vamana_baseline as baseline;
+pub use vamana_core as core;
+pub use vamana_flex as flex;
+pub use vamana_mass as mass;
+pub use vamana_xmark as xmark;
+pub use vamana_xml as xml;
+pub use vamana_xpath as xpath;
+pub use vamana_xquery as xquery;
+
+pub use vamana_core::{Engine, EngineOptions, Explain, Value};
+pub use vamana_mass::{DocId, MassStore, NodeEntry};
+
+use vamana_baseline::{BaselineError, NodeIdentity, XPathEngine};
+
+/// Adapter that lets a VAMANA [`Engine`] be driven through the
+/// cross-engine [`XPathEngine`] interface used by the benchmark harness
+/// and the correctness oracle tests.
+pub struct VamanaAdapter {
+    engine: Engine,
+    label: String,
+}
+
+impl VamanaAdapter {
+    /// Wraps an engine with optimization on ("VQP-OPT" in the paper's
+    /// charts).
+    pub fn optimized(mut engine: Engine) -> Self {
+        engine.options_mut().optimize = true;
+        VamanaAdapter {
+            engine,
+            label: "vamana-opt".to_string(),
+        }
+    }
+
+    /// Wraps an engine with optimization off (the paper's "VQP": default
+    /// plans executed as submitted).
+    pub fn default_plan(mut engine: Engine) -> Self {
+        engine.options_mut().optimize = false;
+        VamanaAdapter {
+            engine,
+            label: "vamana-default".to_string(),
+        }
+    }
+
+    /// The wrapped engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+}
+
+impl XPathEngine for VamanaAdapter {
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn count(&self, xpath: &str) -> Result<usize, BaselineError> {
+        self.engine
+            .query(xpath)
+            .map(|r| r.len())
+            .map_err(|e| BaselineError::Unsupported(e.to_string()))
+    }
+
+    fn identities(&self, xpath: &str) -> Result<Vec<NodeIdentity>, BaselineError> {
+        let entries = self
+            .engine
+            .query(xpath)
+            .map_err(|e| BaselineError::Unsupported(e.to_string()))?;
+        let names = self
+            .engine
+            .names_of(&entries)
+            .map_err(|e| BaselineError::Unsupported(e.to_string()))?;
+        let values = self
+            .engine
+            .string_values(&entries)
+            .map_err(|e| BaselineError::Unsupported(e.to_string()))?;
+        Ok(names
+            .into_iter()
+            .zip(values)
+            .map(|(name, value)| NodeIdentity { name, value })
+            .collect())
+    }
+}

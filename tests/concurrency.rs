@@ -1,0 +1,79 @@
+//! Concurrent read access: queries take `&Engine`, and the MASS buffer
+//! pool synchronizes internally, so many threads can query the same
+//! store simultaneously. These tests pin that property down (including
+//! the `Send + Sync` bounds) and check results stay correct under
+//! parallel load.
+
+use vamana::xmark::{generate_string, XmarkConfig};
+use vamana::{Engine, MassStore};
+
+fn assert_send_sync<T: Send + Sync>() {}
+
+#[test]
+fn store_and_engine_are_send_and_sync() {
+    assert_send_sync::<MassStore>();
+    assert_send_sync::<Engine>();
+}
+
+#[test]
+fn parallel_queries_agree_with_serial_execution() {
+    let xml = generate_string(&XmarkConfig::with_scale(0.005));
+    let mut store = MassStore::open_memory_with_capacity(16); // force pool contention
+    store.load_xml("auction.xml", &xml).unwrap();
+    let engine = Engine::new(store);
+
+    let queries = [
+        "//person/address",
+        "//watches/watch/ancestor::person",
+        "//province[text()='Vermont']/ancestor::person",
+        "//itemref/following-sibling::price/parent::*",
+        "//person[@id='person3']",
+    ];
+    let expected: Vec<usize> = queries
+        .iter()
+        .map(|q| engine.query(q).unwrap().len())
+        .collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            scope.spawn(|| {
+                for round in 0..5 {
+                    for (q, want) in queries.iter().zip(&expected) {
+                        let got = engine.query(q).unwrap().len();
+                        assert_eq!(got, *want, "{q} differed in round {round}");
+                    }
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn parallel_mixed_queries_and_scalar_evaluation() {
+    let xml = generate_string(&XmarkConfig::with_scale(0.005));
+    let mut store = MassStore::open_memory();
+    store.load_xml("auction.xml", &xml).unwrap();
+    let engine = Engine::new(store);
+    let persons = engine.query("//person").unwrap().len() as f64;
+
+    std::thread::scope(|scope| {
+        let count_thread = scope.spawn(|| {
+            for _ in 0..20 {
+                match engine
+                    .evaluate(vamana::DocId(0), "count(//person)")
+                    .unwrap()
+                {
+                    vamana::Value::Num(n) => assert_eq!(n, persons),
+                    other => panic!("{other:?}"),
+                }
+            }
+        });
+        let query_thread = scope.spawn(|| {
+            for _ in 0..20 {
+                assert!(!engine.query("//name").unwrap().is_empty());
+            }
+        });
+        count_thread.join().unwrap();
+        query_thread.join().unwrap();
+    });
+}
