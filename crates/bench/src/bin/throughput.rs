@@ -1,0 +1,86 @@
+//! Concurrent-throughput benchmark for the serving layer: queries/sec
+//! against one shared engine as the worker count grows.
+//!
+//! ```sh
+//! cargo run --release -p vamana-bench --bin throughput [-- <mb> [threads...]]
+//! ```
+//!
+//! Each configuration runs the evaluation query mix (Q1–Q5) from N
+//! threads against a single `Arc<SharedEngine>` over an XMark document
+//! for a fixed wall-clock window and reports aggregate queries/sec.
+//! With the sharded buffer pool and the `RwLock` read path, throughput
+//! should scale past one worker on multi-core hardware (on a single
+//! core the figures only show the locking overhead staying flat).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use vamana_bench::QUERIES;
+use vamana_core::{Engine, SharedEngine};
+use vamana_mass::MassStore;
+
+/// Wall-clock window measured per thread-count configuration.
+const WINDOW: Duration = Duration::from_secs(2);
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let megabytes: f64 = args.first().and_then(|a| a.parse().ok()).unwrap_or(0.5);
+    let thread_counts: Vec<usize> = if args.len() > 1 {
+        args[1..].iter().filter_map(|a| a.parse().ok()).collect()
+    } else {
+        vec![1, 2, 4, 8]
+    };
+
+    eprintln!("generating ~{megabytes} MB of XMark data…");
+    let xml = vamana_bench::document(megabytes);
+    let mut store = MassStore::open_memory();
+    store.load_xml("auction", &xml).expect("load xmark");
+    let engine = Arc::new(SharedEngine::new(Engine::new(store)));
+
+    // Warm up: compile and run each query once so every configuration
+    // starts from the same buffer-pool state.
+    for (name, xpath) in QUERIES {
+        let rows = engine.read().query(xpath).expect(name).len();
+        eprintln!("  {name}: {rows} row(s)");
+    }
+
+    println!(
+        "{:>8} {:>12} {:>14} {:>12}",
+        "threads", "queries", "queries/sec", "speedup"
+    );
+    let mut baseline = None;
+    for &threads in &thread_counts {
+        let (total, elapsed) = run_window(&engine, threads.max(1), WINDOW);
+        let qps = total as f64 / elapsed.as_secs_f64();
+        let speedup = qps / *baseline.get_or_insert(qps);
+        println!("{threads:>8} {total:>12} {qps:>14.1} {speedup:>11.2}x");
+    }
+}
+
+/// Runs the query mix from `threads` threads for `window`, returning
+/// (completed queries, actual elapsed).
+fn run_window(engine: &Arc<SharedEngine>, threads: usize, window: Duration) -> (u64, Duration) {
+    let stop = Arc::new(AtomicBool::new(false));
+    let completed = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let engine = Arc::clone(engine);
+            let stop = Arc::clone(&stop);
+            let completed = Arc::clone(&completed);
+            scope.spawn(move || {
+                let mut i = t; // offset so threads interleave the mix
+                while !stop.load(Ordering::Relaxed) {
+                    let (_, xpath) = QUERIES[i % QUERIES.len()];
+                    engine.read().query(xpath).expect("query");
+                    completed.fetch_add(1, Ordering::Relaxed);
+                    i += 1;
+                }
+            });
+        }
+        std::thread::sleep(window);
+        stop.store(true, Ordering::Relaxed);
+    });
+    (completed.load(Ordering::Relaxed), start.elapsed())
+}

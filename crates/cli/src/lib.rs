@@ -10,19 +10,36 @@
 //! vamana> //person[name='Yung Flach']  -- any XPath runs directly
 //! vamana> .explain //person/address    -- default vs optimized plan
 //! vamana> .count //person              -- index-only count
+//! vamana> .limit 50                    -- rows shown per query (0 = all)
+//! vamana> .serve 4050                  -- share this session over TCP
 //! vamana> .stats                       -- storage statistics
 //! vamana> .save store.mass | .open store.mass
 //! ```
+//!
+//! The session's engine lives behind a [`SharedEngine`] so `.serve` can
+//! hand the *same* store to a background [`vamana_server::Server`]:
+//! documents loaded at the prompt are immediately queryable over the
+//! wire (the server's plan cache self-invalidates via the store
+//! generation), and vice versa.
 
 use std::fmt::Write as _;
-use vamana_core::{DocId, Engine, MassStore, Value};
+use std::sync::Arc;
+use vamana_core::{DocId, Engine, MassStore, SharedEngine, Value};
+use vamana_server::{render_rows, RenderOptions, Server, ServerConfig, ServerHandle};
 
-/// Maximum result rows printed per query.
-const MAX_ROWS: usize = 20;
+/// Result rows printed per query unless `.limit` changes it.
+const DEFAULT_MAX_ROWS: usize = 20;
+
+/// Characters of string-value shown per row.
+const VALUE_WIDTH: usize = 60;
 
 /// The interactive session state.
 pub struct Session {
-    engine: Engine,
+    engine: Arc<SharedEngine>,
+    /// Maximum rows rendered per query (`0` = unlimited).
+    limit: usize,
+    /// A `.serve` instance sharing this session's engine, if running.
+    server: Option<ServerHandle>,
 }
 
 impl Default for Session {
@@ -35,13 +52,20 @@ impl Session {
     /// A session over an empty in-memory store.
     pub fn new() -> Self {
         Session {
-            engine: Engine::new(MassStore::open_memory()),
+            engine: Arc::new(SharedEngine::new(Engine::new(MassStore::open_memory()))),
+            limit: DEFAULT_MAX_ROWS,
+            server: None,
         }
     }
 
-    /// The wrapped engine.
-    pub fn engine(&self) -> &Engine {
+    /// The shared engine behind the session (and any `.serve` instance).
+    pub fn engine(&self) -> &Arc<SharedEngine> {
         &self.engine
+    }
+
+    /// The address of the running `.serve` instance, if any.
+    pub fn serving_addr(&self) -> Option<std::net::SocketAddr> {
+        self.server.as_ref().map(|h| h.addr())
     }
 
     /// Executes one line of input and returns the text to print.
@@ -72,6 +96,8 @@ impl Session {
                 "generate" => self.cmd_generate(arg),
                 "explain" => self.cmd_explain(arg),
                 "count" => self.cmd_count(arg),
+                "limit" => self.cmd_limit(arg),
+                "serve" => self.cmd_serve(arg),
                 "stats" => Ok(self.cmd_stats()),
                 "docs" => Ok(self.cmd_docs()),
                 "optimizer" => self.cmd_optimizer(arg),
@@ -85,7 +111,7 @@ impl Session {
     }
 
     fn require_docs(&self) -> Result<(), Box<dyn std::error::Error>> {
-        if self.engine.store().documents().is_empty() {
+        if self.engine.read().store().documents().is_empty() {
             return Err("no documents loaded — use .load <file> or .generate <mb>".into());
         }
         Ok(())
@@ -98,7 +124,8 @@ impl Session {
         let xml = std::fs::read_to_string(path)?;
         let t = std::time::Instant::now();
         let id = self.engine.load_xml(path, &xml)?;
-        let stats = self.engine.store().stats();
+        let engine = self.engine.read();
+        let stats = engine.store().stats();
         Ok(format!(
             "loaded {path} as document {} in {:.2?} ({} tuples on {} pages)",
             id.0,
@@ -123,29 +150,28 @@ impl Session {
 
     fn cmd_query(&mut self, xpath: &str) -> Result<String, Box<dyn std::error::Error>> {
         self.require_docs()?;
+        let engine = self.engine.read();
         let t = std::time::Instant::now();
-        let value = self.engine.evaluate(DocId(0), xpath)?;
+        let value = engine.evaluate(DocId(0), xpath)?;
         let elapsed = t.elapsed();
         let mut out = String::new();
         match value {
             Value::Nodes(nodes) => {
-                let names = self.engine.names_of(&nodes)?;
-                let values = self
-                    .engine
-                    .string_values(&nodes[..nodes.len().min(MAX_ROWS)])?;
-                for (name, value) in names.iter().zip(values.iter()) {
-                    let shown: String = value.chars().take(60).collect();
-                    let ellipsis = if value.chars().count() > 60 {
-                        "…"
-                    } else {
-                        ""
-                    };
-                    let _ = writeln!(out, "  <{name}> {shown}{ellipsis}");
+                let rendered = render_rows(
+                    &engine,
+                    &nodes,
+                    &RenderOptions {
+                        limit: self.limit,
+                        value_width: VALUE_WIDTH,
+                    },
+                )?;
+                for line in &rendered.lines {
+                    let _ = writeln!(out, "  {line}");
                 }
-                if nodes.len() > MAX_ROWS {
-                    let _ = writeln!(out, "  … {} more", nodes.len() - MAX_ROWS);
+                if rendered.truncated() > 0 {
+                    let _ = writeln!(out, "  … {} more", rendered.truncated());
                 }
-                let _ = write!(out, "{} node(s) in {elapsed:.2?}", nodes.len());
+                let _ = write!(out, "{} node(s) in {elapsed:.2?}", rendered.total);
             }
             Value::Num(n) => {
                 let _ = write!(out, "{n} ({elapsed:.2?})");
@@ -160,12 +186,65 @@ impl Session {
         Ok(out)
     }
 
+    fn cmd_limit(&mut self, arg: &str) -> Result<String, Box<dyn std::error::Error>> {
+        if arg.is_empty() {
+            return Ok(match self.limit {
+                0 => "limit is 0 (unlimited)".to_string(),
+                n => format!("limit is {n} row(s)"),
+            });
+        }
+        let n: usize = arg
+            .parse()
+            .map_err(|_| format!(".limit needs a non-negative integer, got `{arg}`"))?;
+        self.limit = n;
+        Ok(match n {
+            0 => "limit set to 0 (unlimited)".to_string(),
+            n => format!("limit set to {n} row(s)"),
+        })
+    }
+
+    fn cmd_serve(&mut self, arg: &str) -> Result<String, Box<dyn std::error::Error>> {
+        match arg {
+            "stop" => match self.server.take() {
+                Some(handle) => {
+                    let addr = handle.addr();
+                    handle.stop();
+                    Ok(format!("stopped serving on {addr}"))
+                }
+                None => Err("not serving; start with .serve <port>".into()),
+            },
+            "" => Ok(match &self.server {
+                Some(handle) => format!("serving on {}", handle.addr()),
+                None => "not serving; start with .serve <port>".to_string(),
+            }),
+            port => {
+                if let Some(handle) = &self.server {
+                    return Err(format!("already serving on {}", handle.addr()).into());
+                }
+                let port: u16 = port
+                    .parse()
+                    .map_err(|_| format!(".serve needs a port number, got `{port}`"))?;
+                let server = Server::bind_shared(
+                    ("127.0.0.1", port),
+                    Arc::clone(&self.engine),
+                    ServerConfig::default(),
+                )?;
+                let handle = server.spawn()?;
+                let addr = handle.addr();
+                self.server = Some(handle);
+                Ok(format!(
+                    "serving this session's store on {addr} (stop with .serve stop)"
+                ))
+            }
+        }
+    }
+
     fn cmd_explain(&mut self, xpath: &str) -> Result<String, Box<dyn std::error::Error>> {
         self.require_docs()?;
         if xpath.is_empty() {
             return Err(".explain needs an XPath expression".into());
         }
-        let ex = self.engine.explain(DocId(0), xpath)?;
+        let ex = self.engine.read().explain(DocId(0), xpath)?;
         let mut out = String::new();
         let _ = writeln!(out, "default plan (Σ tuple volume {}):", ex.default_cost);
         out.push_str(&ex.default_plan);
@@ -184,7 +263,10 @@ impl Session {
             return Err(".count needs an XPath expression".into());
         }
         let t = std::time::Instant::now();
-        let v = self.engine.evaluate(DocId(0), &format!("count({xpath})"))?;
+        let v = self
+            .engine
+            .read()
+            .evaluate(DocId(0), &format!("count({xpath})"))?;
         match v {
             Value::Num(n) => Ok(format!("{n} ({:.2?})", t.elapsed())),
             other => Err(format!("unexpected result {other:?}").into()),
@@ -197,13 +279,15 @@ impl Session {
             return Err(".xquery needs a FLWOR expression".into());
         }
         let t = std::time::Instant::now();
-        let xq = vamana_xquery::XQueryEngine::new(&self.engine);
+        let engine = self.engine.read();
+        let xq = vamana_xquery::XQueryEngine::new(&engine);
         let out = xq.eval_to_xml(query)?;
         Ok(format!("{out}\n({:.2?})", t.elapsed()))
     }
 
     fn cmd_stats(&self) -> String {
-        let s = self.engine.store().stats();
+        let engine = self.engine.read();
+        let s = engine.store().stats();
         format!(
             "documents: {}\ntuples:    {}\npages:     {} ({:.1} tuples/page)\nnames:     {}\nvalues:    {}\nbuffer:    {} hits / {} misses / {} evictions ({:.1}% hit ratio)",
             s.documents,
@@ -220,11 +304,12 @@ impl Session {
     }
 
     fn cmd_docs(&self) -> String {
-        if self.engine.store().documents().is_empty() {
+        let engine = self.engine.read();
+        if engine.store().documents().is_empty() {
             return "no documents loaded".to_string();
         }
         let mut out = String::new();
-        for (i, d) in self.engine.store().documents().iter().enumerate() {
+        for (i, d) in engine.store().documents().iter().enumerate() {
             let _ = writeln!(out, "  [{i}] {} (root key {})", d.name, d.doc_key);
         }
         out.pop();
@@ -234,16 +319,16 @@ impl Session {
     fn cmd_optimizer(&mut self, arg: &str) -> Result<String, Box<dyn std::error::Error>> {
         match arg {
             "on" => {
-                self.engine.options_mut().optimize = true;
+                self.engine.write().options_mut().optimize = true;
                 Ok("optimizer on (VQP-OPT)".to_string())
             }
             "off" => {
-                self.engine.options_mut().optimize = false;
+                self.engine.write().options_mut().optimize = false;
                 Ok("optimizer off (VQP: default plans)".to_string())
             }
             "" => Ok(format!(
                 "optimizer is {}",
-                if self.engine.options().optimize {
+                if self.engine.read().options().optimize {
                     "on"
                 } else {
                     "off"
@@ -261,14 +346,17 @@ impl Session {
         // Rebuild the store into a file-backed pager by re-serializing
         // the documents (the in-memory pager has no file to checkpoint).
         let mut file_store = MassStore::create_file(path, 1024)?;
-        for i in 0..self.engine.store().documents().len() {
-            let info = &self.engine.store().documents()[i];
-            let xml = self.reserialize(DocId(i as u32))?;
-            file_store.load_xml(&info.name.clone(), &xml)?;
+        {
+            let engine = self.engine.read();
+            for i in 0..engine.store().documents().len() {
+                let info = &engine.store().documents()[i];
+                let xml = reserialize(&engine, DocId(i as u32))?;
+                file_store.load_xml(&info.name.clone(), &xml)?;
+            }
         }
         file_store.checkpoint()?;
         let tuples = file_store.stats().tuples;
-        self.engine = Engine::new(file_store);
+        *self.engine.write() = Engine::new(file_store);
         Ok(format!(
             "saved to {path} ({tuples} tuples); session now runs on the file-backed store"
         ))
@@ -280,23 +368,23 @@ impl Session {
         }
         let store = MassStore::open_file(path, 1024)?;
         let stats = store.stats();
-        self.engine = Engine::new(store);
+        *self.engine.write() = Engine::new(store);
         Ok(format!(
             "opened {path}: {} documents, {} tuples on {} pages",
             stats.documents, stats.tuples, stats.pages
         ))
     }
+}
 
-    /// Round-trips a stored document back to XML text, used by `.save`
-    /// to copy between pagers.
-    fn reserialize(&self, doc: DocId) -> Result<String, Box<dyn std::error::Error>> {
-        let store = self.engine.store();
-        let info = store.document(doc).ok_or("no such document")?;
-        Ok(vamana_mass::export::export_subtree_xml(
-            store,
-            &info.doc_key,
-        )?)
-    }
+/// Round-trips a stored document back to XML text, used by `.save` to
+/// copy between pagers.
+fn reserialize(engine: &Engine, doc: DocId) -> Result<String, Box<dyn std::error::Error>> {
+    let store = engine.store();
+    let info = store.document(doc).ok_or("no such document")?;
+    Ok(vamana_mass::export::export_subtree_xml(
+        store,
+        &info.doc_key,
+    )?)
 }
 
 /// `.help` text.
@@ -307,6 +395,8 @@ commands:
   .generate [mb]      generate ~mb megabytes of XMark auction data
   .explain <xpath>    show default vs optimized plan with live costs
   .count <xpath>      count results (index-only when possible)
+  .limit [n]          rows shown per query (0 = unlimited)
+  .serve <port|stop>  share this session's store over TCP
   .xquery <flwor>     run an XQuery-lite FLWOR expression
   .optimizer [on|off] toggle the cost-driven optimizer
   .stats              storage and buffer-pool statistics
@@ -319,6 +409,8 @@ commands:
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
 
     fn loaded() -> Session {
         let mut s = Session::new();
@@ -350,6 +442,57 @@ mod tests {
         assert!(out.starts_with('1'), "{out}");
         let out = s.execute("concat('a', 'b')").unwrap();
         assert!(out.contains("\"ab\""), "{out}");
+    }
+
+    #[test]
+    fn limit_caps_rows_and_is_adjustable() {
+        let mut s = Session::new();
+        s.engine()
+            .load_xml("d", "<r><a>1</a><a>2</a><a>3</a></r>")
+            .unwrap();
+        assert!(s.execute(".limit").unwrap().contains("20"));
+        assert!(s.execute(".limit 2").unwrap().contains("2 row(s)"));
+        let out = s.execute("//a").unwrap();
+        assert!(out.contains("… 1 more"), "{out}");
+        assert!(out.contains("3 node(s)"), "{out}");
+        assert!(s.execute(".limit 0").unwrap().contains("unlimited"));
+        let out = s.execute("//a").unwrap();
+        assert!(!out.contains("more"), "{out}");
+        let out = s.execute(".limit nope").unwrap();
+        assert!(out.contains("error"), "{out}");
+    }
+
+    #[test]
+    fn serve_shares_the_session_store() {
+        let mut s = loaded();
+        // Port 0: the kernel picks a free port, reported by serving_addr.
+        let out = s.execute(".serve 0").unwrap();
+        assert!(out.contains("serving"), "{out}");
+        let addr = s.serving_addr().expect("serving");
+
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        writeln!(writer, "QUERY //name").unwrap();
+        let mut rows = Vec::new();
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            let line = line.trim_end().to_string();
+            let done = line.starts_with("OK") || line.starts_with("ERR");
+            rows.push(line);
+            if done {
+                break;
+            }
+        }
+        assert!(rows[0].contains("Yung Flach"), "{rows:?}");
+        assert!(rows.last().unwrap().starts_with("OK 1 row(s)"), "{rows:?}");
+
+        assert!(s.execute(".serve").unwrap().contains("serving on"));
+        let out = s.execute(".serve 0").unwrap();
+        assert!(out.contains("already serving"), "{out}");
+        assert!(s.execute(".serve stop").unwrap().contains("stopped"));
+        assert!(s.execute(".serve").unwrap().contains("not serving"));
     }
 
     #[test]

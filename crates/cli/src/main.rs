@@ -1,4 +1,4 @@
-//! The `vamana` interactive shell.
+//! The `vamana` interactive shell and query server.
 //!
 //! ```sh
 //! cargo run --release -p vamana-cli --bin vamana-shell
@@ -7,14 +7,26 @@
 //! ```
 //!
 //! Files given on the command line are loaded before the prompt appears;
-//! with `-c <command>` the shell runs one command and exits.
+//! with `-c <command>` the shell runs one command and exits. `serve`
+//! runs the TCP query service in the foreground instead of a prompt:
+//!
+//! ```sh
+//! vamana-shell serve 4050 auction.xml      # serve a loaded file
+//! vamana-shell serve 4050 --generate 2     # serve generated XMark data
+//! ```
 
 use std::io::{BufRead, Write};
 use vamana_cli::Session;
 
 fn main() {
-    let mut session = Session::new();
     let args: Vec<String> = std::env::args().skip(1).collect();
+
+    if args.first().map(String::as_str) == Some("serve") {
+        serve(&args[1..]);
+        return;
+    }
+
+    let mut session = Session::new();
 
     // `-c` one-shot mode.
     if let Some(pos) = args.iter().position(|a| a == "-c") {
@@ -51,6 +63,46 @@ fn main() {
                 break;
             }
         }
+    }
+}
+
+/// `vamana-shell serve <port> [file... | --generate <mb>]`: loads the
+/// given data, then blocks serving the query protocol on `port`.
+fn serve(args: &[String]) {
+    let Some(port) = args.first().and_then(|p| p.parse::<u16>().ok()) else {
+        eprintln!("usage: vamana-shell serve <port> [file... | --generate <mb>]");
+        std::process::exit(2);
+    };
+    let mut session = Session::new();
+    let mut rest = args[1..].iter();
+    while let Some(arg) = rest.next() {
+        let command = if arg == "--generate" {
+            let mb = rest.next().map(String::as_str).unwrap_or("1");
+            format!(".generate {mb}")
+        } else {
+            format!(".load {arg}")
+        };
+        match session.execute(&command) {
+            Some(out) if out.starts_with("error") => {
+                eprintln!("{out}");
+                std::process::exit(1);
+            }
+            Some(out) => println!("{out}"),
+            None => return,
+        }
+    }
+    match session.execute(&format!(".serve {port}")) {
+        Some(out) if out.starts_with("error") => {
+            eprintln!("{out}");
+            std::process::exit(1);
+        }
+        Some(out) => println!("{out}"),
+        None => return,
+    }
+    // The accept loop runs on the .serve background thread; keep the
+    // process alive until killed.
+    loop {
+        std::thread::park();
     }
 }
 

@@ -268,6 +268,15 @@ impl Engine {
         QueryStream::new(self, plan, root_ctx)
     }
 
+    /// Opens a streaming cursor over an already-compiled (and possibly
+    /// cached) `plan` on `doc`. The serving layer executes plan-cache
+    /// hits through this, pulling tuples so it can enforce per-query
+    /// deadlines between pulls.
+    pub fn stream_plan(&self, plan: QueryPlan, doc: DocId) -> Result<QueryStream<'_>> {
+        let root_ctx = self.doc_entry(doc)?;
+        QueryStream::new(self, plan, root_ctx)
+    }
+
     /// Resolves the string values of a result set (element string-value,
     /// attribute/text value).
     pub fn string_values(&self, entries: &[NodeEntry]) -> Result<Vec<String>> {

@@ -41,12 +41,14 @@ pub mod error;
 pub mod exec;
 pub mod opt;
 pub mod plan;
+pub mod shared;
 
 pub use engine::{Engine, EngineOptions, Explain, QueryStream};
 pub use error::{EngineError, Result};
 pub use exec::value::Value;
 pub use opt::{OptimizeOutcome, OptimizerOptions};
 pub use plan::{builder::build_plan, display::render, OpId, Operator, QueryPlan};
+pub use shared::{QueryProfile, SharedEngine};
 
 // Re-export the storage entry points so `vamana_core` is usable alone.
 pub use vamana_mass::{DocId, MassStore, NodeEntry};

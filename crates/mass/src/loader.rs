@@ -16,6 +16,7 @@ impl MassStore {
     /// Loads `doc` under `name`, returning its id. Documents load after
     /// all previously loaded ones; their records never interleave.
     pub fn load_document(&mut self, name: &str, doc: &Document) -> Result<DocId> {
+        self.bump_generation();
         let ordinal = self.docs.len() as u64;
         let mut generator = KeyGenerator::new();
         // Skip ordinals already consumed by earlier documents.

@@ -51,6 +51,10 @@ pub struct MassStore {
     pub(crate) tuples: u64,
     /// Page ids emptied by deletes, reused by later inserts.
     pub(crate) free_pages: Vec<u32>,
+    /// Bumped on every mutation (loads, inserts, deletes). Cached
+    /// artifacts derived from store contents — compiled plans, cost
+    /// estimates — key on this to detect staleness.
+    pub(crate) generation: u64,
 }
 
 impl std::fmt::Debug for MassStore {
@@ -93,7 +97,18 @@ impl MassStore {
             docs: Vec::new(),
             tuples: 0,
             free_pages: Vec::new(),
+            generation: 0,
         }
+    }
+
+    /// Mutation counter: changes whenever store contents change, so
+    /// callers can cheaply validate cached plans or statistics.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    pub(crate) fn bump_generation(&mut self) {
+        self.generation += 1;
     }
 
     // ---- names ---------------------------------------------------------
@@ -448,6 +463,7 @@ impl MassStore {
     /// Inserts a record into the clustered index at its key position,
     /// splitting the target page if needed.
     pub(crate) fn insert_record(&mut self, rec: NodeRecord) -> Result<()> {
+        self.bump_generation();
         let flat = rec.key.as_flat().to_vec();
         if self.index.is_empty() {
             let id = self.allocate_page()?;
@@ -719,6 +735,7 @@ impl MassStore {
     /// Deletes the node at `key` and its whole subtree. Returns the number
     /// of records removed.
     pub fn delete_subtree(&mut self, key: &FlexKey) -> Result<u64> {
+        self.bump_generation();
         let range = KeyRange::subtree(key);
         if self.index.is_empty() {
             return Ok(0);

@@ -1,0 +1,695 @@
+//! # vamana-server
+//!
+//! A concurrent query service over one shared VAMANA engine: a TCP
+//! line protocol served by a worker thread pool, with a compiled-plan
+//! cache, bounded-queue admission control, per-query deadlines, and a
+//! metrics registry (see `DESIGN.md`, "Serving layer").
+//!
+//! ## Protocol
+//!
+//! One request per line, UTF-8; every request produces one or more
+//! response lines ending with `OK …` or a single `ERR <kind> <message>`:
+//!
+//! ```text
+//! QUERY <xpath>        rows over all documents   → ROW… then OK
+//! EVAL <xpath>         scalar on document 0      → VAL then OK (rows if node-set)
+//! LOADXML <name> <xml> load inline XML           → OK
+//! LOAD <name> <path>   load an XML file          → OK
+//! LIMIT <n>            per-connection row cap    → OK (0 = unlimited)
+//! STATS                metrics snapshot          → STAT… then OK
+//! PING                                           → OK pong
+//! QUIT                                           → OK bye, closes
+//! ```
+//!
+//! ## Threading model
+//!
+//! One accept thread; one (detached) thread per connection parsing
+//! requests; a fixed worker pool executing `QUERY`/`EVAL` jobs against
+//! the shared engine under its read lock. Loads run on the connection
+//! thread under the write lock and clear the plan cache. The queue
+//! between connections and workers is bounded: a full queue rejects at
+//! admission with `ERR busy` rather than queueing unboundedly, and every
+//! job carries a deadline that is checked when dequeued and between
+//! result-tuple pulls while executing.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use vamana_core::{DocId, Engine, SharedEngine, Value};
+
+pub mod cache;
+pub mod metrics;
+pub mod pool;
+pub mod render;
+
+pub use cache::PlanCache;
+pub use metrics::Metrics;
+pub use render::{render_rows, RenderOptions, Rendered};
+
+use metrics::ActiveGuard;
+use pool::WorkerPool;
+
+/// Tuples pulled between deadline checks while executing a query.
+const DEADLINE_CHECK_EVERY: usize = 64;
+
+/// Server tunables.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads executing queries.
+    pub workers: usize,
+    /// Jobs admitted but not yet running; beyond this, `ERR busy`.
+    pub queue_depth: usize,
+    /// Per-query deadline, from admission to last tuple.
+    pub query_timeout: Duration,
+    /// Compiled plans cached across queries.
+    pub plan_cache_size: usize,
+    /// Default per-connection row cap (`LIMIT` overrides; 0 = unlimited).
+    pub default_limit: usize,
+    /// Characters of string-value shown per row.
+    pub value_width: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            queue_depth: 64,
+            query_timeout: Duration::from_secs(10),
+            plan_cache_size: 256,
+            default_limit: 20,
+            value_width: 200,
+        }
+    }
+}
+
+/// Errors a job can produce (I/O errors are handled per connection).
+#[derive(Debug)]
+pub enum ServerError {
+    /// Rejected at admission: queue full.
+    Busy,
+    /// Deadline exceeded, queued or mid-execution.
+    Timeout(Duration),
+    /// Compile or execution failure.
+    Query(String),
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::Busy => write!(f, "busy server at capacity, retry later"),
+            ServerError::Timeout(t) => write!(f, "timeout query exceeded {}ms", t.as_millis()),
+            ServerError::Query(msg) => write!(f, "query {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+/// State shared by the accept thread, connection threads, and workers.
+pub struct Shared {
+    engine: Arc<SharedEngine>,
+    cache: PlanCache,
+    metrics: Metrics,
+    config: ServerConfig,
+    stopping: AtomicBool,
+}
+
+impl Shared {
+    /// The engine behind the service.
+    pub fn engine(&self) -> &Arc<SharedEngine> {
+        &self.engine
+    }
+
+    /// The metrics registry.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The plan cache.
+    pub fn cache(&self) -> &PlanCache {
+        &self.cache
+    }
+}
+
+/// What a `QUERY` or `EVAL` asks for.
+enum Request {
+    Query { xpath: String },
+    Eval { xpath: String },
+}
+
+/// One unit of work handed to the pool.
+pub struct Job {
+    request: Request,
+    limit: usize,
+    deadline: Instant,
+    reply: SyncSender<Result<Outcome, ServerError>>,
+}
+
+/// A successful job result, ready to serialize.
+enum Outcome {
+    Rows {
+        rendered: Rendered,
+        cached: bool,
+        elapsed: Duration,
+        buffer_hits: u64,
+        buffer_misses: u64,
+    },
+    Scalar {
+        text: String,
+        elapsed: Duration,
+    },
+}
+
+fn query_err(e: impl std::fmt::Display) -> ServerError {
+    ServerError::Query(e.to_string())
+}
+
+/// Runs one job on a worker thread and replies to its connection.
+pub(crate) fn execute_job(shared: &Shared, job: Job) {
+    let _active = ActiveGuard::enter(&shared.metrics);
+    let now = Instant::now();
+    if now >= job.deadline {
+        shared.metrics.timeouts.fetch_add(1, Ordering::Relaxed);
+        let _ = job
+            .reply
+            .send(Err(ServerError::Timeout(shared.config.query_timeout)));
+        return;
+    }
+    let result = match &job.request {
+        Request::Query { xpath } => run_query(shared, xpath, job.limit, job.deadline),
+        Request::Eval { xpath } => run_eval(shared, xpath, job.limit),
+    };
+    match &result {
+        Ok(outcome) => {
+            shared.metrics.queries.fetch_add(1, Ordering::Relaxed);
+            let (elapsed, rows, hits, misses) = match outcome {
+                Outcome::Rows {
+                    rendered,
+                    elapsed,
+                    buffer_hits,
+                    buffer_misses,
+                    ..
+                } => (
+                    *elapsed,
+                    rendered.total as u64,
+                    *buffer_hits,
+                    *buffer_misses,
+                ),
+                Outcome::Scalar { elapsed, .. } => (*elapsed, 0, 0, 0),
+            };
+            shared.metrics.latency.record(elapsed);
+            shared
+                .metrics
+                .rows_returned
+                .fetch_add(rows, Ordering::Relaxed);
+            shared
+                .metrics
+                .buffer_hits
+                .fetch_add(hits, Ordering::Relaxed);
+            shared
+                .metrics
+                .buffer_misses
+                .fetch_add(misses, Ordering::Relaxed);
+        }
+        Err(ServerError::Timeout(_)) => {
+            shared.metrics.timeouts.fetch_add(1, Ordering::Relaxed);
+        }
+        Err(_) => {
+            shared.metrics.queries.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    // A send error means the client hung up; nothing to do.
+    let _ = job.reply.send(result);
+}
+
+/// Executes `xpath` over every document via the plan cache, enforcing
+/// `deadline` between tuple pulls, and renders up to `limit` rows.
+fn run_query(
+    shared: &Shared,
+    xpath: &str,
+    limit: usize,
+    deadline: Instant,
+) -> Result<Outcome, ServerError> {
+    let engine = shared.engine.read();
+    if engine.store().documents().is_empty() {
+        return Err(ServerError::Query(
+            "no documents loaded (use LOADXML or LOAD)".into(),
+        ));
+    }
+    let generation = engine.store().generation();
+    let start = Instant::now();
+    let before = engine.store().buffer_pool().stats();
+    let mut all = Vec::new();
+    let mut all_cached = true;
+    for i in 0..engine.store().documents().len() {
+        let doc = DocId(i as u32);
+        let plan = match shared.cache.get(xpath, doc, generation) {
+            Some(plan) => plan,
+            None => {
+                all_cached = false;
+                let compiled = engine.compile(xpath).map_err(query_err)?;
+                let optimized = if engine.options().optimize {
+                    engine.optimize_plan(compiled, doc).map_err(query_err)?.plan
+                } else {
+                    compiled
+                };
+                let plan = Arc::new(optimized);
+                shared
+                    .cache
+                    .insert(xpath, doc, generation, Arc::clone(&plan));
+                plan
+            }
+        };
+        let mut stream = engine
+            .stream_plan((*plan).clone(), doc)
+            .map_err(query_err)?;
+        let mut pulled = 0usize;
+        while let Some(tuple) = stream.next().map_err(query_err)? {
+            all.push(tuple);
+            pulled += 1;
+            if pulled.is_multiple_of(DEADLINE_CHECK_EVERY) && Instant::now() >= deadline {
+                return Err(ServerError::Timeout(shared.config.query_timeout));
+            }
+        }
+        if Instant::now() >= deadline {
+            return Err(ServerError::Timeout(shared.config.query_timeout));
+        }
+    }
+    // XPath node-set semantics across documents: document order, no
+    // duplicates (streams yield pipeline order within one document).
+    all.sort_by(|a, b| a.key.cmp(&b.key));
+    all.dedup_by(|a, b| a.key == b.key);
+    let rendered = render_rows(
+        &engine,
+        &all,
+        &RenderOptions {
+            limit,
+            value_width: shared.config.value_width,
+        },
+    )
+    .map_err(query_err)?;
+    // Snapshot after rendering: index-answerable queries do their page
+    // reads in string-value extraction, not plan execution.
+    let after = engine.store().buffer_pool().stats();
+    Ok(Outcome::Rows {
+        rendered,
+        cached: all_cached,
+        elapsed: start.elapsed(),
+        buffer_hits: after.hits.saturating_sub(before.hits),
+        buffer_misses: after.misses.saturating_sub(before.misses),
+    })
+}
+
+/// Evaluates `xpath` as a full XPath expression on document 0 — scalars
+/// come back as `VAL`, node-sets as rows.
+fn run_eval(shared: &Shared, xpath: &str, limit: usize) -> Result<Outcome, ServerError> {
+    let engine = shared.engine.read();
+    if engine.store().documents().is_empty() {
+        return Err(ServerError::Query(
+            "no documents loaded (use LOADXML or LOAD)".into(),
+        ));
+    }
+    let start = Instant::now();
+    let before = engine.store().buffer_pool().stats();
+    let value = engine.evaluate(DocId(0), xpath).map_err(query_err)?;
+    let elapsed = start.elapsed();
+    match value {
+        Value::Nodes(nodes) => {
+            let rendered = render_rows(
+                &engine,
+                &nodes,
+                &RenderOptions {
+                    limit,
+                    value_width: shared.config.value_width,
+                },
+            )
+            .map_err(query_err)?;
+            let after = engine.store().buffer_pool().stats();
+            Ok(Outcome::Rows {
+                rendered,
+                cached: false,
+                elapsed,
+                buffer_hits: after.hits.saturating_sub(before.hits),
+                buffer_misses: after.misses.saturating_sub(before.misses),
+            })
+        }
+        Value::Num(n) => Ok(Outcome::Scalar {
+            text: n.to_string(),
+            elapsed,
+        }),
+        Value::Str(s) => Ok(Outcome::Scalar { text: s, elapsed }),
+        Value::Bool(b) => Ok(Outcome::Scalar {
+            text: b.to_string(),
+            elapsed,
+        }),
+    }
+}
+
+/// Protocol values are single-line: escape the characters that would
+/// break framing.
+fn escape_line(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The query service: a TCP listener plus the worker pool behind it.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    pool: Arc<WorkerPool>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:4050`, port 0 for ephemeral) and
+    /// spins up the worker pool over `engine`.
+    pub fn bind(
+        addr: impl std::net::ToSocketAddrs,
+        engine: Engine,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
+        Server::bind_shared(addr, Arc::new(SharedEngine::new(engine)), config)
+    }
+
+    /// Like [`Server::bind`], but over an engine the caller keeps a
+    /// handle to — the REPL's `.serve` shares its session engine with
+    /// the service this way.
+    pub fn bind_shared(
+        addr: impl std::net::ToSocketAddrs,
+        engine: Arc<SharedEngine>,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let shared = Arc::new(Shared {
+            engine,
+            cache: PlanCache::new(config.plan_cache_size),
+            metrics: Metrics::default(),
+            config: config.clone(),
+            stopping: AtomicBool::new(false),
+        });
+        let pool = Arc::new(WorkerPool::new(
+            config.workers,
+            config.queue_depth,
+            Arc::clone(&shared),
+        ));
+        Ok(Server {
+            listener,
+            shared,
+            pool,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Shared state, for embedding (the REPL inspects metrics).
+    pub fn shared(&self) -> &Arc<Shared> {
+        &self.shared
+    }
+
+    /// Serves until [`ServerHandle::stop`] flips the stop flag (or
+    /// forever when run directly). Accepted connections get their own
+    /// thread; the accept loop itself never does protocol work.
+    pub fn run(self) -> std::io::Result<()> {
+        for stream in self.listener.incoming() {
+            if self.shared.stopping.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            self.shared
+                .metrics
+                .connections
+                .fetch_add(1, Ordering::Relaxed);
+            let shared = Arc::clone(&self.shared);
+            let pool = Arc::clone(&self.pool);
+            std::thread::spawn(move || {
+                let _ = serve_connection(stream, &shared, &pool);
+            });
+        }
+        Ok(())
+    }
+
+    /// Runs the accept loop on a background thread, returning a handle
+    /// to stop it (used by tests and the REPL's `.serve`).
+    pub fn spawn(self) -> std::io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let shared = Arc::clone(&self.shared);
+        let thread = std::thread::Builder::new()
+            .name("vamana-accept".into())
+            .spawn(move || self.run())?;
+        Ok(ServerHandle {
+            addr,
+            shared,
+            thread: Some(thread),
+        })
+    }
+}
+
+/// A running server; dropping it stops the accept loop.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    thread: Option<std::thread::JoinHandle<std::io::Result<()>>>,
+}
+
+impl ServerHandle {
+    /// Address clients should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared state (metrics, cache, engine) of the running server.
+    pub fn shared(&self) -> &Arc<Shared> {
+        &self.shared
+    }
+
+    /// Stops accepting and joins the accept thread. Existing
+    /// connections finish their in-flight request and then fail on the
+    /// next read.
+    pub fn stop(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        let Some(thread) = self.thread.take() else {
+            return;
+        };
+        self.shared.stopping.store(true, Ordering::SeqCst);
+        // Wake the accept loop with a no-op connection.
+        let _ = TcpStream::connect(self.addr);
+        let _ = thread.join();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+/// Parses and answers requests from one client until QUIT/EOF.
+fn serve_connection(
+    stream: TcpStream,
+    shared: &Arc<Shared>,
+    pool: &Arc<WorkerPool>,
+) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let mut limit = shared.config.default_limit;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(()); // EOF
+        }
+        let request = line.trim_end_matches(['\n', '\r']);
+        if request.is_empty() {
+            continue;
+        }
+        let (verb, rest) = match request.split_once(' ') {
+            Some((v, r)) => (v, r.trim()),
+            None => (request, ""),
+        };
+        match verb {
+            "PING" => writeln!(writer, "OK pong")?,
+            "QUIT" => {
+                writeln!(writer, "OK bye")?;
+                return Ok(());
+            }
+            "LIMIT" => match rest.parse::<usize>() {
+                Ok(n) => {
+                    limit = n;
+                    writeln!(writer, "OK limit {n}")?;
+                }
+                Err(_) => writeln!(writer, "ERR proto LIMIT needs a non-negative integer")?,
+            },
+            "STATS" => {
+                for stat in render_stats(shared) {
+                    writeln!(writer, "{stat}")?;
+                }
+                writeln!(writer, "OK")?;
+            }
+            "LOADXML" | "LOAD" => {
+                let response = handle_load(shared, verb, rest);
+                writeln!(writer, "{response}")?;
+            }
+            "QUERY" | "EVAL" if rest.is_empty() => {
+                writeln!(writer, "ERR proto {verb} needs an XPath expression")?;
+            }
+            "QUERY" | "EVAL" => {
+                let (tx, rx) = std::sync::mpsc::sync_channel(1);
+                let request = if verb == "QUERY" {
+                    Request::Query {
+                        xpath: rest.to_string(),
+                    }
+                } else {
+                    Request::Eval {
+                        xpath: rest.to_string(),
+                    }
+                };
+                let job = Job {
+                    request,
+                    limit,
+                    deadline: Instant::now() + shared.config.query_timeout,
+                    reply: tx,
+                };
+                if pool.try_submit(job).is_err() {
+                    shared
+                        .metrics
+                        .busy_rejections
+                        .fetch_add(1, Ordering::Relaxed);
+                    writeln!(writer, "ERR {}", ServerError::Busy)?;
+                    continue;
+                }
+                write_reply(&mut writer, &rx)?;
+            }
+            _ => writeln!(writer, "ERR proto unknown request {verb}")?,
+        }
+        writer.flush()?;
+    }
+}
+
+/// Waits for the worker's reply and serializes it.
+fn write_reply(
+    writer: &mut TcpStream,
+    rx: &Receiver<Result<Outcome, ServerError>>,
+) -> std::io::Result<()> {
+    match rx.recv() {
+        Ok(Ok(Outcome::Rows {
+            rendered,
+            cached,
+            elapsed,
+            buffer_hits,
+            buffer_misses,
+        })) => {
+            for row in &rendered.lines {
+                writeln!(writer, "ROW {}", escape_line(row))?;
+            }
+            writeln!(
+                writer,
+                "OK {} row(s) plan={} {}us hits={} misses={}",
+                rendered.total,
+                if cached { "cached" } else { "compiled" },
+                elapsed.as_micros(),
+                buffer_hits,
+                buffer_misses
+            )
+        }
+        Ok(Ok(Outcome::Scalar { text, elapsed })) => {
+            writeln!(writer, "VAL {}", escape_line(&text))?;
+            writeln!(writer, "OK scalar {}us", elapsed.as_micros())
+        }
+        Ok(Err(e)) => writeln!(writer, "ERR {e}"),
+        // Worker pool shut down before replying.
+        Err(_) => writeln!(writer, "ERR busy server shutting down"),
+    }
+}
+
+/// Handles `LOAD`/`LOADXML` on the connection thread (write lock).
+fn handle_load(shared: &Shared, verb: &str, rest: &str) -> String {
+    let Some((name, payload)) = rest.split_once(' ').map(|(n, p)| (n, p.trim())) else {
+        return format!("ERR proto {verb} needs a name and a payload");
+    };
+    let xml = if verb == "LOAD" {
+        match std::fs::read_to_string(payload) {
+            Ok(xml) => xml,
+            Err(e) => return format!("ERR query cannot read {payload}: {e}"),
+        }
+    } else {
+        payload.to_string()
+    };
+    match shared.engine.load_xml(name, &xml) {
+        Ok(id) => {
+            // The generation bump already invalidates logically; clearing
+            // also frees plans that can never validate again.
+            shared.cache.clear();
+            format!(
+                "OK loaded document {} generation {}",
+                id.0,
+                shared.engine.generation()
+            )
+        }
+        Err(e) => format!("ERR query {e}"),
+    }
+}
+
+/// One `STAT key value` line per metric, cache and store counter.
+fn render_stats(shared: &Shared) -> Vec<String> {
+    let mut out = Vec::new();
+    shared.metrics.render(&mut out);
+    let (hits, misses) = shared.cache.counters();
+    out.push(format!("STAT plan_cache_hits {hits}"));
+    out.push(format!("STAT plan_cache_misses {misses}"));
+    out.push(format!("STAT plan_cache_size {}", shared.cache.len()));
+    out.push(format!("STAT workers {}", shared.config.workers));
+    out.push(format!("STAT queue_depth {}", shared.config.queue_depth));
+    let engine = shared.engine.read();
+    let stats = engine.store().stats();
+    out.push(format!("STAT documents {}", stats.documents));
+    out.push(format!("STAT store_tuples {}", stats.tuples));
+    out.push(format!("STAT store_pages {}", stats.pages));
+    out.push(format!(
+        "STAT store_generation {}",
+        engine.store().generation()
+    ));
+    out.push(format!("STAT pool_buffer_hits {}", stats.buffer.hits));
+    out.push(format!("STAT pool_buffer_misses {}", stats.buffer.misses));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_round_trips_framing_characters() {
+        assert_eq!(escape_line("a\tb\nc\\d"), "a\\tb\\nc\\\\d");
+        assert_eq!(escape_line("plain"), "plain");
+    }
+
+    #[test]
+    fn config_defaults_are_sane() {
+        let c = ServerConfig::default();
+        assert!(c.workers >= 1);
+        assert!(c.queue_depth >= c.workers);
+        assert!(c.query_timeout > Duration::ZERO);
+    }
+}

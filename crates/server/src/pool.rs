@@ -1,0 +1,118 @@
+//! Worker pool with bounded-queue admission control.
+//!
+//! Connection threads parse requests and *submit* them; a fixed set of
+//! worker threads executes them against the shared engine. The queue
+//! between the two is bounded: when it is full, submission fails
+//! immediately and the client gets a `busy` response instead of the
+//! server accumulating unbounded work — load shedding at admission, the
+//! only place it is cheap.
+
+use crate::{execute_job, Job, Shared};
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+struct Queue {
+    jobs: Mutex<QueueState>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    open: bool,
+}
+
+impl Queue {
+    fn lock(&self) -> std::sync::MutexGuard<'_, QueueState> {
+        self.jobs.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Admission control: enqueues `job` unless the queue is full or the
+    /// pool is shutting down, in which case the job is handed back.
+    fn try_push(&self, job: Job) -> Result<(), Job> {
+        let mut state = self.lock();
+        if !state.open || state.jobs.len() >= self.capacity {
+            return Err(job);
+        }
+        state.jobs.push_back(job);
+        drop(state);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next job; `None` once the pool closes and the
+    /// queue drains.
+    fn pop(&self) -> Option<Job> {
+        let mut state = self.lock();
+        loop {
+            if let Some(job) = state.jobs.pop_front() {
+                return Some(job);
+            }
+            if !state.open {
+                return None;
+            }
+            state = self.ready.wait(state).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    fn close(&self) {
+        self.lock().open = false;
+        self.ready.notify_all();
+    }
+}
+
+/// Fixed worker threads over a bounded job queue.
+pub struct WorkerPool {
+    queue: Arc<Queue>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads executing jobs against `shared`.
+    pub fn new(workers: usize, queue_depth: usize, shared: Arc<Shared>) -> Self {
+        let queue = Arc::new(Queue {
+            jobs: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                open: true,
+            }),
+            ready: Condvar::new(),
+            capacity: queue_depth.max(1),
+        });
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let queue = Arc::clone(&queue);
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("vamana-worker-{i}"))
+                    .spawn(move || {
+                        while let Some(job) = queue.pop() {
+                            execute_job(&shared, job);
+                        }
+                    })
+                    .expect("spawn worker")
+            })
+            .collect();
+        WorkerPool { queue, workers }
+    }
+
+    /// Submits a job, or returns it when the server is at capacity.
+    pub fn try_submit(&self, job: Job) -> Result<(), Job> {
+        self.queue.try_push(job)
+    }
+
+    /// Closes the queue and joins the workers (queued jobs still run;
+    /// their clients get replies before the pool exits).
+    pub fn shutdown(&mut self) {
+        self.queue.close();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

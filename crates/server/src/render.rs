@@ -1,0 +1,121 @@
+//! Result-row rendering shared by the REPL and the server.
+//!
+//! Both front ends show the same thing for a node-set: one line per node,
+//! `<name> string-value`, truncated to a configurable width, capped at a
+//! configurable row limit. Keeping this in one place means `.limit` in
+//! the shell and `LIMIT` in the wire protocol go through identical code.
+
+use vamana_core::{Engine, NodeEntry, Result};
+
+/// Rendering knobs.
+#[derive(Debug, Clone)]
+pub struct RenderOptions {
+    /// Maximum rows rendered (`0` = unlimited).
+    pub limit: usize,
+    /// Maximum characters of string-value shown per row.
+    pub value_width: usize,
+}
+
+impl Default for RenderOptions {
+    fn default() -> Self {
+        RenderOptions {
+            limit: 20,
+            value_width: 60,
+        }
+    }
+}
+
+/// A rendered node-set: up to `limit` formatted rows plus the total
+/// cardinality (callers print "… N more" from the difference).
+#[derive(Debug, Clone)]
+pub struct Rendered {
+    /// `<name> value` lines, one per shown row.
+    pub lines: Vec<String>,
+    /// Total result cardinality (≥ `lines.len()`).
+    pub total: usize,
+}
+
+impl Rendered {
+    /// Rows beyond the limit that were not rendered.
+    pub fn truncated(&self) -> usize {
+        self.total - self.lines.len()
+    }
+}
+
+/// Renders `nodes` (name + truncated string-value per row) under `opts`.
+pub fn render_rows(engine: &Engine, nodes: &[NodeEntry], opts: &RenderOptions) -> Result<Rendered> {
+    let shown = if opts.limit == 0 {
+        nodes.len()
+    } else {
+        nodes.len().min(opts.limit)
+    };
+    let names = engine.names_of(&nodes[..shown])?;
+    let values = engine.string_values(&nodes[..shown])?;
+    let mut lines = Vec::with_capacity(shown);
+    for (name, value) in names.iter().zip(values.iter()) {
+        let truncated: String = value.chars().take(opts.value_width).collect();
+        let ellipsis = if value.chars().count() > opts.value_width {
+            "…"
+        } else {
+            ""
+        };
+        lines.push(format!("<{name}> {truncated}{ellipsis}"));
+    }
+    Ok(Rendered {
+        lines,
+        total: nodes.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vamana_core::{Engine, MassStore};
+
+    fn engine() -> Engine {
+        let mut store = MassStore::open_memory();
+        store
+            .load_xml(
+                "d",
+                "<r><p><n>Ann</n></p><p><n>Bob</n></p><p><n>Cyd</n></p></r>",
+            )
+            .unwrap();
+        Engine::new(store)
+    }
+
+    #[test]
+    fn renders_name_and_value_up_to_limit() {
+        let e = engine();
+        let nodes = e.query("//n").unwrap();
+        let r = render_rows(
+            &e,
+            &nodes,
+            &RenderOptions {
+                limit: 2,
+                value_width: 60,
+            },
+        )
+        .unwrap();
+        assert_eq!(r.lines, vec!["<n> Ann", "<n> Bob"]);
+        assert_eq!(r.total, 3);
+        assert_eq!(r.truncated(), 1);
+    }
+
+    #[test]
+    fn zero_limit_means_unlimited_and_width_truncates() {
+        let e = engine();
+        let nodes = e.query("//n").unwrap();
+        let r = render_rows(
+            &e,
+            &nodes,
+            &RenderOptions {
+                limit: 0,
+                value_width: 2,
+            },
+        )
+        .unwrap();
+        assert_eq!(r.lines.len(), 3);
+        assert_eq!(r.lines[0], "<n> An…");
+        assert_eq!(r.truncated(), 0);
+    }
+}

@@ -142,8 +142,10 @@ impl<'a> XQueryEngine<'a> {
                 Clause::For { var, pos, source } => {
                     let mut next = Vec::new();
                     for tuple in &tuples {
-                        for (i, item) in
-                            self.eval_xpath_items(source, tuple)?.into_iter().enumerate()
+                        for (i, item) in self
+                            .eval_xpath_items(source, tuple)?
+                            .into_iter()
+                            .enumerate()
                         {
                             let mut t = tuple.clone();
                             t.push((var.clone(), vec![item]));

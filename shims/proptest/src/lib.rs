@@ -1,0 +1,735 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! ships a miniature property-testing framework exposing the subset of
+//! the proptest 1.x API its tests use:
+//!
+//! * the [`Strategy`] trait with `prop_map`, `prop_recursive`, `boxed`;
+//! * range strategies (`0u64..5000`), [`strategy::Just`], tuple
+//!   strategies, [`any`], string strategies from simple regex-like
+//!   patterns (`"[a-z]{1,5}"`, `".{0,60}"`);
+//! * [`collection::vec`], [`option::of`], [`sample::Index`];
+//! * the [`proptest!`] macro with optional
+//!   `#![proptest_config(ProptestConfig { cases: N, .. })]` header, and
+//!   `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` /
+//!   `prop_assume!`.
+//!
+//! Semantics differences from real proptest, accepted for offline use:
+//! cases are generated from a deterministic per-test seed (derived from
+//! the test name, overridable via `PROPTEST_SEED`); there is **no
+//! shrinking** — failures report the full failing input instead; and
+//! `prop_assume!` skips the case rather than resampling it.
+
+pub mod test_runner {
+    //! Test configuration and the deterministic RNG cases draw from.
+
+    /// Subset of proptest's `ProptestConfig`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases per property.
+        pub cases: u32,
+        /// Accepted for source compatibility; shrinking is not performed.
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 256,
+                max_shrink_iters: 0,
+            }
+        }
+    }
+
+    /// Deterministic generator (splitmix64) used to produce test cases.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds from the test name so every property has a stable,
+        /// independent stream. `PROPTEST_SEED` perturbs all streams.
+        pub fn for_test(name: &str) -> Self {
+            let mut h: u64 = 0xcbf29ce484222325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            if let Ok(extra) = std::env::var("PROPTEST_SEED") {
+                if let Ok(n) = extra.parse::<u64>() {
+                    h ^= n.wrapping_mul(0x9E3779B97F4A7C15);
+                }
+            }
+            TestRng { state: h }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `usize` in `[0, bound)`; `bound` must be nonzero.
+        pub fn below(&mut self, bound: usize) -> usize {
+            ((self.next_u64() as u128 * bound as u128) >> 64) as usize
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use super::test_runner::TestRng;
+    use std::rc::Rc;
+
+    /// A generator of random values of one type.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Recursive strategies: `self` generates leaves; `branch` builds
+        /// an inner level from a strategy for the level below. `depth`
+        /// bounds nesting. The `_desired_size` / `_expected_branch`
+        /// parameters exist for source compatibility with proptest.
+        fn prop_recursive<S2, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch: u32,
+            branch: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            S2: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S2,
+        {
+            let mut levels: Vec<BoxedStrategy<Self::Value>> = vec![self.boxed()];
+            for _ in 0..depth {
+                let inner = levels.last().expect("nonempty").clone();
+                levels.push(branch(inner).boxed());
+            }
+            BoxedStrategy(Rc::new(move |rng: &mut TestRng| {
+                let i = rng.below(levels.len());
+                levels[i].generate(rng)
+            }))
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+        {
+            BoxedStrategy(Rc::new(move |rng: &mut TestRng| self.generate(rng)))
+        }
+    }
+
+    /// A type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<T>(pub(crate) Rc<dyn Fn(&mut TestRng) -> T>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// Always generates a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between boxed strategies (backs [`prop_oneof!`]).
+    pub fn one_of<T: 'static>(choices: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T> {
+        assert!(!choices.is_empty(), "prop_oneof! needs at least one arm");
+        BoxedStrategy(Rc::new(move |rng: &mut TestRng| {
+            let i = rng.below(choices.len());
+            choices[i].generate(rng)
+        }))
+    }
+
+    macro_rules! int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let off = (rng.next_u64() as u128 * span) >> 64;
+                    (self.start as i128 + off as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let off = (rng.next_u64() as u128 * span) >> 64;
+                    (lo as i128 + off as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Values with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for super::sample::Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            super::sample::Index(rng.next_u64() as usize)
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct ArbitraryStrategy<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for ArbitraryStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// `any::<T>()`: the canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> ArbitraryStrategy<T> {
+        ArbitraryStrategy(std::marker::PhantomData)
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+);)*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A);
+        (A, B);
+        (A, B, C);
+        (A, B, C, D);
+        (A, B, C, D, E);
+        (A, B, C, D, E, F);
+    }
+
+    // ---- string strategies from regex-like patterns ----------------------
+
+    enum Atom {
+        /// Any printable ASCII character.
+        Any,
+        /// One character from this set.
+        Class(Vec<char>),
+        /// A literal character.
+        Lit(char),
+    }
+
+    struct Pattern {
+        parts: Vec<(Atom, usize, usize)>, // atom, min, max repetitions
+    }
+
+    /// Parses the tiny regex subset the workspace uses: literals, `.`,
+    /// `[...]` classes with ranges and `\`-escapes, and `{m,n}` / `{n}`
+    /// counts. Anything else panics loudly at test time.
+    fn parse_pattern(pat: &str) -> Pattern {
+        let chars: Vec<char> = pat.chars().collect();
+        let mut i = 0;
+        let mut parts = Vec::new();
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '.' => {
+                    i += 1;
+                    Atom::Any
+                }
+                '[' => {
+                    i += 1;
+                    let mut set = Vec::new();
+                    while i < chars.len() && chars[i] != ']' {
+                        let c = if chars[i] == '\\' {
+                            i += 1;
+                            chars[i]
+                        } else {
+                            chars[i]
+                        };
+                        // Range like `a-z` (a `-` right before `]` is literal).
+                        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                            let hi = chars[i + 2];
+                            for v in (c as u32)..=(hi as u32) {
+                                set.push(char::from_u32(v).expect("ascii range"));
+                            }
+                            i += 3;
+                        } else {
+                            set.push(c);
+                            i += 1;
+                        }
+                    }
+                    assert!(i < chars.len(), "unterminated class in pattern `{pat}`");
+                    i += 1; // closing ]
+                    Atom::Class(set)
+                }
+                '\\' => {
+                    i += 1;
+                    let c = chars[i];
+                    i += 1;
+                    Atom::Lit(c)
+                }
+                c => {
+                    i += 1;
+                    Atom::Lit(c)
+                }
+            };
+            // Optional {m,n} / {n} repetition count.
+            let (min, max) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .expect("unterminated count");
+                let body: String = chars[i + 1..i + close].iter().collect();
+                i += close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("count"),
+                        hi.trim().parse().expect("count"),
+                    ),
+                    None => {
+                        let n = body.trim().parse().expect("count");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            parts.push((atom, min, max));
+        }
+        Pattern { parts }
+    }
+
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let pattern = parse_pattern(self);
+            let mut out = String::new();
+            for (atom, min, max) in &pattern.parts {
+                let n = min + rng.below(max - min + 1);
+                for _ in 0..n {
+                    match atom {
+                        Atom::Any => {
+                            out.push((b' ' + rng.below(95) as u8) as char);
+                        }
+                        Atom::Class(set) => out.push(set[rng.below(set.len())]),
+                        Atom::Lit(c) => out.push(*c),
+                    }
+                }
+            }
+            out
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Anything usable as a `vec` size: a fixed `usize` or a range.
+    pub trait IntoSizeRange {
+        /// Lower/upper bound (inclusive) on the length.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self)
+        }
+    }
+
+    impl IntoSizeRange for std::ops::Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty vec size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl IntoSizeRange for std::ops::RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.min + rng.below(self.max - self.min + 1);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A `Vec` of values from `element` with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max) = size.bounds();
+        VecStrategy { element, min, max }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// See [`of`].
+    pub struct OptionStrategy<S>(S);
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64() & 1 == 1 {
+                Some(self.0.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+
+    /// `Some(value from s)` half the time, `None` otherwise.
+    pub fn of<S: Strategy>(s: S) -> OptionStrategy<S> {
+        OptionStrategy(s)
+    }
+}
+
+pub mod sample {
+    //! Random index selection.
+
+    /// An arbitrary index, resolved against a collection length later
+    /// (mirrors `proptest::sample::Index`).
+    #[derive(Debug, Clone, Copy)]
+    pub struct Index(pub(crate) usize);
+
+    impl Index {
+        /// This index resolved against a collection of length `len`.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            self.0 % len
+        }
+    }
+}
+
+pub mod prelude {
+    //! The usual `use proptest::prelude::*;` surface.
+
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+#[doc(hidden)]
+pub use test_runner::TestRng as __TestRng;
+
+#[doc(hidden)]
+pub fn __debug_value<T: std::fmt::Debug>(v: &T) -> String {
+    format!("{v:?}")
+}
+
+/// Type-erased runner shared by every expanded [`proptest!`] test.
+#[doc(hidden)]
+pub fn __run_cases(
+    test_name: &str,
+    cases: u32,
+    mut one_case: impl FnMut(&mut test_runner::TestRng) -> Result<(), (String, String)>,
+) {
+    let mut rng = test_runner::TestRng::for_test(test_name);
+    for case in 0..cases {
+        if let Err((inputs, msg)) = one_case(&mut rng) {
+            panic!(
+                "property `{test_name}` failed at case {case}/{cases}\n  inputs: {inputs}\n  {msg}\n  (set PROPTEST_SEED to vary cases; this build does not shrink)"
+            );
+        }
+    }
+}
+
+/// The property-test macro: wraps each `fn name(arg in strategy, ...)` in
+/// a deterministic multi-case runner.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                $crate::__run_cases(stringify!($name), config.cases, |__rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                    let __inputs = [$((stringify!($arg), $crate::__debug_value(&$arg))),+]
+                        .iter()
+                        .map(|(n, v)| format!("{n} = {v}"))
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    let __outcome: ::std::result::Result<(), ::std::string::String> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    __outcome.map_err(|m| (__inputs, m))
+                });
+            }
+        )*
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::one_of(vec![$($crate::strategy::Strategy::boxed($s)),+])
+    };
+}
+
+/// Asserts inside a property; failure reports the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} at {}:{}", stringify!($cond), file!(), line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} ({}) at {}:{}",
+                stringify!($cond), format!($($fmt)*), file!(), line!()
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{} == {}`\n    left: {:?}\n   right: {:?} at {}:{}",
+                stringify!($a), stringify!($b), left, right, file!(), line!()
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{} == {}` ({})\n    left: {:?}\n   right: {:?} at {}:{}",
+                stringify!($a), stringify!($b), format!($($fmt)*), left, right, file!(), line!()
+            ));
+        }
+    }};
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        if left == right {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{} != {}`\n    both: {:?} at {}:{}",
+                stringify!($a), stringify!($b), left, file!(), line!()
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$a, &$b);
+        if left == right {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{} != {}` ({})\n    both: {:?} at {}:{}",
+                stringify!($a), stringify!($b), format!($($fmt)*), left, file!(), line!()
+            ));
+        }
+    }};
+}
+
+/// Skips the current case when its precondition does not hold. Real
+/// proptest resamples; this build counts the case as passed.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+// Internal self-checks for the shim itself.
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 3u64..10, y in 1u8..=4) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((1..=4).contains(&y), "y = {}", y);
+        }
+
+        #[test]
+        fn vec_lengths_respected(v in crate::collection::vec(0u32..5, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() <= 5, "len {}", v.len());
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn string_patterns_match_shape(s in "[a-z][a-z0-9]{0,6}") {
+            prop_assert!(!s.is_empty() && s.len() <= 7);
+            prop_assert!(s.chars().next().unwrap().is_ascii_lowercase());
+        }
+
+        #[test]
+        fn oneof_and_map_compose(v in prop_oneof![
+            Just(0usize),
+            (1usize..4).prop_map(|n| n * 10),
+        ]) {
+            prop_assert!(v == 0 || (10..=30).contains(&v), "v = {}", v);
+        }
+
+        #[test]
+        fn assume_skips(a in 0u32..10, b in 0u32..10) {
+            prop_assume!(a != b);
+            prop_assert_ne!(a, b);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 17, ..ProptestConfig::default() })]
+        #[test]
+        fn config_header_accepted(x in 0u64..5) {
+            prop_assert!(x < 5);
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug)]
+        struct Tree {
+            children: Vec<Tree>,
+        }
+        fn depth(t: &Tree) -> usize {
+            1 + t.children.iter().map(depth).max().unwrap_or(0)
+        }
+        let leaf = Just(()).prop_map(|_| Tree {
+            children: Vec::new(),
+        });
+        let strat = leaf.prop_recursive(3, 8, 2, |inner| {
+            crate::collection::vec(inner, 0..3).prop_map(|children| Tree { children })
+        });
+        let mut rng = crate::test_runner::TestRng::for_test("recursive");
+        let mut max_depth = 0;
+        for _ in 0..200 {
+            max_depth = max_depth.max(depth(&strat.generate(&mut rng)));
+        }
+        assert!(max_depth > 1, "recursion never branched");
+        assert!(max_depth <= 4, "depth bound exceeded: {max_depth}");
+    }
+
+    #[test]
+    fn index_resolves_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::for_test("index");
+        for _ in 0..100 {
+            let i = <crate::sample::Index as crate::strategy::Arbitrary>::arbitrary(&mut rng);
+            assert!(i.index(7) < 7);
+        }
+    }
+}

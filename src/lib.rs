@@ -13,6 +13,7 @@
 //! | **VAMANA engine** (algebra, cost model, optimizer, executor) | [`core`] |
 //! | baseline engines (DOM, structural join) | [`baseline`] |
 //! | XMark-style data generator | [`xmark`] |
+//! | concurrent query service (TCP protocol, plan cache, metrics) | [`server`] |
 //!
 //! ```
 //! use vamana::{Engine, MassStore};
@@ -28,12 +29,13 @@ pub use vamana_baseline as baseline;
 pub use vamana_core as core;
 pub use vamana_flex as flex;
 pub use vamana_mass as mass;
+pub use vamana_server as server;
 pub use vamana_xmark as xmark;
 pub use vamana_xml as xml;
 pub use vamana_xpath as xpath;
 pub use vamana_xquery as xquery;
 
-pub use vamana_core::{Engine, EngineOptions, Explain, Value};
+pub use vamana_core::{Engine, EngineOptions, Explain, QueryProfile, SharedEngine, Value};
 pub use vamana_mass::{DocId, MassStore, NodeEntry};
 
 use vamana_baseline::{BaselineError, NodeIdentity, XPathEngine};

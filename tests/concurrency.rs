@@ -4,8 +4,9 @@
 //! the `Send + Sync` bounds) and check results stay correct under
 //! parallel load.
 
+use std::sync::Arc;
 use vamana::xmark::{generate_string, XmarkConfig};
-use vamana::{Engine, MassStore};
+use vamana::{Engine, MassStore, SharedEngine};
 
 fn assert_send_sync<T: Send + Sync>() {}
 
@@ -13,6 +14,7 @@ fn assert_send_sync<T: Send + Sync>() {}
 fn store_and_engine_are_send_and_sync() {
     assert_send_sync::<MassStore>();
     assert_send_sync::<Engine>();
+    assert_send_sync::<SharedEngine>();
 }
 
 #[test]
@@ -46,6 +48,73 @@ fn parallel_queries_agree_with_serial_execution() {
             });
         }
     });
+}
+
+/// Serving-layer acceptance: eight threads issuing a mixed query load
+/// against one shared engine must each see exactly the node sets (keys,
+/// not just cardinalities) that single-threaded execution produces.
+#[test]
+fn eight_threads_mixed_queries_match_single_threaded_results() {
+    let xml = generate_string(&XmarkConfig::with_scale(0.005));
+    let mut store = MassStore::open_memory_with_capacity(16); // force pool contention
+    store.load_xml("auction.xml", &xml).unwrap();
+    let engine = Arc::new(Engine::new(store));
+
+    let queries = [
+        "//person/name",
+        "//open_auction/bidder",
+        "//address[province]",
+        "//closed_auction/itemref",
+        "//category",
+        "//person[watches]",
+    ];
+    let expected: Vec<_> = queries.iter().map(|q| engine.query(q).unwrap()).collect();
+
+    std::thread::scope(|scope| {
+        for t in 0..8 {
+            let engine = Arc::clone(&engine);
+            let expected = &expected;
+            scope.spawn(move || {
+                for round in 0..6 {
+                    // Each thread starts at a different query so the mix
+                    // genuinely interleaves.
+                    let i = (t + round) % queries.len();
+                    let got = engine.query(queries[i]).unwrap();
+                    assert_eq!(got, expected[i], "{} in round {round}", queries[i]);
+                }
+            });
+        }
+    });
+}
+
+/// A cached plan must stop validating once `load_xml` mutates the store:
+/// the generation bump turns the next lookup into a miss.
+#[test]
+fn plan_cache_entries_are_invalidated_by_load_xml() {
+    use vamana::server::PlanCache;
+
+    let mut store = MassStore::open_memory();
+    store.load_xml("first", "<r><a>1</a></r>").unwrap();
+    let shared = SharedEngine::new(Engine::new(store));
+    let cache = PlanCache::new(16);
+    let doc = vamana::DocId(0);
+
+    let generation = shared.generation();
+    let plan = Arc::new(shared.read().compile("//a").unwrap());
+    cache.insert("//a", doc, generation, plan);
+    assert!(cache.get("//a", doc, generation).is_some());
+
+    shared.load_xml("second", "<r><a>2</a></r>").unwrap();
+    let after = shared.generation();
+    assert!(
+        after > generation,
+        "load_xml must bump the store generation"
+    );
+    assert!(
+        cache.get("//a", doc, after).is_none(),
+        "stale plan served after load_xml"
+    );
+    assert!(cache.is_empty(), "stale entry must be evicted on lookup");
 }
 
 #[test]

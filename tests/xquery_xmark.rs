@@ -34,7 +34,10 @@ fn flwor_where_matches_predicate() {
         .unwrap();
     let via_xpath = e.query("//person[address/province = 'Vermont']").unwrap();
     assert_eq!(node_count(&via_flwor), via_xpath.len());
-    assert!(node_count(&via_flwor) > 0, "generator must produce Vermonters");
+    assert!(
+        node_count(&via_flwor) > 0,
+        "generator must produce Vermonters"
+    );
 }
 
 #[test]
@@ -82,7 +85,10 @@ fn ordered_report_is_sorted() {
         .filter_map(|s| s.parse().ok())
         .collect();
     assert!(!prices.is_empty());
-    assert!(prices.windows(2).all(|w| w[0] >= w[1]), "not descending: {prices:?}");
+    assert!(
+        prices.windows(2).all(|w| w[0] >= w[1]),
+        "not descending: {prices:?}"
+    );
 }
 
 #[test]
@@ -96,5 +102,8 @@ fn constructors_nest_and_aggregate() {
     assert!(out.ends_with("</auctions></report>"), "{out}");
     // The embedded counts agree with the engine.
     let persons = e.query("//person").unwrap().len();
-    assert!(out.contains(&format!("<persons>{persons}</persons>")), "{out}");
+    assert!(
+        out.contains(&format!("<persons>{persons}</persons>")),
+        "{out}"
+    );
 }
