@@ -1,80 +1,221 @@
-//! Concurrent-throughput benchmark for the serving layer: queries/sec
-//! against one shared engine as the worker count grows.
+//! Throughput benchmark: batched vs scalar execution, queries/sec per
+//! worker count, against one shared engine.
 //!
 //! ```sh
-//! cargo run --release -p vamana-bench --bin throughput [-- <mb> [threads...]]
+//! cargo run --release -p vamana-bench --bin throughput \
+//!     [-- <mb> [threads...] [--window-ms N] [--out PATH]]
 //! ```
 //!
-//! Each configuration runs the evaluation query mix (Q1–Q5) from N
-//! threads against a single `Arc<SharedEngine>` over an XMark document
-//! for a fixed wall-clock window and reports aggregate queries/sec.
-//! With the sharded buffer pool and the `RwLock` read path, throughput
-//! should scale past one worker on multi-core hardware (on a single
-//! core the figures only show the locking overhead staying flat).
+//! Two query suites run in both execution modes over the same build and
+//! the same loaded document:
+//!
+//! - `scan`: structural XMark scans ([`SCAN_QUERIES`]) — wildcard and
+//!   kind tests whose steps walk clustered MASS pages, where the batched
+//!   pipeline amortizes one page pin over every record on the page.
+//! - `eval`: the paper's evaluation mix (Q1–Q5), which is mostly
+//!   index-only and bounds how much batching can help non-scan work.
+//!
+//! Plans are compiled and optimized once per query before measurement
+//! (the serving layer likewise caches optimized plans); each worker
+//! clones a plan and drains the result stream (`next_batch` in batched
+//! mode, `next()` tuple-at-a-time in scalar mode), so the measured work
+//! is executor cost, not parsing or optimization. Results go to stdout
+//! as a table and to `BENCH_2.json` (override with `--out`) as
+//! machine-readable JSON.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use vamana_bench::QUERIES;
-use vamana_core::{Engine, SharedEngine};
+use vamana_bench::{QUERIES, SCAN_QUERIES};
+use vamana_core::exec::BATCH_SIZE;
+use vamana_core::plan::QueryPlan;
+use vamana_core::{DocId, Engine, SharedEngine};
 use vamana_mass::MassStore;
 
-/// Wall-clock window measured per thread-count configuration.
-const WINDOW: Duration = Duration::from_secs(2);
+struct Args {
+    megabytes: f64,
+    threads: Vec<usize>,
+    window: Duration,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        megabytes: 0.5,
+        threads: Vec::new(),
+        window: Duration::from_secs(2),
+        out: "BENCH_2.json".to_string(),
+    };
+    let mut positional = 0usize;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--window-ms" => {
+                let ms: u64 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--window-ms needs a millisecond count");
+                args.window = Duration::from_millis(ms);
+            }
+            "--out" => {
+                args.out = it.next().expect("--out needs a path");
+            }
+            other => {
+                if positional == 0 {
+                    args.megabytes = other.parse().expect("first positional arg is <mb>");
+                } else {
+                    args.threads
+                        .push(other.parse().expect("thread counts are integers"));
+                }
+                positional += 1;
+            }
+        }
+    }
+    if args.threads.is_empty() {
+        args.threads = vec![1, 2, 4, 8];
+    }
+    args
+}
+
+/// One suite in one mode at one worker count.
+struct Sample {
+    suite: &'static str,
+    mode: &'static str,
+    threads: usize,
+    queries: u64,
+    rows: u64,
+    elapsed: Duration,
+}
+
+impl Sample {
+    fn qps(&self) -> f64 {
+        self.queries as f64 / self.elapsed.as_secs_f64()
+    }
+}
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let megabytes: f64 = args.first().and_then(|a| a.parse().ok()).unwrap_or(0.5);
-    let thread_counts: Vec<usize> = if args.len() > 1 {
-        args[1..].iter().filter_map(|a| a.parse().ok()).collect()
-    } else {
-        vec![1, 2, 4, 8]
-    };
+    let args = parse_args();
 
-    eprintln!("generating ~{megabytes} MB of XMark data…");
-    let xml = vamana_bench::document(megabytes);
+    eprintln!("generating ~{} MB of XMark data…", args.megabytes);
+    let xml = vamana_bench::document(args.megabytes);
     let mut store = MassStore::open_memory();
     store.load_xml("auction", &xml).expect("load xmark");
     let engine = Arc::new(SharedEngine::new(Engine::new(store)));
 
-    // Warm up: compile and run each query once so every configuration
-    // starts from the same buffer-pool state.
-    for (name, xpath) in QUERIES {
-        let rows = engine.read().query(xpath).expect(name).len();
-        eprintln!("  {name}: {rows} row(s)");
+    let suites: [(&str, &[(&str, &str)]); 2] = [("scan", SCAN_QUERIES), ("eval", QUERIES)];
+
+    // Compile every plan once and warm the buffer pool; a query that
+    // matches nothing means the generator or planner is broken, so fail
+    // loudly (the CI smoke job relies on this).
+    let mut plans: Vec<(&str, Vec<QueryPlan>)> = Vec::new();
+    for (suite, queries) in suites {
+        let mut compiled = Vec::new();
+        for (name, xpath) in queries {
+            let guard = engine.read();
+            let plan = guard.compile(xpath).expect(name);
+            let plan = guard.optimize_plan(plan, DocId(0)).expect(name).plan;
+            let rows = guard.execute_plan(&plan, DocId(0)).expect(name).len();
+            assert!(rows > 0, "{name} ({xpath}) returned no rows");
+            eprintln!("  {name}: {rows} row(s)");
+            compiled.push(plan);
+        }
+        plans.push((suite, compiled));
     }
 
     println!(
-        "{:>8} {:>12} {:>14} {:>12}",
-        "threads", "queries", "queries/sec", "speedup"
+        "{:>6} {:>8} {:>8} {:>12} {:>14} {:>12}",
+        "suite", "mode", "threads", "queries", "queries/sec", "speedup"
     );
-    let mut baseline = None;
-    for &threads in &thread_counts {
-        let (total, elapsed) = run_window(&engine, threads.max(1), WINDOW);
-        let qps = total as f64 / elapsed.as_secs_f64();
-        let speedup = qps / *baseline.get_or_insert(qps);
-        println!("{threads:>8} {total:>12} {qps:>14.1} {speedup:>11.2}x");
+    let mut samples: Vec<Sample> = Vec::new();
+    for (suite, compiled) in &plans {
+        for &threads in &args.threads {
+            for (mode, batched) in [("scalar", false), ("batched", true)] {
+                engine.write().options_mut().batched = batched;
+                let sample = run_window(
+                    &engine,
+                    compiled,
+                    suite,
+                    mode,
+                    batched,
+                    threads.max(1),
+                    args.window,
+                );
+                let speedup = match mode {
+                    "batched" => {
+                        let scalar = samples
+                            .iter()
+                            .rfind(|s| s.suite == *suite && s.threads == threads)
+                            .expect("scalar ran first");
+                        format!("{:.2}x", sample.qps() / scalar.qps())
+                    }
+                    _ => "-".to_string(),
+                };
+                println!(
+                    "{:>6} {:>8} {:>8} {:>12} {:>14.1} {:>12}",
+                    suite,
+                    mode,
+                    threads,
+                    sample.queries,
+                    sample.qps(),
+                    speedup
+                );
+                samples.push(sample);
+            }
+        }
     }
+    engine.write().options_mut().batched = true;
+
+    let json = render_json(&args, &suites, &samples);
+    std::fs::write(&args.out, &json).expect("write json");
+    eprintln!("wrote {}", args.out);
 }
 
-/// Runs the query mix from `threads` threads for `window`, returning
-/// (completed queries, actual elapsed).
-fn run_window(engine: &Arc<SharedEngine>, threads: usize, window: Duration) -> (u64, Duration) {
+/// Runs the suite's query mix from `threads` workers for `window`.
+fn run_window(
+    engine: &Arc<SharedEngine>,
+    plans: &[QueryPlan],
+    suite: &'static str,
+    mode: &'static str,
+    batched: bool,
+    threads: usize,
+    window: Duration,
+) -> Sample {
     let stop = Arc::new(AtomicBool::new(false));
-    let completed = Arc::new(AtomicU64::new(0));
+    let queries = Arc::new(AtomicU64::new(0));
+    let rows = Arc::new(AtomicU64::new(0));
     let start = Instant::now();
     std::thread::scope(|scope| {
         for t in 0..threads {
             let engine = Arc::clone(engine);
             let stop = Arc::clone(&stop);
-            let completed = Arc::clone(&completed);
+            let queries = Arc::clone(&queries);
+            let rows = Arc::clone(&rows);
             scope.spawn(move || {
-                let mut i = t; // offset so threads interleave the mix
+                let mut buf = Vec::with_capacity(BATCH_SIZE);
+                let mut i = t; // offset so workers interleave the mix
                 while !stop.load(Ordering::Relaxed) {
-                    let (_, xpath) = QUERIES[i % QUERIES.len()];
-                    engine.read().query(xpath).expect("query");
-                    completed.fetch_add(1, Ordering::Relaxed);
+                    let plan = &plans[i % plans.len()];
+                    let guard = engine.read();
+                    let mut stream = guard.stream_plan(plan.clone(), DocId(0)).expect("stream");
+                    let mut n = 0u64;
+                    if batched {
+                        loop {
+                            buf.clear();
+                            let k = stream.next_batch(&mut buf, BATCH_SIZE).expect("batch");
+                            if k == 0 {
+                                break;
+                            }
+                            n += k as u64;
+                        }
+                    } else {
+                        while stream.next().expect("next").is_some() {
+                            n += 1;
+                        }
+                    }
+                    assert!(n > 0, "query produced no rows mid-bench");
+                    queries.fetch_add(1, Ordering::Relaxed);
+                    rows.fetch_add(n, Ordering::Relaxed);
                     i += 1;
                 }
             });
@@ -82,5 +223,70 @@ fn run_window(engine: &Arc<SharedEngine>, threads: usize, window: Duration) -> (
         std::thread::sleep(window);
         stop.store(true, Ordering::Relaxed);
     });
-    (completed.load(Ordering::Relaxed), start.elapsed())
+    Sample {
+        suite,
+        mode,
+        threads,
+        queries: queries.load(Ordering::Relaxed),
+        rows: rows.load(Ordering::Relaxed),
+        elapsed: start.elapsed(),
+    }
+}
+
+/// Hand-rolled JSON (the workspace deliberately has no serde): the
+/// samples plus per-suite batched/scalar speedups keyed by threads.
+fn render_json(args: &Args, suites: &[(&str, &[(&str, &str)]); 2], samples: &[Sample]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"throughput_batched_vs_scalar\",\n");
+    out.push_str(&format!("  \"doc_megabytes\": {},\n", args.megabytes));
+    out.push_str(&format!("  \"window_ms\": {},\n", args.window.as_millis()));
+    out.push_str(&format!("  \"batch_size\": {BATCH_SIZE},\n"));
+    out.push_str("  \"suites\": {\n");
+    for (i, (suite, queries)) in suites.iter().enumerate() {
+        let names: Vec<String> = queries
+            .iter()
+            .map(|(n, q)| format!("{{\"name\": \"{n}\", \"xpath\": \"{q}\"}}"))
+            .collect();
+        out.push_str(&format!("    \"{suite}\": [{}]", names.join(", ")));
+        out.push_str(if i + 1 < suites.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  },\n");
+    out.push_str("  \"results\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"suite\": \"{}\", \"mode\": \"{}\", \"threads\": {}, \"queries\": {}, \"rows\": {}, \"elapsed_ms\": {:.1}, \"qps\": {:.1}}}{}\n",
+            s.suite,
+            s.mode,
+            s.threads,
+            s.queries,
+            s.rows,
+            s.elapsed.as_secs_f64() * 1e3,
+            s.qps(),
+            if i + 1 < samples.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"speedup_batched_over_scalar\": {\n");
+    let suite_names: Vec<&str> = suites.iter().map(|(s, _)| *s).collect();
+    for (i, suite) in suite_names.iter().enumerate() {
+        let mut pairs = Vec::new();
+        for &threads in &args.threads {
+            let find = |mode: &str| {
+                samples
+                    .iter()
+                    .find(|s| s.suite == *suite && s.mode == mode && s.threads == threads)
+            };
+            if let (Some(b), Some(s)) = (find("batched"), find("scalar")) {
+                pairs.push(format!("\"{threads}\": {:.2}", b.qps() / s.qps()));
+            }
+        }
+        out.push_str(&format!("    \"{suite}\": {{{}}}", pairs.join(", ")));
+        out.push_str(if i + 1 < suite_names.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("  }\n}\n");
+    out
 }

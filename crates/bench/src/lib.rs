@@ -21,6 +21,21 @@ pub const QUERIES: &[(&str, &str)] = &[
     ("Q5", "//province[text()='Vermont']/ancestor::person"),
 ];
 
+/// Structural scan queries for the batched-execution benchmark.
+///
+/// Unlike Q1–Q5, whose named steps are answered mostly from the name
+/// index (index-only `NameList` streams), these use wildcard and kind
+/// tests so every step walks clustered MASS pages — the path the
+/// batched pipeline amortizes page pins on. Modeled on XMark Q1/Q6:
+/// child/descendant chains over the region and person subtrees.
+pub const SCAN_QUERIES: &[(&str, &str)] = &[
+    ("S1", "/site/regions//*"),
+    ("S2", "/site/people//*"),
+    ("S3", "//item/*"),
+    ("S4", "/site/*/*"),
+    ("S5", "//person//*"),
+];
+
 /// Generates an XMark document of roughly `megabytes` MB.
 pub fn document(megabytes: f64) -> String {
     vamana_xmark::generate_string(&config_for_megabytes(megabytes))
@@ -61,6 +76,12 @@ impl VamanaBench {
     /// The wrapped engine.
     pub fn engine(&self) -> &Engine {
         &self.engine
+    }
+
+    /// Mutable access to the wrapped engine (toggling execution options
+    /// between benchmark configurations).
+    pub fn engine_mut(&mut self) -> &mut Engine {
+        &mut self.engine
     }
 }
 

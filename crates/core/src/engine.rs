@@ -25,6 +25,11 @@ pub struct EngineOptions {
     pub set_semantics: bool,
     /// Optimizer iteration bound.
     pub max_opt_iterations: usize,
+    /// Batched (vectorized) execution: pull [`exec::BATCH_SIZE`]-tuple
+    /// batches through the pipeline instead of one tuple at a time.
+    /// Produces the identical tuple sequence; `false` is the scalar
+    /// baseline kept for benchmarking and differential testing.
+    pub batched: bool,
 }
 
 impl Default for EngineOptions {
@@ -33,6 +38,7 @@ impl Default for EngineOptions {
             optimize: true,
             set_semantics: true,
             max_opt_iterations: 8,
+            batched: true,
         }
     }
 }
@@ -63,6 +69,11 @@ pub struct QueryStream<'s> {
     root_ctx: NodeEntry,
     iter: exec::OpIter<'s>,
     done: bool,
+    /// Batched mode: `next` refills from `pending`, which holds the
+    /// remainder of the last batch *in reverse* so each pull is an O(1)
+    /// pop without cloning.
+    batched: bool,
+    pending: Vec<NodeEntry>,
 }
 
 impl<'s> QueryStream<'s> {
@@ -89,12 +100,21 @@ impl<'s> QueryStream<'s> {
             root_ctx,
             iter,
             done: false,
+            batched: engine.options().batched,
+            pending: Vec::new(),
         })
     }
 
     /// Pulls the next tuple in pipeline order, or `None` when exhausted.
+    ///
+    /// In batched mode this refills an internal batch every
+    /// [`exec::BATCH_SIZE`] pulls; the observable tuple sequence is
+    /// identical to scalar mode.
     #[allow(clippy::should_implement_trait)] // fallible
     pub fn next(&mut self) -> Result<Option<NodeEntry>> {
+        if let Some(t) = self.pending.pop() {
+            return Ok(Some(t));
+        }
         if self.done {
             return Ok(None);
         }
@@ -103,11 +123,67 @@ impl<'s> QueryStream<'s> {
             store: self.store,
             root_ctx: &self.root_ctx,
         };
-        let item = self.iter.next(env)?;
-        if item.is_none() {
+        if self.batched {
+            if self
+                .iter
+                .next_batch(env, &mut self.pending, exec::BATCH_SIZE)?
+                == 0
+            {
+                self.done = true;
+                return Ok(None);
+            }
+            self.pending.reverse();
+            Ok(self.pending.pop())
+        } else {
+            let item = self.iter.next(env)?;
+            if item.is_none() {
+                self.done = true;
+            }
+            Ok(item)
+        }
+    }
+
+    /// Pulls up to `max` tuples into `out`, returning how many were
+    /// appended. Zero means the stream is exhausted. This is the
+    /// materialization-free consumption path: the serving layer drains
+    /// whole batches into its result buffer without per-tuple dispatch.
+    pub fn next_batch(&mut self, out: &mut Vec<NodeEntry>, max: usize) -> Result<usize> {
+        let start = out.len();
+        // Leftovers from interleaved scalar pulls come first (reversed).
+        while out.len() - start < max {
+            match self.pending.pop() {
+                Some(t) => out.push(t),
+                None => break,
+            }
+        }
+        if self.done || out.len() - start >= max {
+            return Ok(out.len() - start);
+        }
+        let env = Env {
+            plan: &self.plan,
+            store: self.store,
+            root_ctx: &self.root_ctx,
+        };
+        let budget = max - (out.len() - start);
+        let produced = if self.batched {
+            self.iter.next_batch(env, out, budget)?
+        } else {
+            let mut n = 0;
+            while n < budget {
+                match self.iter.next(env)? {
+                    Some(t) => {
+                        out.push(t);
+                        n += 1;
+                    }
+                    None => break,
+                }
+            }
+            n
+        };
+        if produced == 0 {
             self.done = true;
         }
-        Ok(item)
+        Ok(out.len() - start)
     }
 
     /// The (possibly optimized) plan this stream executes.
@@ -200,7 +276,7 @@ impl Engine {
             store: &self.store,
             root_ctx: &root_ctx,
         };
-        exec::run(env, self.options.set_semantics)
+        exec::run_from_mode(env, None, self.options.set_semantics, self.options.batched)
     }
 
     /// Compiles, (optionally) optimizes, and executes `xpath` on `doc`.
@@ -236,7 +312,12 @@ impl Engine {
             store: &self.store,
             root_ctx: &root_ctx,
         };
-        exec::run_from(env, Some(ctx), self.options.set_semantics)
+        exec::run_from_mode(
+            env,
+            Some(ctx),
+            self.options.set_semantics,
+            self.options.batched,
+        )
     }
 
     /// Runs `xpath` against every loaded document, concatenating results

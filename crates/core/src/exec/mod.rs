@@ -20,6 +20,11 @@ use vamana_flex::{Axis, FlexKey, KeyRange};
 use vamana_mass::axes::{axis_stream, AxisStream, KindFilter, NodeFilter};
 use vamana_mass::{MassStore, NodeEntry, RecordKind};
 
+/// Tuples per batch in the batched pipeline. Large enough to amortize
+/// per-batch dispatch to noise, small enough that a batch of entries
+/// (key bytes included) stays within L1/L2 cache.
+pub const BATCH_SIZE: usize = 256;
+
 /// The paper's operator states (§VII).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OpState {
@@ -101,6 +106,20 @@ pub fn run_from(
     outer: Option<&NodeEntry>,
     set_semantics: bool,
 ) -> Result<Vec<NodeEntry>> {
+    run_from_mode(env, outer, set_semantics, true)
+}
+
+/// [`run_from`] with an explicit execution mode: `batched` pulls
+/// [`BATCH_SIZE`]-tuple batches through the pipeline, `!batched` pulls
+/// one tuple at a time. Both produce the identical tuple sequence; the
+/// scalar mode exists as the measured baseline and differential oracle
+/// for the batched one.
+pub fn run_from_mode(
+    env: Env<'_, '_>,
+    outer: Option<&NodeEntry>,
+    set_semantics: bool,
+    batched: bool,
+) -> Result<Vec<NodeEntry>> {
     let top = match env.plan.op(env.plan.root()) {
         Operator::Root { child } => *child,
         _ => Some(env.plan.root()),
@@ -110,8 +129,12 @@ pub fn run_from(
     };
     let mut iter = build_iter(env, top, outer)?;
     let mut out = Vec::new();
-    while let Some(t) = iter.next(env)? {
-        out.push(t);
+    if batched {
+        while iter.next_batch(env, &mut out, BATCH_SIZE)? > 0 {}
+    } else {
+        while let Some(t) = iter.next(env)? {
+            out.push(t);
+        }
     }
     if set_semantics {
         out.sort_by(|a, b| a.key.cmp(&b.key));
@@ -267,6 +290,44 @@ impl<'s> OpIter<'s> {
             OpIter::Join(items) => Ok(items.next()),
         }
     }
+
+    /// Pulls up to `max` tuples into `out`, returning how many were
+    /// appended — the same tuple sequence [`OpIter::next`] would produce,
+    /// chunked. A short (or zero) count means the operator is exhausted.
+    pub fn next_batch(
+        &mut self,
+        env: Env<'_, 's>,
+        out: &mut Vec<NodeEntry>,
+        max: usize,
+    ) -> Result<usize> {
+        match self {
+            OpIter::Anchor(item) => {
+                if max > 0 {
+                    if let Some(t) = item.take() {
+                        out.push(t);
+                        return Ok(1);
+                    }
+                }
+                Ok(0)
+            }
+            OpIter::Step(s) => s.next_batch(env, out, max),
+            OpIter::ValueStep(s) => s.next_batch(env, out, max),
+            OpIter::Union(l, r) => {
+                // Left stream first; a short left batch means the left
+                // side is exhausted, so top up from the right.
+                let n = l.next_batch(env, out, max)?;
+                if n < max {
+                    return Ok(n + r.next_batch(env, out, max - n)?);
+                }
+                Ok(n)
+            }
+            OpIter::Join(items) => {
+                let start = out.len();
+                out.extend(items.by_ref().take(max));
+                Ok(out.len() - start)
+            }
+        }
+    }
 }
 
 /// Cursor for a step operator — Algorithm 1 of the paper.
@@ -367,6 +428,62 @@ impl<'s> StepIter<'s> {
             }
         }
     }
+
+    /// Batched pull — the paper's INITIAL/FETCHING/OUT_OF_TUPLES machine
+    /// advanced at batch granularity. The fast (no-predicate) path fills
+    /// the batch straight from the axis stream, so page pinning and
+    /// record decoding are amortized in `vamana-mass`; the predicate path
+    /// stays scalar-materialized per context (position()/last() need the
+    /// whole group) and only the copy-out is chunked. Contexts are still
+    /// pulled one at a time, so the tuple sequence is byte-identical to
+    /// [`StepIter::next`]'s. One batch may span several contexts.
+    fn next_batch(
+        &mut self,
+        env: Env<'_, 's>,
+        out: &mut Vec<NodeEntry>,
+        max: usize,
+    ) -> Result<usize> {
+        let start = out.len();
+        loop {
+            let produced = out.len() - start;
+            if produced >= max {
+                return Ok(produced);
+            }
+            match self.state {
+                OpState::OutOfTuples => return Ok(produced),
+                OpState::Initial => {
+                    if !self.advance_context(env)? {
+                        return Ok(produced);
+                    }
+                    self.open_stream(env)?;
+                }
+                OpState::Fetching => {
+                    if let Some(stream) = &mut self.stream {
+                        let want = max - produced;
+                        let got = stream.next_batch(out, want)?;
+                        // A full batch may leave more behind; a short one
+                        // cannot (the `next_batch` contract), so the
+                        // context is exhausted without another probe.
+                        if got >= want {
+                            continue;
+                        }
+                    } else if self.buffer_pos < self.buffer.len() {
+                        let take = (self.buffer.len() - self.buffer_pos).min(max - produced);
+                        out.extend_from_slice(
+                            &self.buffer[self.buffer_pos..self.buffer_pos + take],
+                        );
+                        self.buffer_pos += take;
+                        continue;
+                    }
+                    // Current context exhausted: pull the next one.
+                    if !self.advance_context(env)? {
+                        return Ok(out.len() - start);
+                    }
+                    self.open_stream(env)?;
+                }
+            }
+        }
+    }
 }
 
 /// Cursor for the value-index step (`φ value::'v'`).
@@ -389,75 +506,111 @@ impl<'s> ValueStepIter<'s> {
                         self.buffer_pos += 1;
                         return Ok(Some(t));
                     }
-                    let Some(ctx) = self.context.next(env)? else {
-                        self.state = OpState::OutOfTuples;
+                    if !self.refill(env)? {
                         return Ok(None);
-                    };
-                    self.state = OpState::Fetching;
-                    enum Source {
-                        Eq(Box<str>, Option<bool>),
-                        Range(crate::plan::RangeCmp, f64, bool),
                     }
-                    let (source, attr_name) = match env.plan.op(self.op) {
-                        Operator::ValueStep {
-                            value,
-                            text_only,
-                            attr_name,
-                            ..
-                        } => (Source::Eq(value.clone(), *text_only), attr_name.clone()),
-                        Operator::RangeStep {
-                            op,
-                            bound,
-                            text_only,
-                            attr_name,
-                            ..
-                        } => (Source::Range(*op, *bound, *text_only), attr_name.clone()),
-                        _ => unreachable!("ValueStepIter over non-value-step"),
-                    };
-                    let attr_name_id = attr_name.as_deref().map(|n| env.store.name_id(n));
-                    let range = if ctx.key.is_root() {
-                        KeyRange::all()
-                    } else {
-                        KeyRange::subtree(&ctx.key)
-                    };
-                    let (keys, text_only): (Vec<&[u8]>, Option<bool>) = match &source {
-                        Source::Eq(value, text_only) => {
-                            (env.store.value_index().keys_eq(value, &range), *text_only)
-                        }
-                        Source::Range(op, bound, text_only) => (
-                            env.store
-                                .value_index()
-                                .keys_numeric(op.to_mass(), *bound, &range),
-                            Some(*text_only),
-                        ),
-                    };
-                    let mut buffer = Vec::new();
-                    for flat in keys {
-                        let entry = entry_from_value_key(flat);
-                        let kind_ok = match text_only {
-                            Some(true) => entry.kind == RecordKind::Text,
-                            Some(false) => entry.kind == RecordKind::Attribute,
-                            None => true,
-                        };
-                        if !kind_ok {
-                            continue;
-                        }
-                        // Attribute rewrites must also match the attribute
-                        // name; one point lookup resolves it.
-                        if let Some(wanted) = &attr_name_id {
-                            let Some(wanted) = wanted else { continue };
-                            match env.store.get_entry(&entry.key)? {
-                                Some(e) if e.name == Some(*wanted) => {}
-                                _ => continue,
-                            }
-                        }
-                        buffer.push(entry);
-                    }
-                    self.buffer = buffer;
-                    self.buffer_pos = 0;
                 }
             }
         }
+    }
+
+    /// Batched pull: drains the current buffer in chunks and refills from
+    /// the next context when it runs dry. Short count means exhausted.
+    fn next_batch(
+        &mut self,
+        env: Env<'_, 's>,
+        out: &mut Vec<NodeEntry>,
+        max: usize,
+    ) -> Result<usize> {
+        let start = out.len();
+        loop {
+            let produced = out.len() - start;
+            if produced >= max || self.state == OpState::OutOfTuples {
+                return Ok(produced);
+            }
+            if self.buffer_pos < self.buffer.len() {
+                let take = (self.buffer.len() - self.buffer_pos).min(max - produced);
+                out.extend_from_slice(&self.buffer[self.buffer_pos..self.buffer_pos + take]);
+                self.buffer_pos += take;
+                continue;
+            }
+            if !self.refill(env)? {
+                return Ok(out.len() - start);
+            }
+        }
+    }
+
+    /// Pulls the next context tuple and rebuilds the value-index buffer
+    /// for it. Returns `false` (and flips to OUT_OF_TUPLES) when the
+    /// context stream is exhausted.
+    fn refill(&mut self, env: Env<'_, 's>) -> Result<bool> {
+        let Some(ctx) = self.context.next(env)? else {
+            self.state = OpState::OutOfTuples;
+            return Ok(false);
+        };
+        self.state = OpState::Fetching;
+        enum Source {
+            Eq(Box<str>, Option<bool>),
+            Range(crate::plan::RangeCmp, f64, bool),
+        }
+        let (source, attr_name) = match env.plan.op(self.op) {
+            Operator::ValueStep {
+                value,
+                text_only,
+                attr_name,
+                ..
+            } => (Source::Eq(value.clone(), *text_only), attr_name.clone()),
+            Operator::RangeStep {
+                op,
+                bound,
+                text_only,
+                attr_name,
+                ..
+            } => (Source::Range(*op, *bound, *text_only), attr_name.clone()),
+            _ => unreachable!("ValueStepIter over non-value-step"),
+        };
+        let attr_name_id = attr_name.as_deref().map(|n| env.store.name_id(n));
+        let range = if ctx.key.is_root() {
+            KeyRange::all()
+        } else {
+            KeyRange::subtree(&ctx.key)
+        };
+        let (keys, text_only): (Vec<&[u8]>, Option<bool>) = match &source {
+            Source::Eq(value, text_only) => {
+                (env.store.value_index().keys_eq(value, &range), *text_only)
+            }
+            Source::Range(op, bound, text_only) => (
+                env.store
+                    .value_index()
+                    .keys_numeric(op.to_mass(), *bound, &range),
+                Some(*text_only),
+            ),
+        };
+        let mut buffer = Vec::new();
+        for flat in keys {
+            let entry = entry_from_value_key(flat);
+            let kind_ok = match text_only {
+                Some(true) => entry.kind == RecordKind::Text,
+                Some(false) => entry.kind == RecordKind::Attribute,
+                None => true,
+            };
+            if !kind_ok {
+                continue;
+            }
+            // Attribute rewrites must also match the attribute
+            // name; one point lookup resolves it.
+            if let Some(wanted) = &attr_name_id {
+                let Some(wanted) = wanted else { continue };
+                match env.store.get_entry(&entry.key)? {
+                    Some(e) if e.name == Some(*wanted) => {}
+                    _ => continue,
+                }
+            }
+            buffer.push(entry);
+        }
+        self.buffer = buffer;
+        self.buffer_pos = 0;
+        Ok(true)
     }
 }
 

@@ -31,14 +31,20 @@ pub struct QueryProfile {
     pub buffer_hits: u64,
     /// Buffer-pool page misses (store reads) observed during the query.
     pub buffer_misses: u64,
+    /// Pages pinned once by batched scans during the query.
+    pub batch_pins: u64,
+    /// Per-record pool entries batched scans avoided during the query.
+    pub pins_saved: u64,
     /// Result cardinality.
     pub rows: u64,
 }
 
-fn delta(before: BufferStats, after: BufferStats) -> (u64, u64) {
+fn delta(before: BufferStats, after: BufferStats) -> (u64, u64, u64, u64) {
     (
         after.hits.saturating_sub(before.hits),
         after.misses.saturating_sub(before.misses),
+        after.batch_pins.saturating_sub(before.batch_pins),
+        after.pins_saved.saturating_sub(before.pins_saved),
     )
 }
 
@@ -53,11 +59,14 @@ impl Engine {
         let start = Instant::now();
         let rows = self.query_doc(doc, xpath)?;
         let elapsed = start.elapsed();
-        let (buffer_hits, buffer_misses) = delta(before, self.store().buffer_pool().stats());
+        let (buffer_hits, buffer_misses, batch_pins, pins_saved) =
+            delta(before, self.store().buffer_pool().stats());
         let profile = QueryProfile {
             elapsed,
             buffer_hits,
             buffer_misses,
+            batch_pins,
+            pins_saved,
             rows: rows.len() as u64,
         };
         Ok((rows, profile))
@@ -75,11 +84,14 @@ impl Engine {
         let start = Instant::now();
         let rows = self.execute_plan(plan, doc)?;
         let elapsed = start.elapsed();
-        let (buffer_hits, buffer_misses) = delta(before, self.store().buffer_pool().stats());
+        let (buffer_hits, buffer_misses, batch_pins, pins_saved) =
+            delta(before, self.store().buffer_pool().stats());
         let profile = QueryProfile {
             elapsed,
             buffer_hits,
             buffer_misses,
+            batch_pins,
+            pins_saved,
             rows: rows.len() as u64,
         };
         Ok((rows, profile))

@@ -1,0 +1,176 @@
+//! Batch-boundary edge cases for the batched execution pipeline.
+//!
+//! The batched pipeline must be observably identical to the scalar one:
+//! same nodes, same pipeline order, no duplicates or gaps at batch
+//! boundaries, regardless of where a batch ends relative to pages,
+//! contexts, predicates, or a consumer-imposed row limit.
+
+use vamana_core::exec::BATCH_SIZE;
+use vamana_core::{DocId, Engine, MassStore, NodeEntry};
+
+fn engine_from(xml: &str) -> Engine {
+    let mut store = MassStore::open_memory();
+    store.load_xml("doc", xml).unwrap();
+    Engine::new(store)
+}
+
+/// Full scalar-mode drain of `xpath` in pipeline order.
+fn scalar_drain(engine: &mut Engine, xpath: &str) -> Vec<NodeEntry> {
+    engine.options_mut().batched = false;
+    let mut out = Vec::new();
+    let mut stream = engine.stream(DocId(0), xpath).unwrap();
+    while let Some(t) = stream.next().unwrap() {
+        out.push(t);
+    }
+    engine.options_mut().batched = true;
+    out
+}
+
+#[test]
+fn short_batch_then_exhausted() {
+    // Fewer matches than `max`: one short batch, then a clean zero.
+    let mut e = engine_from("<r><a/><a/><a/></r>");
+    let expected = scalar_drain(&mut e, "//a");
+    let mut stream = e.stream(DocId(0), "//a").unwrap();
+    let mut out = Vec::new();
+    assert_eq!(stream.next_batch(&mut out, BATCH_SIZE).unwrap(), 3);
+    assert_eq!(out, expected);
+    assert_eq!(stream.next_batch(&mut out, BATCH_SIZE).unwrap(), 0);
+    assert_eq!(stream.next_batch(&mut out, BATCH_SIZE).unwrap(), 0);
+    assert!(
+        stream.next().unwrap().is_none(),
+        "exhausted stays exhausted"
+    );
+}
+
+#[test]
+fn small_max_pulls_have_no_gaps_or_duplicates() {
+    // A `max` far below the result size cuts every batch mid-stream; the
+    // concatenation must still be the exact scalar sequence.
+    let mut xml = String::from("<r>");
+    for i in 0..1000 {
+        xml.push_str(&format!("<e>{i}</e>"));
+    }
+    xml.push_str("</r>");
+    let mut e = engine_from(&xml);
+    let expected = scalar_drain(&mut e, "//e");
+    assert_eq!(expected.len(), 1000);
+    for max in [1, 7, 10, 256] {
+        let mut stream = e.stream(DocId(0), "//e").unwrap();
+        let mut out = Vec::new();
+        loop {
+            let n = stream.next_batch(&mut out, max).unwrap();
+            if n == 0 {
+                break;
+            }
+            assert!(n <= max, "over-filled batch: {n} > {max}");
+        }
+        assert_eq!(out, expected, "max {max}");
+    }
+}
+
+#[test]
+fn limit_cuts_a_batch_midway() {
+    // A consumer that stops after `limit` rows (the server's LIMIT, the
+    // shell's .limit) must see exactly the first `limit` tuples of the
+    // full sequence, even when the limit lands inside a batch.
+    let mut xml = String::from("<r>");
+    for i in 0..600 {
+        xml.push_str(&format!("<e>{i}</e>"));
+    }
+    xml.push_str("</r>");
+    let mut e = engine_from(&xml);
+    let expected = scalar_drain(&mut e, "//e");
+    for limit in [1, 10, BATCH_SIZE - 1, BATCH_SIZE + 1, 599] {
+        let mut stream = e.stream(DocId(0), "//e").unwrap();
+        let mut out = Vec::new();
+        while out.len() < limit {
+            let want = limit - out.len();
+            let n = stream.next_batch(&mut out, want).unwrap();
+            if n == 0 {
+                break;
+            }
+        }
+        assert_eq!(out, expected[..limit], "limit {limit}");
+        // The stream is still usable past the cut.
+        assert_eq!(
+            stream.next().unwrap().as_ref(),
+            expected.get(limit),
+            "tuple after the cut at {limit}"
+        );
+    }
+}
+
+#[test]
+fn predicate_inner_path_crosses_batch_boundaries() {
+    // Predicates re-anchor their inner context path at every tuple under
+    // test (paper §V-B). With more tuples than one batch holds, inner
+    // paths run for tuples on both sides of each boundary.
+    let mut xml = String::from("<r>");
+    for i in 0..(2 * BATCH_SIZE + 37) {
+        if i % 3 == 0 {
+            xml.push_str("<p><x/><v>keep</v></p>");
+        } else {
+            xml.push_str("<p><v>drop</v></p>");
+        }
+    }
+    xml.push_str("</r>");
+    let mut e = engine_from(&xml);
+    for xpath in ["//p[x]", "//p[x]/v", "//p[not(x)]"] {
+        let expected = scalar_drain(&mut e, xpath);
+        assert!(!expected.is_empty(), "{xpath} must match something");
+        let mut stream = e.stream(DocId(0), xpath).unwrap();
+        let mut out = Vec::new();
+        while stream.next_batch(&mut out, BATCH_SIZE).unwrap() > 0 {}
+        assert_eq!(out, expected, "{xpath}");
+        // And through the materializing API with set semantics.
+        e.options_mut().batched = true;
+        let batched = e.query(xpath).unwrap();
+        e.options_mut().batched = false;
+        let scalar = e.query(xpath).unwrap();
+        e.options_mut().batched = true;
+        assert_eq!(batched, scalar, "{xpath} under set semantics");
+    }
+}
+
+#[test]
+fn interleaved_scalar_and_batch_pulls_preserve_order() {
+    // Mixing next() and next_batch() on one stream must not reorder,
+    // duplicate, or drop tuples (next() buffers a batch internally).
+    let mut xml = String::from("<r>");
+    for i in 0..700 {
+        xml.push_str(&format!("<e>{i}</e>"));
+    }
+    xml.push_str("</r>");
+    let mut e = engine_from(&xml);
+    let expected = scalar_drain(&mut e, "//e");
+    let mut stream = e.stream(DocId(0), "//e").unwrap();
+    let mut out = Vec::new();
+    // 3 scalar pulls, then a batch, then scalar again, then drain.
+    for _ in 0..3 {
+        out.push(stream.next().unwrap().unwrap());
+    }
+    stream.next_batch(&mut out, 10).unwrap();
+    out.push(stream.next().unwrap().unwrap());
+    while stream.next_batch(&mut out, BATCH_SIZE).unwrap() > 0 {}
+    assert_eq!(out, expected);
+}
+
+#[test]
+fn batched_matches_scalar_on_unions_and_value_steps() {
+    let mut xml = String::from("<r>");
+    for i in 0..400 {
+        xml.push_str(&format!("<a n='{i}'>{}</a><b>{i}</b>", i % 10));
+    }
+    xml.push_str("</r>");
+    let mut e = engine_from(&xml);
+    for xpath in ["//a | //b", "//a[.='5']", "//a[@n='37']", "//b[. > 395]"] {
+        e.options_mut().batched = true;
+        let batched = e.query(xpath).unwrap();
+        e.options_mut().batched = false;
+        let scalar = e.query(xpath).unwrap();
+        e.options_mut().batched = true;
+        assert_eq!(batched, scalar, "{xpath}");
+        assert!(!batched.is_empty(), "{xpath} must match something");
+    }
+}

@@ -331,6 +331,86 @@ impl<'a> AxisStream<'a> {
         }
     }
 
+    /// Pulls up to `max` matching nodes into `out`, returning how many
+    /// were appended. A short (or zero) count means the stream is
+    /// exhausted — callers may treat it as end-of-stream without another
+    /// call.
+    ///
+    /// Clustered scans decode whole pinned pages in one pass
+    /// ([`MassCursor::next_batch`]); sibling-jump scans resolve in-page
+    /// jumps by binary search over the pinned records
+    /// ([`MassCursor::next_batch_jump`]); name-index iteration fills the
+    /// batch in a tight loop over the borrowed key slice. Point-lookup
+    /// modes fall back to the scalar pull per entry — they still amortize
+    /// the caller's per-tuple dispatch.
+    pub fn next_batch(&mut self, out: &mut Vec<NodeEntry>, max: usize) -> Result<usize> {
+        let start = out.len();
+        match &mut self.inner {
+            Inner::Empty => {}
+            Inner::Scan {
+                cursor,
+                filter,
+                skip_attrs,
+                not_ancestor_of,
+            } => {
+                cursor.next_batch_filtered(
+                    filter,
+                    *skip_attrs,
+                    not_ancestor_of.as_ref(),
+                    out,
+                    max,
+                )?;
+            }
+            Inner::JumpScan {
+                cursor,
+                filter,
+                skip_attrs,
+            } => {
+                cursor.next_batch_jump(filter, *skip_attrs, out, max)?;
+            }
+            Inner::NameList {
+                keys,
+                pos,
+                kind,
+                name,
+                verify,
+            } => {
+                while *pos < keys.len() && out.len() - start < max {
+                    let flat = &keys[*pos];
+                    *pos += 1;
+                    let key = FlexKey::from_flat(flat.clone());
+                    if verify.ok(&key) {
+                        out.push(NodeEntry {
+                            key,
+                            kind: *kind,
+                            name: *name,
+                        });
+                    }
+                }
+            }
+            Inner::Materialized { items } => {
+                out.extend(items.by_ref().take(max));
+            }
+            // Keys / KeysIndexOnly / AttrScan: scalar pulls.
+            // When the scalar pull reports exhaustion the stream flips to
+            // `Empty`, so the short-count contract above holds even for
+            // modes whose scalar `next` is not idempotent at end-of-stream
+            // (AttrScan stops at the first non-attribute record).
+            _ => {
+                while out.len() - start < max {
+                    match self.next()? {
+                        Some(e) => out.push(e),
+                        None => {
+                            self.inner = Inner::Empty;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out.len() - start)
+    }
+
     /// Drains the stream into a vector (tests, reverse-axis
     /// materialization in the executor).
     pub fn collect(mut self) -> Result<Vec<NodeEntry>> {

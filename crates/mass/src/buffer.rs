@@ -35,6 +35,13 @@ pub struct BufferStats {
     pub writes: u64,
     /// Pages evicted to make room.
     pub evictions: u64,
+    /// Pages pinned once by a batched scan (see
+    /// [`crate::cursor::MassCursor::next_batch`]).
+    pub batch_pins: u64,
+    /// Per-record pool entries a batched scan avoided: records decoded
+    /// beyond the first under a single pin. `pins_saved / batch_pins` is
+    /// the average amortization factor of the batched pipeline.
+    pub pins_saved: u64,
 }
 
 impl BufferStats {
@@ -146,6 +153,15 @@ impl BufferPool {
         }
     }
 
+    /// Records one batched scan over page `id` that examined `scanned`
+    /// records under a single pin. Counted in the page's own shard so
+    /// concurrent batched scans do not serialize on one counter lock.
+    pub(crate) fn note_batch(&self, id: u32, scanned: u64) {
+        let mut shard = lock(self.shard(id));
+        shard.stats.batch_pins += 1;
+        shard.stats.pins_saved += scanned.saturating_sub(1);
+    }
+
     /// Writes `page` through to the store and refreshes the cache.
     pub fn put(&self, id: u32, page: Page) -> Result<()> {
         let image = page.encode()?;
@@ -197,6 +213,8 @@ impl BufferPool {
             total.misses += s.misses;
             total.writes += s.writes;
             total.evictions += s.evictions;
+            total.batch_pins += s.batch_pins;
+            total.pins_saved += s.pins_saved;
         }
         total
     }

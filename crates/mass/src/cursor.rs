@@ -126,6 +126,200 @@ impl<'a> MassCursor<'a> {
         Ok(Some(entry))
     }
 
+    /// Pulls up to `max` records as [`crate::axes::NodeEntry`]s into
+    /// `out`, pinning each page once and decoding every qualifying record
+    /// on it in one pass. Returns the number of entries appended; a short
+    /// (or zero) count means the range is exhausted.
+    ///
+    /// This is the batched hot path: the per-record work shrinks to a key
+    /// clone and a push, while page lookup, shard locking, and the upper
+    /// bound comparison are amortized across the whole page (the bound is
+    /// resolved once per page by binary search instead of once per
+    /// record).
+    pub fn next_batch(
+        &mut self,
+        out: &mut Vec<crate::axes::NodeEntry>,
+        max: usize,
+    ) -> Result<usize> {
+        self.batch_scan(out, max, |_| true)
+    }
+
+    /// Like [`MassCursor::next_batch`], but applies the axis-level record
+    /// checks inline before materializing an entry — the backing of
+    /// [`crate::axes::AxisStream::next_batch`] for clustered scans.
+    pub(crate) fn next_batch_filtered(
+        &mut self,
+        filter: &crate::axes::NodeFilter,
+        skip_attrs: bool,
+        not_ancestor_of: Option<&vamana_flex::FlexKey>,
+        out: &mut Vec<crate::axes::NodeEntry>,
+        max: usize,
+    ) -> Result<usize> {
+        self.batch_scan(out, max, |rec| {
+            if skip_attrs && rec.kind == crate::record::RecordKind::Attribute {
+                return false;
+            }
+            if let Some(ctx) = not_ancestor_of {
+                if rec.key.is_ancestor_of(ctx) {
+                    return false;
+                }
+            }
+            filter.matches_parts(rec.kind, rec.name)
+        })
+    }
+
+    /// Batched sibling-jump scan: like [`MassCursor::next_batch_filtered`]
+    /// but after visiting a record it skips the record's whole subtree
+    /// (the MASS sibling jump), so only nodes at the scan level are
+    /// visited — the batched backing of the `JumpScan` axis mode.
+    ///
+    /// The win over repeated scalar jumps is that a jump whose target
+    /// lands on the *same* page is resolved by binary search over the
+    /// already-pinned records; only jumps that leave the page pay for a
+    /// buffer-pool lookup. Sibling runs cluster on few pages, so most
+    /// jumps stay in-page.
+    pub(crate) fn next_batch_jump(
+        &mut self,
+        filter: &crate::axes::NodeFilter,
+        skip_attrs: bool,
+        out: &mut Vec<crate::axes::NodeEntry>,
+        max: usize,
+    ) -> Result<usize> {
+        let start = out.len();
+        while out.len() - start < max {
+            if !self.position()? {
+                break;
+            }
+            let page_id = self.store.index[self.page_pos].1;
+            let page = self.page.clone().expect("positioned");
+            let records = page.records();
+            let end = match &self.hi {
+                Some(hi) => {
+                    self.rec_pos
+                        + records[self.rec_pos..]
+                            .partition_point(|r| r.key.as_flat() < hi.as_slice())
+                }
+                None => records.len(),
+            };
+            let mut i = self.rec_pos;
+            let mut visited = 0u64;
+            let mut sought = false;
+            while i < end && out.len() - start < max {
+                let rec = &records[i];
+                visited += 1;
+                if (!skip_attrs || rec.kind != crate::record::RecordKind::Attribute)
+                    && filter.matches_parts(rec.kind, rec.name)
+                {
+                    out.push(crate::axes::NodeEntry {
+                        key: rec.key.clone(),
+                        kind: rec.kind,
+                        name: rec.name,
+                    });
+                }
+                // Jump past this record's subtree to its next sibling.
+                // A descendant's flat key extends its ancestor's, so the
+                // subtree is exactly the run of records whose keys start
+                // with this one — partitioned without materializing the
+                // `subtree_upper` bound.
+                let flat = rec.key.as_flat();
+                if flat.is_empty() {
+                    i += 1;
+                } else {
+                    let target = i
+                        + 1
+                        + records[i + 1..end]
+                            .partition_point(|r| r.key.as_flat().starts_with(flat));
+                    if target >= end && end == records.len() {
+                        // The subtree may continue past this page: fall
+                        // back to a full seek (upper bound is preserved
+                        // by `seek`), allocating the bound only here.
+                        let upper = rec.key.subtree_upper().expect("non-root");
+                        self.rec_pos = i + 1;
+                        self.seek(&upper);
+                        sought = true;
+                        break;
+                    }
+                    i = target;
+                }
+            }
+            if visited > 0 {
+                self.store.pool.note_batch(page_id, visited);
+            }
+            if sought {
+                continue;
+            }
+            self.rec_pos = i;
+            if i >= end {
+                if end < records.len() {
+                    // The upper bound falls inside this page.
+                    self.done = true;
+                    break;
+                }
+                self.page = None;
+                self.page_pos += 1;
+            }
+        }
+        Ok(out.len() - start)
+    }
+
+    /// Shared batched scan: walks whole pinned pages, appending entries
+    /// for records that pass `keep`, until `max` entries were produced or
+    /// the range is exhausted.
+    fn batch_scan(
+        &mut self,
+        out: &mut Vec<crate::axes::NodeEntry>,
+        max: usize,
+        keep: impl Fn(&NodeRecord) -> bool,
+    ) -> Result<usize> {
+        let start = out.len();
+        while out.len() - start < max {
+            if !self.position()? {
+                break;
+            }
+            let page_id = self.store.index[self.page_pos].1;
+            let page = self.page.clone().expect("positioned");
+            let records = page.records();
+            // Resolve the upper bound once for the whole page instead of
+            // comparing keys record by record.
+            let end = match &self.hi {
+                Some(hi) => {
+                    self.rec_pos
+                        + records[self.rec_pos..]
+                            .partition_point(|r| r.key.as_flat() < hi.as_slice())
+                }
+                None => records.len(),
+            };
+            let mut i = self.rec_pos;
+            while i < end && out.len() - start < max {
+                let rec = &records[i];
+                i += 1;
+                if keep(rec) {
+                    out.push(crate::axes::NodeEntry {
+                        key: rec.key.clone(),
+                        kind: rec.kind,
+                        name: rec.name,
+                    });
+                }
+            }
+            let scanned = (i - self.rec_pos) as u64;
+            self.rec_pos = i;
+            if scanned > 0 {
+                self.store.pool.note_batch(page_id, scanned);
+            }
+            if i >= end {
+                if end < records.len() {
+                    // The upper bound falls inside this page.
+                    self.done = true;
+                    break;
+                }
+                // Page fully consumed: unpin and move on.
+                self.page = None;
+                self.page_pos += 1;
+            }
+        }
+        Ok(out.len() - start)
+    }
+
     /// Key of the record `next` would return, without consuming it.
     pub fn peek_key(&mut self) -> Result<Option<Vec<u8>>> {
         if !self.position()? {

@@ -410,3 +410,174 @@ fn every_axis_runs_from_every_element() {
         }
     }
 }
+
+// ---- batched (vectorized) evaluation ----------------------------------
+
+/// Drains `stream` through `next_batch` pulls of `max` entries each.
+fn drain_batched(
+    mut stream: vamana_mass::axes::AxisStream<'_>,
+    max: usize,
+) -> Vec<vamana_mass::NodeEntry> {
+    let mut out = Vec::new();
+    while stream.next_batch(&mut out, max).unwrap() > 0 {}
+    out
+}
+
+#[test]
+fn batched_streams_match_scalar_on_every_axis() {
+    // The batched pull must produce the byte-identical entry sequence as
+    // the scalar pull, for every axis, from every element, including
+    // batch sizes that force mid-page and mid-stream boundaries.
+    let f = Fixture::new();
+    let ctxs = ["site", "people", "person", "watches", "open_auction"];
+    for name in ctxs {
+        let ctx = f.elem(name, 0);
+        for axis in Axis::ALL {
+            for filter in [
+                NodeFilter::any(),
+                NodeFilter::any_element(),
+                NodeFilter::text(),
+            ] {
+                let scalar = axis_stream(&f.store, &ctx, RecordKind::Element, axis, filter)
+                    .unwrap()
+                    .collect()
+                    .unwrap();
+                for max in [1, 2, 3, 1024] {
+                    let stream =
+                        axis_stream(&f.store, &ctx, RecordKind::Element, axis, filter).unwrap();
+                    let batched = drain_batched(stream, max);
+                    assert_eq!(
+                        batched, scalar,
+                        "axis {axis} filter {filter:?} max {max} from {name}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn cursor_batch_on_empty_store_and_empty_range() {
+    use vamana_mass::cursor::MassCursor;
+    // Empty store: no pages at all.
+    let empty = MassStore::open_memory();
+    let mut cur = MassCursor::new(&empty, KeyRange::all());
+    let mut out = Vec::new();
+    assert_eq!(cur.next_batch(&mut out, 256).unwrap(), 0);
+    assert_eq!(cur.next_batch(&mut out, 256).unwrap(), 0, "stays exhausted");
+    // Populated store, but a range past every stored key.
+    let f = Fixture::new();
+    let last = f.elem("open_auction", 0);
+    let range = KeyRange {
+        lo: last.subtree_upper().unwrap(),
+        hi: None,
+    };
+    let mut cur = MassCursor::new(&f.store, range);
+    let n = cur.next_batch(&mut out, 256).unwrap();
+    // Nothing below the document level follows the last auction subtree.
+    assert!(
+        out.iter().all(|e| !last.is_ancestor_of(&e.key)),
+        "range must exclude the subtree"
+    );
+    let _ = n;
+}
+
+#[test]
+fn batched_scan_crosses_pages_emptied_by_deletes() {
+    // Build a store large enough for several pages, carve a hole in the
+    // middle with a subtree delete, and check the batched scan agrees
+    // with the scalar scan across the gap.
+    let mut xml = String::from("<r>");
+    for part in 0..3 {
+        xml.push_str(&format!("<part id='g{part}'>"));
+        for i in 0..800 {
+            xml.push_str(&format!("<e>{part}-{i}</e>"));
+        }
+        xml.push_str("</part>");
+    }
+    xml.push_str("</r>");
+    let mut store = MassStore::open_memory();
+    store.load_xml("doc", &xml).unwrap();
+    assert!(
+        store.stats().pages > 3,
+        "fixture must span multiple pages, got {}",
+        store.stats().pages
+    );
+    let part1 = {
+        let id = store.name_id("part").unwrap();
+        let flat = store.name_index().elements(id).iter().nth(1).unwrap();
+        FlexKey::from_flat(flat.to_vec())
+    };
+    let deleted = store.delete_subtree(&part1).unwrap();
+    assert!(deleted > 800, "subtree delete must remove the middle part");
+    let root = {
+        let id = store.name_id("r").unwrap();
+        let flat = store.name_index().elements(id).iter().next().unwrap();
+        FlexKey::from_flat(flat.to_vec())
+    };
+    let scalar = axis_stream(
+        &store,
+        &root,
+        RecordKind::Element,
+        Axis::Descendant,
+        NodeFilter::any(),
+    )
+    .unwrap()
+    .collect()
+    .unwrap();
+    for max in [7, 256] {
+        let stream = axis_stream(
+            &store,
+            &root,
+            RecordKind::Element,
+            Axis::Descendant,
+            NodeFilter::any(),
+        )
+        .unwrap();
+        assert_eq!(drain_batched(stream, max), scalar, "max {max}");
+    }
+}
+
+#[test]
+fn batch_counters_account_for_amortized_pins() {
+    let mut xml = String::from("<r>");
+    for i in 0..2000 {
+        xml.push_str(&format!("<e>{i}</e>"));
+    }
+    xml.push_str("</r>");
+    let mut store = MassStore::open_memory();
+    store.load_xml("doc", &xml).unwrap();
+    store.buffer_pool().reset_stats();
+    let root = {
+        let id = store.name_id("r").unwrap();
+        let flat = store.name_index().elements(id).iter().next().unwrap();
+        FlexKey::from_flat(flat.to_vec())
+    };
+    let stream = axis_stream(
+        &store,
+        &root,
+        RecordKind::Element,
+        Axis::Descendant,
+        NodeFilter::any(),
+    )
+    .unwrap();
+    let entries = drain_batched(stream, 256);
+    let stats = store.buffer_pool().stats();
+    assert!(!entries.is_empty());
+    assert!(stats.batch_pins > 0, "batched scan must record its pins");
+    assert!(
+        stats.pins_saved >= entries.len() as u64 - stats.batch_pins,
+        "pins_saved {} too small for {} entries over {} batch pins",
+        stats.pins_saved,
+        entries.len(),
+        stats.batch_pins
+    );
+    // Every batch saves exactly (scanned - 1) pins, so the two counters
+    // together equal the number of records examined.
+    let scanned = stats.batch_pins + stats.pins_saved;
+    assert!(
+        scanned >= entries.len() as u64,
+        "scanned {scanned} < produced {}",
+        entries.len()
+    );
+}

@@ -39,7 +39,7 @@ use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use vamana_core::{DocId, Engine, SharedEngine, Value};
+use vamana_core::{exec::BATCH_SIZE, DocId, Engine, SharedEngine, Value};
 
 pub mod cache;
 pub mod metrics;
@@ -52,9 +52,6 @@ pub use render::{render_rows, RenderOptions, Rendered};
 
 use metrics::ActiveGuard;
 use pool::WorkerPool;
-
-/// Tuples pulled between deadline checks while executing a query.
-const DEADLINE_CHECK_EVERY: usize = 64;
 
 /// Server tunables.
 #[derive(Debug, Clone)]
@@ -157,6 +154,8 @@ enum Outcome {
         elapsed: Duration,
         buffer_hits: u64,
         buffer_misses: u64,
+        batch_pins: u64,
+        pins_saved: u64,
     },
     Scalar {
         text: String,
@@ -186,20 +185,24 @@ pub(crate) fn execute_job(shared: &Shared, job: Job) {
     match &result {
         Ok(outcome) => {
             shared.metrics.queries.fetch_add(1, Ordering::Relaxed);
-            let (elapsed, rows, hits, misses) = match outcome {
+            let (elapsed, rows, hits, misses, pins, saved) = match outcome {
                 Outcome::Rows {
                     rendered,
                     elapsed,
                     buffer_hits,
                     buffer_misses,
+                    batch_pins,
+                    pins_saved,
                     ..
                 } => (
                     *elapsed,
                     rendered.total as u64,
                     *buffer_hits,
                     *buffer_misses,
+                    *batch_pins,
+                    *pins_saved,
                 ),
-                Outcome::Scalar { elapsed, .. } => (*elapsed, 0, 0, 0),
+                Outcome::Scalar { elapsed, .. } => (*elapsed, 0, 0, 0, 0, 0),
             };
             shared.metrics.latency.record(elapsed);
             shared
@@ -214,6 +217,11 @@ pub(crate) fn execute_job(shared: &Shared, job: Job) {
                 .metrics
                 .buffer_misses
                 .fetch_add(misses, Ordering::Relaxed);
+            shared.metrics.batch_pins.fetch_add(pins, Ordering::Relaxed);
+            shared
+                .metrics
+                .pins_saved
+                .fetch_add(saved, Ordering::Relaxed);
         }
         Err(ServerError::Timeout(_)) => {
             shared.metrics.timeouts.fetch_add(1, Ordering::Relaxed);
@@ -228,7 +236,7 @@ pub(crate) fn execute_job(shared: &Shared, job: Job) {
 }
 
 /// Executes `xpath` over every document via the plan cache, enforcing
-/// `deadline` between tuple pulls, and renders up to `limit` rows.
+/// `deadline` between result batches, and renders up to `limit` rows.
 fn run_query(
     shared: &Shared,
     xpath: &str,
@@ -268,11 +276,11 @@ fn run_query(
         let mut stream = engine
             .stream_plan((*plan).clone(), doc)
             .map_err(query_err)?;
-        let mut pulled = 0usize;
-        while let Some(tuple) = stream.next().map_err(query_err)? {
-            all.push(tuple);
-            pulled += 1;
-            if pulled.is_multiple_of(DEADLINE_CHECK_EVERY) && Instant::now() >= deadline {
+        // Batches land straight in the result buffer — no per-tuple
+        // dispatch between the executor and the render path. The
+        // deadline is checked once per batch (≤ BATCH_SIZE tuples).
+        while stream.next_batch(&mut all, BATCH_SIZE).map_err(query_err)? > 0 {
+            if Instant::now() >= deadline {
                 return Err(ServerError::Timeout(shared.config.query_timeout));
             }
         }
@@ -302,6 +310,8 @@ fn run_query(
         elapsed: start.elapsed(),
         buffer_hits: after.hits.saturating_sub(before.hits),
         buffer_misses: after.misses.saturating_sub(before.misses),
+        batch_pins: after.batch_pins.saturating_sub(before.batch_pins),
+        pins_saved: after.pins_saved.saturating_sub(before.pins_saved),
     })
 }
 
@@ -336,6 +346,8 @@ fn run_eval(shared: &Shared, xpath: &str, limit: usize) -> Result<Outcome, Serve
                 elapsed,
                 buffer_hits: after.hits.saturating_sub(before.hits),
                 buffer_misses: after.misses.saturating_sub(before.misses),
+                batch_pins: after.batch_pins.saturating_sub(before.batch_pins),
+                pins_saved: after.pins_saved.saturating_sub(before.pins_saved),
             })
         }
         Value::Num(n) => Ok(Outcome::Scalar {
@@ -599,6 +611,7 @@ fn write_reply(
             elapsed,
             buffer_hits,
             buffer_misses,
+            ..
         })) => {
             for row in &rendered.lines {
                 writeln!(writer, "ROW {}", escape_line(row))?;
@@ -672,6 +685,8 @@ fn render_stats(shared: &Shared) -> Vec<String> {
     ));
     out.push(format!("STAT pool_buffer_hits {}", stats.buffer.hits));
     out.push(format!("STAT pool_buffer_misses {}", stats.buffer.misses));
+    out.push(format!("STAT pool_batch_pins {}", stats.buffer.batch_pins));
+    out.push(format!("STAT pool_pins_saved {}", stats.buffer.pins_saved));
     out
 }
 

@@ -70,6 +70,12 @@ pub struct Metrics {
     pub buffer_hits: AtomicU64,
     /// Buffer-pool misses observed during queries.
     pub buffer_misses: AtomicU64,
+    /// Pages pinned once by batched scans during queries (see
+    /// `BufferStats::batch_pins`).
+    pub batch_pins: AtomicU64,
+    /// Per-record pool entries batched scans avoided during queries —
+    /// `pins_saved / batch_pins` is the observed amortization factor.
+    pub pins_saved: AtomicU64,
     /// Workers currently executing a job (gauge).
     pub active_workers: AtomicU64,
     /// Connections accepted over the server's lifetime.
@@ -90,6 +96,8 @@ impl Metrics {
         out.push(format!("STAT rows_returned {}", c(&self.rows_returned)));
         out.push(format!("STAT buffer_hits {}", c(&self.buffer_hits)));
         out.push(format!("STAT buffer_misses {}", c(&self.buffer_misses)));
+        out.push(format!("STAT batch_pins {}", c(&self.batch_pins)));
+        out.push(format!("STAT pins_saved {}", c(&self.pins_saved)));
         out.push(format!("STAT active_workers {}", c(&self.active_workers)));
         out.push(format!("STAT connections_total {}", c(&self.connections)));
         out.push(format!(
