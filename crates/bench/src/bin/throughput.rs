@@ -1,27 +1,36 @@
-//! Throughput benchmark: batched vs scalar execution, queries/sec per
-//! worker count, against one shared engine.
+//! Throughput benchmark: scalar vs batched vs morsel-parallel execution,
+//! queries/sec per worker count, against one shared engine.
 //!
 //! ```sh
 //! cargo run --release -p vamana-bench --bin throughput \
-//!     [-- <mb> [threads...] [--window-ms N] [--out PATH]]
+//!     [-- <mb> [workers...] [--window-ms N] [--out PATH]]
 //! ```
 //!
-//! Two query suites run in both execution modes over the same build and
+//! Two query suites run in three execution modes over the same build and
 //! the same loaded document:
 //!
 //! - `scan`: structural XMark scans ([`SCAN_QUERIES`]) — wildcard and
-//!   kind tests whose steps walk clustered MASS pages, where the batched
-//!   pipeline amortizes one page pin over every record on the page.
-//! - `eval`: the paper's evaluation mix (Q1–Q5), which is mostly
-//!   index-only and bounds how much batching can help non-scan work.
+//!   kind tests whose steps walk clustered MASS pages; these are the
+//!   shapes the batched pipeline amortizes page pins on and the parallel
+//!   scan splits into morsels.
+//! - `eval`: the paper's evaluation mix (Q1–Q5), mostly index-only; it
+//!   bounds how much batching/parallelism can help non-scan work (named
+//!   steps never fan out).
+//!
+//! Modes differ in where the configured worker count `w` goes:
+//!
+//! - `scalar` / `batched`: `w` *driver* threads (inter-query
+//!   concurrency), each draining serial streams.
+//! - `parallel`: **one** driver thread over a `w`-wide scan pool
+//!   (intra-query parallelism) — so `parallel` at `w` vs `batched` at 1
+//!   isolates what morsel-parallel scans buy a single query stream.
 //!
 //! Plans are compiled and optimized once per query before measurement
-//! (the serving layer likewise caches optimized plans); each worker
-//! clones a plan and drains the result stream (`next_batch` in batched
-//! mode, `next()` tuple-at-a-time in scalar mode), so the measured work
-//! is executor cost, not parsing or optimization. Results go to stdout
-//! as a table and to `BENCH_2.json` (override with `--out`) as
-//! machine-readable JSON.
+//! (the optimizer records the parallel fan-out choice on the plan, as the
+//! serving layer's plan cache would); each run drains the result stream,
+//! so the measured work is executor cost, not parsing or optimization.
+//! Results go to stdout as a table and to `BENCH_3.json` (override with
+//! `--out`) as machine-readable JSON.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -35,7 +44,7 @@ use vamana_mass::MassStore;
 
 struct Args {
     megabytes: f64,
-    threads: Vec<usize>,
+    workers: Vec<usize>,
     window: Duration,
     out: String,
 }
@@ -43,9 +52,9 @@ struct Args {
 fn parse_args() -> Args {
     let mut args = Args {
         megabytes: 0.5,
-        threads: Vec::new(),
+        workers: Vec::new(),
         window: Duration::from_secs(2),
-        out: "BENCH_2.json".to_string(),
+        out: "BENCH_3.json".to_string(),
     };
     let mut positional = 0usize;
     let mut it = std::env::args().skip(1);
@@ -65,15 +74,15 @@ fn parse_args() -> Args {
                 if positional == 0 {
                     args.megabytes = other.parse().expect("first positional arg is <mb>");
                 } else {
-                    args.threads
-                        .push(other.parse().expect("thread counts are integers"));
+                    args.workers
+                        .push(other.parse().expect("worker counts are integers"));
                 }
                 positional += 1;
             }
         }
     }
-    if args.threads.is_empty() {
-        args.threads = vec![1, 2, 4, 8];
+    if args.workers.is_empty() {
+        args.workers = vec![1, 2, 4, 8];
     }
     args
 }
@@ -82,7 +91,11 @@ fn parse_args() -> Args {
 struct Sample {
     suite: &'static str,
     mode: &'static str,
-    threads: usize,
+    /// The configured concurrency knob: driver threads for
+    /// `scalar`/`batched`, scan-pool width for `parallel`.
+    workers: usize,
+    /// Driver threads actually issuing queries.
+    drivers: usize,
     queries: u64,
     rows: u64,
     elapsed: Duration,
@@ -94,14 +107,29 @@ impl Sample {
     }
 }
 
+/// `(driver threads, batched, parallel)` per mode at worker count `w`.
+fn mode_setup(mode: &str, w: usize) -> (usize, bool, bool) {
+    match mode {
+        "scalar" => (w, false, false),
+        "batched" => (w, true, false),
+        "parallel" => (1, true, true),
+        other => unreachable!("unknown mode {other}"),
+    }
+}
+
 fn main() {
     let args = parse_args();
+    let max_workers = args.workers.iter().copied().max().unwrap_or(1);
 
     eprintln!("generating ~{} MB of XMark data…", args.megabytes);
     let xml = vamana_bench::document(args.megabytes);
     let mut store = MassStore::open_memory();
     store.load_xml("auction", &xml).expect("load xmark");
-    let engine = Arc::new(SharedEngine::new(Engine::new(store)));
+    let mut base = Engine::new(store);
+    // Compile-time worker view: the optimizer's degree is capped by the
+    // pool width at execution, so record the widest configuration.
+    base.options_mut().parallel_workers = max_workers;
+    let engine = Arc::new(SharedEngine::new(base));
 
     let suites: [(&str, &[(&str, &str)]); 2] = [("scan", SCAN_QUERIES), ("eval", QUERIES)];
 
@@ -117,45 +145,64 @@ fn main() {
             let plan = guard.optimize_plan(plan, DocId(0)).expect(name).plan;
             let rows = guard.execute_plan(&plan, DocId(0)).expect(name).len();
             assert!(rows > 0, "{name} ({xpath}) returned no rows");
-            eprintln!("  {name}: {rows} row(s)");
+            let par = match plan.parallel() {
+                Some(c) => format!("parallel degree {} (~{} rows)", c.degree, c.estimated),
+                None => "serial".to_string(),
+            };
+            eprintln!("  {name}: {rows} row(s), {par}");
             compiled.push(plan);
         }
         plans.push((suite, compiled));
     }
 
     println!(
-        "{:>6} {:>8} {:>8} {:>12} {:>14} {:>12}",
-        "suite", "mode", "threads", "queries", "queries/sec", "speedup"
+        "{:>6} {:>9} {:>8} {:>8} {:>12} {:>14} {:>12}",
+        "suite", "mode", "workers", "drivers", "queries", "queries/sec", "speedup"
     );
     let mut samples: Vec<Sample> = Vec::new();
     for (suite, compiled) in &plans {
-        for &threads in &args.threads {
-            for (mode, batched) in [("scalar", false), ("batched", true)] {
-                engine.write().options_mut().batched = batched;
+        for &workers in &args.workers {
+            for mode in ["scalar", "batched", "parallel"] {
+                let (drivers, batched, parallel) = mode_setup(mode, workers);
+                {
+                    let mut guard = engine.write();
+                    let opts = guard.options_mut();
+                    opts.batched = batched;
+                    opts.parallel = parallel;
+                    opts.parallel_workers = if parallel { workers } else { max_workers };
+                }
                 let sample = run_window(
                     &engine,
                     compiled,
                     suite,
                     mode,
+                    workers,
+                    drivers,
                     batched,
-                    threads.max(1),
                     args.window,
                 );
                 let speedup = match mode {
-                    "batched" => {
-                        let scalar = samples
-                            .iter()
-                            .rfind(|s| s.suite == *suite && s.threads == threads)
-                            .expect("scalar ran first");
-                        format!("{:.2}x", sample.qps() / scalar.qps())
-                    }
+                    // batched vs scalar at the same driver count.
+                    "batched" => samples
+                        .iter()
+                        .rfind(|s| s.suite == *suite && s.mode == "scalar" && s.workers == workers)
+                        .map(|s| format!("{:.2}x", sample.qps() / s.qps()))
+                        .unwrap_or_default(),
+                    // parallel (one driver, w-wide pool) vs one serial-
+                    // batched driver.
+                    "parallel" => samples
+                        .iter()
+                        .find(|s| s.suite == *suite && s.mode == "batched" && s.drivers == 1)
+                        .map(|s| format!("{:.2}x", sample.qps() / s.qps()))
+                        .unwrap_or_default(),
                     _ => "-".to_string(),
                 };
                 println!(
-                    "{:>6} {:>8} {:>8} {:>12} {:>14.1} {:>12}",
+                    "{:>6} {:>9} {:>8} {:>8} {:>12} {:>14.1} {:>12}",
                     suite,
                     mode,
-                    threads,
+                    workers,
+                    drivers,
                     sample.queries,
                     sample.qps(),
                     speedup
@@ -164,21 +211,28 @@ fn main() {
             }
         }
     }
-    engine.write().options_mut().batched = true;
+    {
+        let mut guard = engine.write();
+        let opts = guard.options_mut();
+        opts.batched = true;
+        opts.parallel = true;
+    }
 
     let json = render_json(&args, &suites, &samples);
     std::fs::write(&args.out, &json).expect("write json");
     eprintln!("wrote {}", args.out);
 }
 
-/// Runs the suite's query mix from `threads` workers for `window`.
+/// Runs the suite's query mix from `drivers` threads for `window`.
+#[allow(clippy::too_many_arguments)]
 fn run_window(
     engine: &Arc<SharedEngine>,
     plans: &[QueryPlan],
     suite: &'static str,
     mode: &'static str,
+    workers: usize,
+    drivers: usize,
     batched: bool,
-    threads: usize,
     window: Duration,
 ) -> Sample {
     let stop = Arc::new(AtomicBool::new(false));
@@ -186,14 +240,14 @@ fn run_window(
     let rows = Arc::new(AtomicU64::new(0));
     let start = Instant::now();
     std::thread::scope(|scope| {
-        for t in 0..threads {
+        for t in 0..drivers.max(1) {
             let engine = Arc::clone(engine);
             let stop = Arc::clone(&stop);
             let queries = Arc::clone(&queries);
             let rows = Arc::clone(&rows);
             scope.spawn(move || {
                 let mut buf = Vec::with_capacity(BATCH_SIZE);
-                let mut i = t; // offset so workers interleave the mix
+                let mut i = t; // offset so drivers interleave the mix
                 while !stop.load(Ordering::Relaxed) {
                     let plan = &plans[i % plans.len()];
                     let guard = engine.read();
@@ -226,18 +280,28 @@ fn run_window(
     Sample {
         suite,
         mode,
-        threads,
+        workers,
+        drivers,
         queries: queries.load(Ordering::Relaxed),
         rows: rows.load(Ordering::Relaxed),
         elapsed: start.elapsed(),
     }
 }
 
-/// Hand-rolled JSON (the workspace deliberately has no serde): the
-/// samples plus per-suite batched/scalar speedups keyed by threads.
+/// Hand-rolled JSON (the workspace deliberately has no serde): uniform
+/// per-result metadata plus per-suite speedup summaries keyed by the
+/// worker count.
 fn render_json(args: &Args, suites: &[(&str, &[(&str, &str)]); 2], samples: &[Sample]) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"bench\": \"throughput_batched_vs_scalar\",\n");
+    out.push_str("  \"bench\": \"throughput_scalar_batched_parallel\",\n");
+    // Intra-query speedup is bounded by physical cores: on a 1-CPU host
+    // the parallel mode can only show overhead, so record the hardware.
+    out.push_str(&format!(
+        "  \"host_cpus\": {},\n",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    ));
     out.push_str(&format!("  \"doc_megabytes\": {},\n", args.megabytes));
     out.push_str(&format!("  \"window_ms\": {},\n", args.window.as_millis()));
     out.push_str(&format!("  \"batch_size\": {BATCH_SIZE},\n"));
@@ -254,10 +318,11 @@ fn render_json(args: &Args, suites: &[(&str, &[(&str, &str)]); 2], samples: &[Sa
     out.push_str("  \"results\": [\n");
     for (i, s) in samples.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"suite\": \"{}\", \"mode\": \"{}\", \"threads\": {}, \"queries\": {}, \"rows\": {}, \"elapsed_ms\": {:.1}, \"qps\": {:.1}}}{}\n",
+            "    {{\"suite\": \"{}\", \"mode\": \"{}\", \"workers\": {}, \"drivers\": {}, \"queries\": {}, \"rows\": {}, \"elapsed_ms\": {:.1}, \"qps\": {:.1}}}{}\n",
             s.suite,
             s.mode,
-            s.threads,
+            s.workers,
+            s.drivers,
             s.queries,
             s.rows,
             s.elapsed.as_secs_f64() * 1e3,
@@ -266,18 +331,39 @@ fn render_json(args: &Args, suites: &[(&str, &[(&str, &str)]); 2], samples: &[Sa
         ));
     }
     out.push_str("  ],\n");
-    out.push_str("  \"speedup_batched_over_scalar\": {\n");
     let suite_names: Vec<&str> = suites.iter().map(|(s, _)| *s).collect();
+    let find = |suite: &str, mode: &str, workers: usize| {
+        samples
+            .iter()
+            .find(|s| s.suite == suite && s.mode == mode && s.workers == workers)
+    };
+    out.push_str("  \"speedup_batched_over_scalar\": {\n");
     for (i, suite) in suite_names.iter().enumerate() {
         let mut pairs = Vec::new();
-        for &threads in &args.threads {
-            let find = |mode: &str| {
-                samples
-                    .iter()
-                    .find(|s| s.suite == *suite && s.mode == mode && s.threads == threads)
-            };
-            if let (Some(b), Some(s)) = (find("batched"), find("scalar")) {
-                pairs.push(format!("\"{threads}\": {:.2}", b.qps() / s.qps()));
+        for &w in &args.workers {
+            if let (Some(b), Some(s)) = (find(suite, "batched", w), find(suite, "scalar", w)) {
+                pairs.push(format!("\"{w}\": {:.2}", b.qps() / s.qps()));
+            }
+        }
+        out.push_str(&format!("    \"{suite}\": {{{}}}", pairs.join(", ")));
+        out.push_str(if i + 1 < suite_names.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("  },\n");
+    // parallel at pool width w (one driver) vs one serial-batched driver:
+    // the intra-query speedup of morsel-parallel scans.
+    out.push_str("  \"speedup_parallel_over_batched\": {\n");
+    for (i, suite) in suite_names.iter().enumerate() {
+        let baseline = samples
+            .iter()
+            .find(|s| s.suite == *suite && s.mode == "batched" && s.drivers == 1);
+        let mut pairs = Vec::new();
+        for &w in &args.workers {
+            if let (Some(p), Some(b)) = (find(suite, "parallel", w), baseline) {
+                pairs.push(format!("\"{w}\": {:.2}", p.qps() / b.qps()));
             }
         }
         out.push_str(&format!("    \"{suite}\": {{{}}}", pairs.join(", ")));

@@ -288,8 +288,9 @@ impl Session {
     fn cmd_stats(&self) -> String {
         let engine = self.engine.read();
         let s = engine.store().stats();
+        let p = engine.parallel_stats();
         format!(
-            "documents: {}\ntuples:    {}\npages:     {} ({:.1} tuples/page)\nnames:     {}\nvalues:    {}\nbuffer:    {} hits / {} misses / {} evictions ({:.1}% hit ratio)",
+            "documents: {}\ntuples:    {}\npages:     {} ({:.1} tuples/page)\nnames:     {}\nvalues:    {}\nbuffer:    {} hits / {} misses / {} evictions ({:.1}% hit ratio)\nbatched:   {} batch pins / {} pins saved\nparallel:  {} workers / {} morsels / {} batches / {} merge stalls",
             s.documents,
             s.tuples,
             s.pages,
@@ -299,7 +300,13 @@ impl Session {
             s.buffer.hits,
             s.buffer.misses,
             s.buffer.evictions,
-            s.buffer.hit_ratio() * 100.0
+            s.buffer.hit_ratio() * 100.0,
+            s.buffer.batch_pins,
+            s.buffer.pins_saved,
+            p.workers,
+            p.morsels,
+            p.worker_batches,
+            p.merge_stalls
         )
     }
 
@@ -509,6 +516,8 @@ mod tests {
         let mut s = loaded();
         let out = s.execute(".stats").unwrap();
         assert!(out.contains("tuples"), "{out}");
+        assert!(out.contains("batch pins"), "{out}");
+        assert!(out.contains("merge stalls"), "{out}");
         let out = s.execute(".docs").unwrap();
         assert!(out.contains("[0]"), "{out}");
     }

@@ -7,9 +7,11 @@
 
 use crate::cost::estimate;
 use crate::error::{EngineError, Result};
+use crate::exec::parallel::{ParallelHooks, ParallelScanStats, ScanPool};
 use crate::exec::{self, value::Value, Env};
 use crate::opt::{self, OptimizeOutcome, OptimizerOptions};
 use crate::plan::{builder::build_plan, display, Operator, QueryPlan};
+use std::sync::{Arc, Mutex};
 use vamana_flex::KeyRange;
 use vamana_mass::{DocId, MassStore, NodeEntry, RecordKind};
 use vamana_xpath::{parse, Expr};
@@ -30,6 +32,20 @@ pub struct EngineOptions {
     /// Produces the identical tuple sequence; `false` is the scalar
     /// baseline kept for benchmarking and differential testing.
     pub batched: bool,
+    /// Morsel-parallel scans: plans whose output step the optimizer
+    /// marked parallel-worthy fan out over the engine's shared scan
+    /// pool (requires `batched`). Identical output either way; `false`
+    /// keeps serial-batched as the differential oracle and baseline.
+    pub parallel: bool,
+    /// Scan-pool width. `0` means one worker per available core.
+    pub parallel_workers: usize,
+    /// Minimum estimated `COUNT` of the output step before the optimizer
+    /// considers fanning out — below this, thread hand-off costs more
+    /// than the scan.
+    pub parallel_threshold: u64,
+    /// Smallest worthwhile per-worker slice of the estimate; the degree
+    /// is capped at `count / parallel_min_morsel`.
+    pub parallel_min_morsel: u64,
 }
 
 impl Default for EngineOptions {
@@ -39,6 +55,10 @@ impl Default for EngineOptions {
             set_semantics: true,
             max_opt_iterations: 8,
             batched: true,
+            parallel: true,
+            parallel_workers: 0,
+            parallel_threshold: 4096,
+            parallel_min_morsel: 1024,
         }
     }
 }
@@ -90,7 +110,16 @@ impl<'s> QueryStream<'s> {
                     store: engine.store(),
                     root_ctx: &root_ctx,
                 };
-                exec::build_iter(env, top, None)?
+                let mut iter = None;
+                if engine.options().batched {
+                    if let Some(hooks) = engine.parallel_hooks(&plan) {
+                        iter = exec::parallel::build_parallel(env, top, &hooks)?;
+                    }
+                }
+                match iter {
+                    Some(it) => it,
+                    None => exec::build_iter(env, top, None)?,
+                }
             }
             None => exec::OpIter::Anchor(None),
         };
@@ -194,22 +223,33 @@ impl<'s> QueryStream<'s> {
 
 /// The VAMANA XPath engine.
 pub struct Engine {
-    store: MassStore,
+    /// Shared so parallel scan workers can hold the store across their
+    /// morsel; all clones are transient (reaped before a query returns),
+    /// which keeps [`Engine::store_mut`] available between queries.
+    store: Arc<MassStore>,
     options: EngineOptions,
+    /// Lazily created engine-level worker pool, reused across queries and
+    /// rebuilt only when the configured width changes.
+    scan_pool: Mutex<Option<Arc<ScanPool>>>,
 }
 
 impl Engine {
     /// Wraps a store with default options (optimizer on).
     pub fn new(store: MassStore) -> Self {
         Engine {
-            store,
+            store: Arc::new(store),
             options: EngineOptions::default(),
+            scan_pool: Mutex::new(None),
         }
     }
 
     /// Wraps a store with explicit options.
     pub fn with_options(store: MassStore, options: EngineOptions) -> Self {
-        Engine { store, options }
+        Engine {
+            store: Arc::new(store),
+            options,
+            scan_pool: Mutex::new(None),
+        }
     }
 
     /// The underlying store.
@@ -217,9 +257,67 @@ impl Engine {
         &self.store
     }
 
-    /// Mutable store access (loading documents, updates).
+    /// Mutable store access (loading documents, updates). Store clones
+    /// held by in-flight parallel scans are reaped before each query
+    /// returns, so exclusive access here is always available between
+    /// queries.
     pub fn store_mut(&mut self) -> &mut MassStore {
-        &mut self.store
+        Arc::get_mut(&mut self.store).expect("store pinned by an active parallel scan")
+    }
+
+    /// The scan-pool width this engine resolves to: the configured
+    /// [`EngineOptions::parallel_workers`], or one per available core.
+    pub fn effective_workers(&self) -> usize {
+        if self.options.parallel_workers > 0 {
+            self.options.parallel_workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        }
+    }
+
+    /// Cumulative parallel-scan counters (all zero until the first
+    /// parallel query creates the pool).
+    pub fn parallel_stats(&self) -> ParallelScanStats {
+        let guard = self.scan_pool.lock().unwrap_or_else(|e| e.into_inner());
+        match guard.as_ref() {
+            Some(pool) => pool.stats(),
+            None => ParallelScanStats::default(),
+        }
+    }
+
+    /// The shared scan pool, created on first use and recreated when the
+    /// configured width changes.
+    fn scan_pool(&self) -> Arc<ScanPool> {
+        let width = self.effective_workers().max(1);
+        let mut guard = self.scan_pool.lock().unwrap_or_else(|e| e.into_inner());
+        match guard.as_ref() {
+            Some(pool) if pool.width() == width => Arc::clone(pool),
+            _ => {
+                let pool = Arc::new(ScanPool::new(width));
+                *guard = Some(Arc::clone(&pool));
+                pool
+            }
+        }
+    }
+
+    /// Execution-time gate for the optimizer's parallel choice: only when
+    /// parallel + batched execution are enabled and the plan carries a
+    /// degree ≥ 2 does a query fan out.
+    pub(crate) fn parallel_hooks(&self, plan: &QueryPlan) -> Option<ParallelHooks> {
+        if !self.options.parallel || !self.options.batched {
+            return None;
+        }
+        let choice = plan.parallel()?;
+        if choice.degree < 2 {
+            return None;
+        }
+        Some(ParallelHooks {
+            store: Arc::clone(&self.store),
+            pool: self.scan_pool(),
+            choice,
+        })
     }
 
     /// Current options.
@@ -234,7 +332,7 @@ impl Engine {
 
     /// Convenience: parse and load an XML string as a document.
     pub fn load_xml(&mut self, name: &str, xml: &str) -> Result<DocId> {
-        Ok(self.store.load_xml(name, xml)?)
+        Ok(self.store_mut().load_xml(name, xml)?)
     }
 
     fn doc_entry(&self, doc: DocId) -> Result<NodeEntry> {
@@ -257,7 +355,10 @@ impl Engine {
         build_plan(&expr)
     }
 
-    /// Optimizes a plan for `doc` and reports the outcome.
+    /// Optimizes a plan for `doc` and reports the outcome. The parallel
+    /// decision is always recorded on the resulting plan (even when
+    /// `options.parallel` is off) so precompiled/cached plans carry it;
+    /// execution gates on the option separately.
     pub fn optimize_plan(&self, plan: QueryPlan, doc: DocId) -> Result<OptimizeOutcome> {
         let scope = self.doc_scope(doc)?;
         let opts = OptimizerOptions {
@@ -265,7 +366,16 @@ impl Engine {
             set_semantics: self.options.set_semantics,
             disabled_rules: Vec::new(),
         };
-        opt::optimize(plan, &self.store, &scope, &opts)
+        let mut outcome = opt::optimize(plan, self.store(), &scope, &opts)?;
+        outcome.plan.set_parallel(opt::parallel::decide(
+            &outcome.plan,
+            self.store(),
+            &scope,
+            self.effective_workers(),
+            self.options.parallel_threshold,
+            self.options.parallel_min_morsel,
+        ));
+        Ok(outcome)
     }
 
     /// Executes a plan against `doc`.
@@ -273,10 +383,17 @@ impl Engine {
         let root_ctx = self.doc_entry(doc)?;
         let env = Env {
             plan,
-            store: &self.store,
+            store: self.store(),
             root_ctx: &root_ctx,
         };
-        exec::run_from_mode(env, None, self.options.set_semantics, self.options.batched)
+        let hooks = self.parallel_hooks(plan);
+        exec::run_plan(
+            env,
+            None,
+            self.options.set_semantics,
+            self.options.batched,
+            hooks.as_ref(),
+        )
     }
 
     /// Compiles, (optionally) optimizes, and executes `xpath` on `doc`.
@@ -309,7 +426,7 @@ impl Engine {
         let root_ctx = self.doc_entry(doc)?;
         let env = Env {
             plan: &plan,
-            store: &self.store,
+            store: self.store(),
             root_ctx: &root_ctx,
         };
         exec::run_from_mode(
@@ -394,7 +511,7 @@ impl Engine {
         let mut default_plan = self.compile(xpath)?;
         // Clean-up is part of the default pipeline in the paper's figures.
         opt::cleanup::cleanup(&mut default_plan);
-        let default_costs = estimate(&default_plan, &self.store, &scope)?;
+        let default_costs = estimate(&default_plan, self.store(), &scope)?;
         let outcome = self.optimize_plan(default_plan.clone(), doc)?;
         Ok(Explain {
             default_plan: display::render(&default_plan, Some(&default_costs)),
@@ -440,7 +557,7 @@ impl Engine {
         }
         let scope = self.doc_scope(doc)?;
         Ok(Some(
-            crate::cost::count_nodetest(&self.store, *axis, test, &scope) as f64,
+            crate::cost::count_nodetest(self.store(), *axis, test, &scope) as f64,
         ))
     }
 
@@ -468,7 +585,7 @@ impl Engine {
                 let root_ctx = self.doc_entry(doc)?;
                 let env = Env {
                     plan: &plan,
-                    store: &self.store,
+                    store: self.store(),
                     root_ctx: &root_ctx,
                 };
                 exec::eval_expr(env, expr_id, &root_ctx, 1, 1)

@@ -10,6 +10,7 @@
 //! (paper §V-B): leaf steps with [`ContextSource::OuterTuple`] anchor at
 //! the tuple under test; absolute paths anchor back at the query root.
 
+pub mod parallel;
 pub mod value;
 
 use crate::error::{EngineError, Result};
@@ -120,6 +121,23 @@ pub fn run_from_mode(
     set_semantics: bool,
     batched: bool,
 ) -> Result<Vec<NodeEntry>> {
+    run_plan(env, outer, set_semantics, batched, None)
+}
+
+/// [`run_from_mode`] with an optional parallel-scan hookup. When `par`
+/// is provided (engine gating: `EngineOptions.parallel`, a plan-recorded
+/// [`crate::plan::ParallelChoice`], batched mode, top-level run), the
+/// plan's output step fans out over the engine's scan pool; any shape
+/// that does not qualify at runtime falls back to the serial pipeline.
+/// Output is identical in all cases — parallelism only reorders *work*,
+/// never tuples.
+pub fn run_plan(
+    env: Env<'_, '_>,
+    outer: Option<&NodeEntry>,
+    set_semantics: bool,
+    batched: bool,
+    par: Option<&parallel::ParallelHooks>,
+) -> Result<Vec<NodeEntry>> {
     let top = match env.plan.op(env.plan.root()) {
         Operator::Root { child } => *child,
         _ => Some(env.plan.root()),
@@ -127,7 +145,15 @@ pub fn run_from_mode(
     let Some(top) = top else {
         return Ok(Vec::new());
     };
-    let mut iter = build_iter(env, top, outer)?;
+    let mut iter = match par {
+        Some(hooks) if outer.is_none() && batched => {
+            match parallel::build_parallel(env, top, hooks)? {
+                Some(it) => it,
+                None => build_iter(env, top, outer)?,
+            }
+        }
+        _ => build_iter(env, top, outer)?,
+    };
     let mut out = Vec::new();
     if batched {
         while iter.next_batch(env, &mut out, BATCH_SIZE)? > 0 {}
@@ -157,6 +183,9 @@ pub enum OpIter<'s> {
     /// Value semi-join (algebra completeness): yields left tuples whose
     /// string value matches some right tuple under the condition.
     Join(std::vec::IntoIter<NodeEntry>),
+    /// Morsel-parallel scan with ordered merge (borrows nothing: workers
+    /// hold `Arc` clones of the store).
+    Parallel(Box<parallel::ParallelIter>),
 }
 
 /// Builds the cursor tree for a node-set operator. `outer` is the tuple
@@ -288,6 +317,7 @@ impl<'s> OpIter<'s> {
                 r.next(env)
             }
             OpIter::Join(items) => Ok(items.next()),
+            OpIter::Parallel(p) => p.next(),
         }
     }
 
@@ -326,6 +356,7 @@ impl<'s> OpIter<'s> {
                 out.extend(items.by_ref().take(max));
                 Ok(out.len() - start)
             }
+            OpIter::Parallel(p) => p.next_batch(out, max),
         }
     }
 }

@@ -1,0 +1,641 @@
+//! Morsel-driven intra-query parallel scans (the `ParallelScan`
+//! operator).
+//!
+//! The serial pipeline's unit of work is a page-pinned batch; this
+//! module distributes those batches across cores without giving up the
+//! strict document order the rest of the engine relies on:
+//!
+//! 1. The optimizer marks a plan parallel-worthy
+//!    ([`crate::opt::parallel::decide`]) and records the degree.
+//! 2. At execution time [`build_parallel`] derives *morsels* from the
+//!    live store: for a single-context descendant scan, disjoint
+//!    page-run key ranges from `MassStore::partition_range`; for a
+//!    multi-context step, contiguous chunks of the context list. Either
+//!    way, concatenating the morsel outputs in morsel order reproduces
+//!    the serial tuple sequence exactly.
+//! 3. Morsel tasks go to a [`ScanPool`] — an engine-level, work-stealing
+//!    worker pool reused across queries (workers pop their own deque
+//!    front, steal others' backs; no per-query thread spawn).
+//! 4. Each worker drives the existing `next_batch` machinery over its
+//!    morsel and pushes batches into a bounded per-morsel queue; the
+//!    consumer ([`ParallelIter`]) drains queues strictly in morsel
+//!    order, re-emitting document order downstream. While its in-order
+//!    morsel has nothing ready the consumer *helps* — it steals and runs
+//!    queued tasks inline — which both keeps cores busy and guarantees
+//!    progress even on a saturated pool.
+//!
+//! Failure handling: a worker error (or panic) marks its morsel queue
+//! failed and the consumer surfaces it as an [`EngineError`]; dropping a
+//! `ParallelIter` mid-stream cancels outstanding tasks and waits for
+//! in-flight ones, so workers never outlive the store borrow their
+//! `Arc<MassStore>` clones pin.
+
+use crate::error::{EngineError, Result};
+use crate::exec::{build_iter, Env, OpIter, BATCH_SIZE};
+use crate::plan::{Operator, ParallelChoice};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+use vamana_flex::{Axis, KeyRange};
+use vamana_mass::axes::{axis_stream, range_scan_stream};
+use vamana_mass::{MassStore, NodeEntry, NodeFilter, RecordKind};
+
+/// Morsels per degree of parallelism. More morsels than workers is
+/// deliberate: it gives the stealing machinery slack to rebalance when
+/// morsels turn out skewed (and is what the forced-stealing differential
+/// tests exercise).
+const MORSELS_PER_WORKER: usize = 2;
+
+/// Bound on batches buffered per morsel queue before its producer
+/// blocks. Caps memory at roughly `morsels * QUEUE_CAP * BATCH_SIZE`
+/// entries per query while letting out-of-order morsels run ahead.
+const QUEUE_CAP: usize = 8;
+
+/// How long blocked parties sleep between re-checks. Purely a liveness
+/// backstop — every state change also signals the relevant condvar.
+const WAIT_TICK: Duration = Duration::from_millis(5);
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // A worker panic is reported through its morsel queue; the shared
+    // state itself stays consistent, so poisoning is ignored.
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Cumulative counters of a [`ScanPool`] since creation, surfaced in
+/// `QueryProfile`, CLI `.stats`, and server `STATS`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ParallelScanStats {
+    /// Pool width (worker threads) — a gauge, not a counter.
+    pub workers: u64,
+    /// Morsel tasks submitted.
+    pub morsels: u64,
+    /// Batches produced by morsel tasks.
+    pub worker_batches: u64,
+    /// Times the consumer wanted its in-order morsel's output and had to
+    /// wait (or help) because none was ready.
+    pub merge_stalls: u64,
+}
+
+type Task = Box<dyn FnOnce(bool) + Send + 'static>;
+
+struct PoolState {
+    /// One deque per worker; tasks are submitted round-robin.
+    queues: Vec<VecDeque<Task>>,
+    shutdown: bool,
+}
+
+/// State shared with worker threads. Split from [`ScanPool`] so workers
+/// hold no `Arc<ScanPool>` — otherwise the pool's drop (which joins the
+/// workers) could never run.
+struct PoolShared {
+    state: Mutex<PoolState>,
+    wake: Condvar,
+    next: AtomicUsize,
+    morsels: AtomicU64,
+    batches: AtomicU64,
+    stalls: AtomicU64,
+}
+
+impl PoolShared {
+    /// Pops from `me`'s own deque front, else steals another deque's
+    /// back.
+    fn take(state: &mut PoolState, me: usize) -> Option<Task> {
+        if let Some(t) = state.queues[me].pop_front() {
+            return Some(t);
+        }
+        let k = state.queues.len();
+        for off in 1..k {
+            if let Some(t) = state.queues[(me + off) % k].pop_back() {
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    fn worker_loop(&self, me: usize) {
+        loop {
+            let task = {
+                let mut st = lock(&self.state);
+                loop {
+                    if st.shutdown {
+                        return;
+                    }
+                    if let Some(t) = Self::take(&mut st, me) {
+                        break t;
+                    }
+                    st = self.wake.wait(st).unwrap_or_else(|p| p.into_inner());
+                }
+            };
+            // Task panics are reported through the morsel queue (see
+            // `MorselTask::run`); the worker itself must survive.
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(false)));
+        }
+    }
+}
+
+/// A shared, engine-level worker pool for morsel scans: work-stealing
+/// deques, reused across queries. Created lazily by the engine at the
+/// first parallel query and replaced only when the configured width
+/// changes; dropping it shuts the workers down and joins them.
+pub struct ScanPool {
+    shared: Arc<PoolShared>,
+    width: usize,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ScanPool {
+    /// Starts `width` worker threads (at least one).
+    pub fn new(width: usize) -> Self {
+        let width = width.max(1);
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                queues: (0..width).map(|_| VecDeque::new()).collect(),
+                shutdown: false,
+            }),
+            wake: Condvar::new(),
+            next: AtomicUsize::new(0),
+            morsels: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            stalls: AtomicU64::new(0),
+        });
+        let handles = (0..width)
+            .map(|me| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("vamana-scan-{me}"))
+                    .spawn(move || shared.worker_loop(me))
+                    .expect("spawn scan worker")
+            })
+            .collect();
+        ScanPool {
+            shared,
+            width,
+            handles,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ParallelScanStats {
+        ParallelScanStats {
+            workers: self.width as u64,
+            morsels: self.shared.morsels.load(Ordering::Relaxed),
+            worker_batches: self.shared.batches.load(Ordering::Relaxed),
+            merge_stalls: self.shared.stalls.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Enqueues one morsel task, round-robin across worker deques.
+    fn submit(&self, task: Task) {
+        {
+            let mut st = lock(&self.shared.state);
+            let w = self.shared.next.fetch_add(1, Ordering::Relaxed) % st.queues.len();
+            st.queues[w].push_back(task);
+        }
+        self.shared.morsels.fetch_add(1, Ordering::Relaxed);
+        self.shared.wake.notify_all();
+    }
+
+    /// Steals one queued task and runs it on the calling thread (the
+    /// consumer "helping" while its in-order morsel is not ready).
+    /// Returns `false` when no task was queued.
+    fn help(&self) -> bool {
+        let task = {
+            let mut st = lock(&self.shared.state);
+            PoolShared::take(&mut st, 0)
+        };
+        match task {
+            Some(t) => {
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| t(true)));
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+impl Drop for ScanPool {
+    fn drop(&mut self) {
+        lock(&self.shared.state).shutdown = true;
+        self.shared.wake.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+struct QueueState {
+    batches: VecDeque<Vec<NodeEntry>>,
+    finished: bool,
+    failed: Option<String>,
+}
+
+struct MorselQueue {
+    state: Mutex<QueueState>,
+    /// Signalled on push/finish (consumer waits here).
+    nonempty: Condvar,
+    /// Signalled on pop/cancel (blocked producer waits here).
+    nonfull: Condvar,
+}
+
+/// Per-query rendezvous between morsel tasks and the consuming
+/// [`ParallelIter`]: one bounded queue per morsel plus cancellation and
+/// an in-flight task count.
+struct MorselSet {
+    queues: Vec<MorselQueue>,
+    cancelled: AtomicBool,
+    inflight: AtomicUsize,
+}
+
+impl MorselSet {
+    fn new(n: usize) -> Self {
+        MorselSet {
+            queues: (0..n)
+                .map(|_| MorselQueue {
+                    state: Mutex::new(QueueState {
+                        batches: VecDeque::new(),
+                        finished: false,
+                        failed: None,
+                    }),
+                    nonempty: Condvar::new(),
+                    nonfull: Condvar::new(),
+                })
+                .collect(),
+            cancelled: AtomicBool::new(false),
+            inflight: AtomicUsize::new(0),
+        }
+    }
+
+    fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// Appends a batch to morsel `i`'s queue, blocking while it is full
+    /// — unless `unbounded` (tasks run inline on the consumer thread
+    /// must not block on a queue only they can drain). Returns `false`
+    /// when the query was cancelled.
+    fn push(&self, i: usize, batch: Vec<NodeEntry>, pool: &PoolShared, unbounded: bool) -> bool {
+        let q = &self.queues[i];
+        let mut st = lock(&q.state);
+        while !unbounded && st.batches.len() >= QUEUE_CAP {
+            if self.is_cancelled() {
+                return false;
+            }
+            st = q
+                .nonfull
+                .wait_timeout(st, WAIT_TICK)
+                .unwrap_or_else(|p| p.into_inner())
+                .0;
+        }
+        if self.is_cancelled() {
+            return false;
+        }
+        st.batches.push_back(batch);
+        drop(st);
+        q.nonempty.notify_all();
+        pool.batches.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Marks morsel `i` complete, recording a failure message if any.
+    fn finish(&self, i: usize, failed: Option<String>) {
+        let q = &self.queues[i];
+        let mut st = lock(&q.state);
+        st.finished = true;
+        if st.failed.is_none() {
+            st.failed = failed;
+        }
+        drop(st);
+        q.nonempty.notify_all();
+    }
+
+    fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Relaxed);
+        for q in &self.queues {
+            q.nonfull.notify_all();
+            q.nonempty.notify_all();
+        }
+    }
+}
+
+/// The work of one morsel.
+enum MorselWork {
+    /// One disjoint page-run sub-range of a descendant(-or-self) scan.
+    Range(KeyRange),
+    /// A contiguous chunk of the context list; the task runs the full
+    /// per-context axis stream for each, in order.
+    Contexts(Vec<NodeEntry>),
+}
+
+/// Everything a morsel task owns. `Arc<MassStore>` (not a borrow) makes
+/// the task `'static` for the pool; [`ParallelIter`]'s drop keeps the
+/// clone transient by joining outstanding tasks before the query ends.
+struct MorselTask {
+    set: Arc<MorselSet>,
+    pool: Arc<PoolShared>,
+    store: Arc<MassStore>,
+    index: usize,
+    work: MorselWork,
+    axis: Axis,
+    filter: NodeFilter,
+}
+
+impl MorselTask {
+    /// Runs the morsel to completion (or cancellation), then marks its
+    /// queue finished — also on error or panic — and decrements the
+    /// in-flight count last.
+    fn run(self, unbounded: bool) {
+        struct Guard {
+            set: Arc<MorselSet>,
+            index: usize,
+            clean: bool,
+        }
+        impl Drop for Guard {
+            fn drop(&mut self) {
+                if !self.clean {
+                    self.set
+                        .finish(self.index, Some("scan worker panicked".into()));
+                }
+                self.set.inflight.fetch_sub(1, Ordering::AcqRel);
+                // Wake a consumer possibly waiting for in-flight tasks
+                // to drain (ParallelIter::drop waits on the queues).
+                self.set.queues[self.index].nonempty.notify_all();
+            }
+        }
+        let mut guard = Guard {
+            set: Arc::clone(&self.set),
+            index: self.index,
+            clean: false,
+        };
+        let index = self.index;
+        let set = Arc::clone(&self.set);
+        let outcome = self.scan(unbounded);
+        set.finish(index, outcome.err().map(|e| e.to_string()));
+        guard.clean = true;
+    }
+
+    /// Drives the existing batched scan machinery over this morsel.
+    fn scan(self, unbounded: bool) -> vamana_mass::Result<()> {
+        match &self.work {
+            MorselWork::Range(range) => {
+                let mut stream = range_scan_stream(&self.store, range.clone(), self.filter);
+                loop {
+                    if self.set.is_cancelled() {
+                        return Ok(());
+                    }
+                    let mut batch = Vec::with_capacity(BATCH_SIZE);
+                    let n = stream.next_batch(&mut batch, BATCH_SIZE)?;
+                    if n > 0 && !self.set.push(self.index, batch, &self.pool, unbounded) {
+                        return Ok(());
+                    }
+                    if n < BATCH_SIZE {
+                        return Ok(());
+                    }
+                }
+            }
+            MorselWork::Contexts(ctxs) => {
+                for ctx in ctxs {
+                    let mut stream =
+                        axis_stream(&self.store, &ctx.key, ctx.kind, self.axis, self.filter)?;
+                    loop {
+                        if self.set.is_cancelled() {
+                            return Ok(());
+                        }
+                        let mut batch = Vec::with_capacity(BATCH_SIZE);
+                        let n = stream.next_batch(&mut batch, BATCH_SIZE)?;
+                        if n > 0 && !self.set.push(self.index, batch, &self.pool, unbounded) {
+                            return Ok(());
+                        }
+                        if n < BATCH_SIZE {
+                            break;
+                        }
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// What the engine hands the executor to enable a parallel scan: the
+/// store pinned for worker threads, the shared pool, and the plan's
+/// recorded choice.
+pub struct ParallelHooks {
+    /// The store, pinned so worker tasks are `'static`.
+    pub store: Arc<MassStore>,
+    /// The engine's shared scan pool.
+    pub pool: Arc<ScanPool>,
+    /// The optimizer's decision carried by the plan.
+    pub choice: ParallelChoice,
+}
+
+/// The ordered-merge consumer: an [`OpIter`] variant with no borrow of
+/// the store (workers own `Arc` clones). Drains morsel queues strictly
+/// in morsel order, which *is* document/pipeline order by construction.
+pub struct ParallelIter {
+    set: Arc<MorselSet>,
+    pool: Arc<ScanPool>,
+    current: usize,
+    buffer: Vec<NodeEntry>,
+    buffer_pos: usize,
+}
+
+impl ParallelIter {
+    /// Batched pull with the usual short-count-means-exhausted contract.
+    pub fn next_batch(&mut self, out: &mut Vec<NodeEntry>, max: usize) -> Result<usize> {
+        let start = out.len();
+        while out.len() - start < max {
+            if self.buffer_pos < self.buffer.len() {
+                let take = (self.buffer.len() - self.buffer_pos).min(max - (out.len() - start));
+                out.extend_from_slice(&self.buffer[self.buffer_pos..self.buffer_pos + take]);
+                self.buffer_pos += take;
+                continue;
+            }
+            if self.current >= self.set.queues.len() {
+                break;
+            }
+            match self.pull_current()? {
+                Some(batch) => {
+                    self.buffer = batch;
+                    self.buffer_pos = 0;
+                }
+                None => self.current += 1,
+            }
+        }
+        Ok(out.len() - start)
+    }
+
+    /// Scalar pull (used only when a caller mixes modes; the engine
+    /// engages parallel scans in batched mode).
+    #[allow(clippy::should_implement_trait)] // fallible, like QueryStream::next
+    pub fn next(&mut self) -> Result<Option<NodeEntry>> {
+        let mut one = Vec::with_capacity(1);
+        if self.next_batch(&mut one, 1)? == 0 {
+            return Ok(None);
+        }
+        Ok(one.pop())
+    }
+
+    /// Next batch of the in-order morsel, or `None` when that morsel is
+    /// finished. Helps drain the pool instead of sleeping whenever the
+    /// morsel has nothing ready — the deadlock-freedom argument: the
+    /// consumer can always run the very task it is waiting on.
+    fn pull_current(&mut self) -> Result<Option<Vec<NodeEntry>>> {
+        let mut stalled = false;
+        loop {
+            {
+                let q = &self.set.queues[self.current];
+                let mut st = lock(&q.state);
+                if let Some(batch) = st.batches.pop_front() {
+                    drop(st);
+                    q.nonfull.notify_all();
+                    return Ok(Some(batch));
+                }
+                if st.finished {
+                    if let Some(msg) = st.failed.take() {
+                        return Err(EngineError::Unsupported(format!(
+                            "parallel scan failed: {msg}"
+                        )));
+                    }
+                    return Ok(None);
+                }
+            }
+            if !stalled {
+                stalled = true;
+                self.pool.shared.stalls.fetch_add(1, Ordering::Relaxed);
+            }
+            if !self.pool.help() {
+                let q = &self.set.queues[self.current];
+                let st = lock(&q.state);
+                if st.batches.is_empty() && !st.finished {
+                    let _unused = q
+                        .nonempty
+                        .wait_timeout(st, WAIT_TICK)
+                        .unwrap_or_else(|p| p.into_inner());
+                }
+            }
+        }
+    }
+}
+
+impl Drop for ParallelIter {
+    fn drop(&mut self) {
+        // Cancel and reap: queued tasks run inline (and exit on the
+        // cancel flag), blocked producers wake via the cancel broadcast.
+        // After this loop no task holds a store Arc, so the engine's
+        // `store_mut` regains exclusive access.
+        self.set.cancel();
+        while self.set.inflight.load(Ordering::Acquire) > 0 {
+            if !self.pool.help() {
+                std::thread::sleep(WAIT_TICK);
+            }
+        }
+    }
+}
+
+/// Builds the parallel scan for the plan's top step, or returns `None`
+/// when the runtime shape does not qualify (the executor then falls back
+/// to the serial pipeline — same output, just undistributed).
+pub(crate) fn build_parallel<'s>(
+    env: Env<'_, 's>,
+    top: crate::plan::OpId,
+    hooks: &ParallelHooks,
+) -> Result<Option<OpIter<'s>>> {
+    let Operator::Step {
+        axis,
+        test,
+        context,
+        predicates,
+        ..
+    } = env.plan.op(top)
+    else {
+        return Ok(None);
+    };
+    if !predicates.is_empty() {
+        return Ok(None);
+    }
+    let Some(filter) = env.node_filter(*axis, test) else {
+        // Unknown name: provably empty, no point spinning up workers.
+        return Ok(Some(OpIter::Anchor(None)));
+    };
+    let degree = (hooks.choice.degree as usize)
+        .min(hooks.pool.width())
+        .max(1);
+    if degree < 2 {
+        return Ok(None);
+    }
+    // The context stream (everything below the top step) runs serially —
+    // it is almost always index-only and tiny next to the scan.
+    let mut contexts = Vec::new();
+    match context {
+        Some(c) => {
+            let mut it = build_iter(env, *c, None)?;
+            while let Some(t) = it.next(env)? {
+                contexts.push(t);
+            }
+        }
+        None => contexts.push(env.root_ctx.clone()),
+    }
+    let target = degree * MORSELS_PER_WORKER;
+    let work: Vec<MorselWork> = if contexts.is_empty() {
+        return Ok(Some(OpIter::Anchor(None)));
+    } else if contexts.len() == 1 {
+        // Single context: split the axis key range itself into disjoint
+        // page runs. Only descendant(-or-self) maps to one contiguous
+        // range; anything else falls back to serial.
+        let ctx = &contexts[0];
+        if ctx.kind == RecordKind::Attribute {
+            return Ok(None);
+        }
+        let range = match axis {
+            Axis::Descendant => KeyRange::descendants(&ctx.key),
+            Axis::DescendantOrSelf => KeyRange::subtree(&ctx.key),
+            _ => return Ok(None),
+        };
+        let morsels = hooks.store.partition_range(&range, target);
+        if morsels.len() < 2 {
+            return Ok(None);
+        }
+        morsels.into_iter().map(MorselWork::Range).collect()
+    } else {
+        // Many contexts: contiguous context chunks preserve pipeline
+        // order under concatenation.
+        let chunks = target.min(contexts.len());
+        let per = contexts.len().div_ceil(chunks);
+        let mut work = Vec::with_capacity(chunks);
+        let mut rest = contexts;
+        while !rest.is_empty() {
+            let tail = rest.split_off(per.min(rest.len()));
+            work.push(MorselWork::Contexts(std::mem::replace(&mut rest, tail)));
+        }
+        work
+    };
+    let set = Arc::new(MorselSet::new(work.len()));
+    for (index, w) in work.into_iter().enumerate() {
+        set.inflight.fetch_add(1, Ordering::AcqRel);
+        let task = MorselTask {
+            set: Arc::clone(&set),
+            pool: Arc::clone(&hooks.pool.shared),
+            store: Arc::clone(&hooks.store),
+            index,
+            work: w,
+            axis: *axis,
+            filter,
+        };
+        hooks
+            .pool
+            .submit(Box::new(move |unbounded| task.run(unbounded)));
+    }
+    Ok(Some(OpIter::Parallel(Box::new(ParallelIter {
+        set,
+        pool: Arc::clone(&hooks.pool),
+        current: 0,
+        buffer: Vec::new(),
+        buffer_pos: 0,
+    }))))
+}

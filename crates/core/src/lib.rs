@@ -45,9 +45,10 @@ pub mod shared;
 
 pub use engine::{Engine, EngineOptions, Explain, QueryStream};
 pub use error::{EngineError, Result};
+pub use exec::parallel::ParallelScanStats;
 pub use exec::value::Value;
 pub use opt::{OptimizeOutcome, OptimizerOptions};
-pub use plan::{builder::build_plan, display::render, OpId, Operator, QueryPlan};
+pub use plan::{builder::build_plan, display::render, OpId, Operator, ParallelChoice, QueryPlan};
 pub use shared::{QueryProfile, SharedEngine};
 
 // Re-export the storage entry points so `vamana_core` is usable alone.

@@ -9,6 +9,7 @@
 //! that the optimized plan is never slower than the default plan.
 
 pub mod cleanup;
+pub mod parallel;
 pub mod rules;
 
 use crate::cost::{estimate, PlanCosts};

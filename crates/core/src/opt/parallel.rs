@@ -1,0 +1,140 @@
+//! The parallelism decision: *whether and how wide* to fan a scan out,
+//! driven by the same index statistics the rewrite rules consult.
+//!
+//! The paper's thesis is that the index answers `COUNT`/selectivity
+//! questions cheaply enough to drive every plan choice; this module
+//! extends that to the degree of parallelism. A scan is worth splitting
+//! only when it is going to touch a lot of data (threshold on the
+//! estimated output) and only as wide as leaves each worker a meaningful
+//! morsel (`count / MIN_MORSEL`), so small queries never pay thread
+//! hand-off costs and large ones never shred into confetti.
+//!
+//! The decision is recorded on the plan ([`QueryPlan::set_parallel`]),
+//! which makes it survive plan caching: a cached plan replays the same
+//! fan-out without touching the index again. Actual morsel boundaries
+//! are re-derived from the live index at execution time, so the cached
+//! choice is a performance hint, never a correctness hazard (see
+//! `MassStore::generation`).
+
+use crate::cost::count_nodetest;
+use crate::plan::{Operator, ParallelChoice, QueryPlan, TestSpec};
+use vamana_flex::{Axis, KeyRange};
+use vamana_mass::MassStore;
+
+/// Decides whether (and how wide) to parallelize the plan's output step.
+///
+/// Only the *top* step of the context path — the one producing the
+/// query's output — is considered: everything below it is the context
+/// stream, which the parallel scan materializes serially (it is almost
+/// always index-only and cheap). The step must be a forward,
+/// non-attribute, predicate-free `*`/`node()` test: exactly the shapes
+/// the executor evaluates as clustered page scans, which are the only
+/// ones where splitting pages across workers buys anything (named tests
+/// stream from the name index and are already index-only).
+///
+/// `workers` caps the degree; `threshold` is the minimum estimated
+/// output for parallelism to pay at all; `min_morsel` is the smallest
+/// worthwhile per-worker slice. Returns `None` (stay serial) unless the
+/// resulting degree is at least 2.
+pub fn decide(
+    plan: &QueryPlan,
+    store: &MassStore,
+    scope: &KeyRange,
+    workers: usize,
+    threshold: u64,
+    min_morsel: u64,
+) -> Option<ParallelChoice> {
+    let &top = plan.context_path().first()?;
+    let Operator::Step {
+        axis,
+        test,
+        predicates,
+        ..
+    } = plan.op(top)
+    else {
+        return None;
+    };
+    if !predicates.is_empty() || axis.is_reverse() || axis.principal_is_attribute() {
+        return None;
+    }
+    if !matches!(test, TestSpec::Wildcard | TestSpec::AnyNode) {
+        return None;
+    }
+    if *axis == Axis::Namespace {
+        return None;
+    }
+    let estimated = count_nodetest(store, *axis, test, scope);
+    if estimated < threshold.max(1) {
+        return None;
+    }
+    let degree = (workers as u64).min(estimated / min_morsel.max(1)).max(1);
+    if degree < 2 {
+        return None;
+    }
+    Some(ParallelChoice {
+        degree: degree as u32,
+        estimated,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::builder::build_plan;
+    use vamana_mass::MassStore;
+    use vamana_xpath::parse;
+
+    fn store_with(n: usize) -> MassStore {
+        let mut xml = String::from("<root>");
+        for i in 0..n {
+            xml.push_str(&format!("<e>{i}</e>"));
+        }
+        xml.push_str("</root>");
+        let mut store = MassStore::open_memory();
+        store.load_xml("doc", &xml).unwrap();
+        store
+    }
+
+    fn plan_for(xpath: &str) -> QueryPlan {
+        build_plan(&parse(xpath).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn wide_scan_clears_threshold() {
+        let store = store_with(500);
+        let plan = plan_for("//*");
+        let choice = decide(&plan, &store, &KeyRange::all(), 4, 100, 50).unwrap();
+        assert!(choice.degree >= 2 && choice.degree <= 4);
+        assert!(choice.estimated >= 500);
+    }
+
+    #[test]
+    fn small_scan_stays_serial() {
+        let store = store_with(20);
+        let plan = plan_for("//*");
+        assert!(decide(&plan, &store, &KeyRange::all(), 4, 100, 50).is_none());
+    }
+
+    #[test]
+    fn min_morsel_caps_degree() {
+        let store = store_with(500);
+        let plan = plan_for("//*");
+        // ~501 elements / 200 per morsel => degree 2 even with 8 workers.
+        let choice = decide(&plan, &store, &KeyRange::all(), 8, 100, 200).unwrap();
+        assert_eq!(choice.degree, 2);
+        // A min-morsel bigger than the data forces serial.
+        assert!(decide(&plan, &store, &KeyRange::all(), 8, 100, 400).is_none());
+    }
+
+    #[test]
+    fn named_and_predicated_steps_stay_serial() {
+        let store = store_with(500);
+        for q in ["//e", "//*[1]", "//@*", "//e/ancestor::*"] {
+            let plan = plan_for(q);
+            assert!(
+                decide(&plan, &store, &KeyRange::all(), 4, 1, 1).is_none(),
+                "{q} must stay serial"
+            );
+        }
+    }
+}

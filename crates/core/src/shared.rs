@@ -35,6 +35,14 @@ pub struct QueryProfile {
     pub batch_pins: u64,
     /// Per-record pool entries batched scans avoided during the query.
     pub pins_saved: u64,
+    /// Morsels dispatched to the scan pool during the query (zero when
+    /// the query ran serially).
+    pub morsels: u64,
+    /// Batches produced by scan-pool workers during the query.
+    pub worker_batches: u64,
+    /// Times the ordered-merge consumer had to wait for the in-order
+    /// morsel to produce a batch.
+    pub merge_stalls: u64,
     /// Result cardinality.
     pub rows: u64,
 }
@@ -56,17 +64,22 @@ impl Engine {
         xpath: &str,
     ) -> Result<(Vec<NodeEntry>, QueryProfile)> {
         let before = self.store().buffer_pool().stats();
+        let par_before = self.parallel_stats();
         let start = Instant::now();
         let rows = self.query_doc(doc, xpath)?;
         let elapsed = start.elapsed();
         let (buffer_hits, buffer_misses, batch_pins, pins_saved) =
             delta(before, self.store().buffer_pool().stats());
+        let par = self.parallel_stats();
         let profile = QueryProfile {
             elapsed,
             buffer_hits,
             buffer_misses,
             batch_pins,
             pins_saved,
+            morsels: par.morsels.saturating_sub(par_before.morsels),
+            worker_batches: par.worker_batches.saturating_sub(par_before.worker_batches),
+            merge_stalls: par.merge_stalls.saturating_sub(par_before.merge_stalls),
             rows: rows.len() as u64,
         };
         Ok((rows, profile))
@@ -81,17 +94,22 @@ impl Engine {
         doc: DocId,
     ) -> Result<(Vec<NodeEntry>, QueryProfile)> {
         let before = self.store().buffer_pool().stats();
+        let par_before = self.parallel_stats();
         let start = Instant::now();
         let rows = self.execute_plan(plan, doc)?;
         let elapsed = start.elapsed();
         let (buffer_hits, buffer_misses, batch_pins, pins_saved) =
             delta(before, self.store().buffer_pool().stats());
+        let par = self.parallel_stats();
         let profile = QueryProfile {
             elapsed,
             buffer_hits,
             buffer_misses,
             batch_pins,
             pins_saved,
+            morsels: par.morsels.saturating_sub(par_before.morsels),
+            worker_batches: par.worker_batches.saturating_sub(par_before.worker_batches),
+            merge_stalls: par.merge_stalls.saturating_sub(par_before.merge_stalls),
             rows: rows.len() as u64,
         };
         Ok((rows, profile))

@@ -56,7 +56,7 @@ pub mod stats;
 pub mod store;
 pub mod value_index;
 
-pub use axes::{axis_stream, AxisStream, KindFilter, NodeEntry, NodeFilter};
+pub use axes::{axis_stream, range_scan_stream, AxisStream, KindFilter, NodeEntry, NodeFilter};
 pub use buffer::{BufferPool, BufferStats};
 pub use cursor::MassCursor;
 pub use error::{MassError, Result};

@@ -68,6 +68,10 @@ pub struct ServerConfig {
     pub default_limit: usize,
     /// Characters of string-value shown per row.
     pub value_width: usize,
+    /// Width of the engine's intra-query scan pool, applied to the
+    /// engine at bind time. `0` leaves the engine's own setting (one
+    /// scan worker per core by default) untouched.
+    pub scan_workers: usize,
 }
 
 impl Default for ServerConfig {
@@ -79,6 +83,7 @@ impl Default for ServerConfig {
             plan_cache_size: 256,
             default_limit: 20,
             value_width: 200,
+            scan_workers: 0,
         }
     }
 }
@@ -405,6 +410,9 @@ impl Server {
         config: ServerConfig,
     ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
+        if config.scan_workers > 0 {
+            engine.write().options_mut().parallel_workers = config.scan_workers;
+        }
         let shared = Arc::new(Shared {
             engine,
             cache: PlanCache::new(config.plan_cache_size),
@@ -687,6 +695,11 @@ fn render_stats(shared: &Shared) -> Vec<String> {
     out.push(format!("STAT pool_buffer_misses {}", stats.buffer.misses));
     out.push(format!("STAT pool_batch_pins {}", stats.buffer.batch_pins));
     out.push(format!("STAT pool_pins_saved {}", stats.buffer.pins_saved));
+    let par = engine.parallel_stats();
+    out.push(format!("STAT scan_workers {}", engine.effective_workers()));
+    out.push(format!("STAT pool_par_morsels {}", par.morsels));
+    out.push(format!("STAT pool_par_batches {}", par.worker_batches));
+    out.push(format!("STAT pool_par_merge_stalls {}", par.merge_stalls));
     out
 }
 

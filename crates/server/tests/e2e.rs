@@ -257,3 +257,24 @@ fn query_errors_are_reported_not_fatal() {
     assert_eq!(client.round_trip("PING"), vec!["OK pong"]);
     handle.stop();
 }
+
+#[test]
+fn scan_worker_config_and_parallel_stats_are_reported() {
+    let handle = spawn_server(ServerConfig {
+        scan_workers: 3,
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(&handle);
+    let stats = client.round_trip("STATS");
+    assert_eq!(stat_value(&stats, "scan_workers"), 3);
+    // Counters are present from the first STATS on (zero until a query
+    // clears the parallel threshold and fans out).
+    for key in [
+        "pool_par_morsels",
+        "pool_par_batches",
+        "pool_par_merge_stalls",
+    ] {
+        stat_value(&stats, key);
+    }
+    handle.stop();
+}
