@@ -317,7 +317,13 @@ impl DomEngine {
         Ok(current)
     }
 
-    fn eval_step(&self, step: &Step, ctx: NodeId) -> Result<Vec<NodeId>> {
+    /// Evaluates one location step from a single context node: axis,
+    /// node test, then predicates with per-group positions. Exposed so
+    /// the `EXPLAIN ANALYZE` oracle tests can replay a path step by step
+    /// *without* the between-step duplicate elimination
+    /// [`eval`](DomEngine::eval) performs — matching what the pipelined
+    /// executor's per-operator counters see.
+    pub fn eval_step(&self, step: &Step, ctx: NodeId) -> Result<Vec<NodeId>> {
         let mut group: Vec<NodeId> = self
             .axis_nodes(ctx, step.axis)?
             .into_iter()

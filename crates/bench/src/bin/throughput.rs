@@ -3,8 +3,12 @@
 //!
 //! ```sh
 //! cargo run --release -p vamana-bench --bin throughput \
-//!     [-- <mb> [workers...] [--window-ms N] [--out PATH]]
+//!     [-- <mb> [workers...] [--window-ms N] [--out PATH] [--analyze]]
 //! ```
+//!
+//! `--analyze` skips the measurement windows: it loads the document,
+//! runs `EXPLAIN ANALYZE` on one representative query per suite, dumps
+//! the per-operator estimated-vs-actual trees to stdout, and exits.
 //!
 //! Two query suites run in three execution modes over the same build and
 //! the same loaded document:
@@ -47,6 +51,7 @@ struct Args {
     workers: Vec<usize>,
     window: Duration,
     out: String,
+    analyze: bool,
 }
 
 fn parse_args() -> Args {
@@ -55,6 +60,7 @@ fn parse_args() -> Args {
         workers: Vec::new(),
         window: Duration::from_secs(2),
         out: "BENCH_3.json".to_string(),
+        analyze: false,
     };
     let mut positional = 0usize;
     let mut it = std::env::args().skip(1);
@@ -69,6 +75,9 @@ fn parse_args() -> Args {
             }
             "--out" => {
                 args.out = it.next().expect("--out needs a path");
+            }
+            "--analyze" => {
+                args.analyze = true;
             }
             other => {
                 if positional == 0 {
@@ -132,6 +141,23 @@ fn main() {
     let engine = Arc::new(SharedEngine::new(base));
 
     let suites: [(&str, &[(&str, &str)]); 2] = [("scan", SCAN_QUERIES), ("eval", QUERIES)];
+
+    if args.analyze {
+        // EXPLAIN ANALYZE one representative query per suite and exit —
+        // a quick look at how the cost model tracks reality at this
+        // document scale, without running the measurement windows.
+        let guard = engine.read();
+        for (suite, queries) in suites {
+            let (name, xpath) = queries[0];
+            let analysis = guard.analyze_doc(DocId(0), xpath).expect(name);
+            println!("=== {suite} / {name}: {xpath}");
+            print!("{}", analysis.render());
+            println!("optimizer trace:");
+            print!("{}", analysis.opt_trace.render());
+            println!();
+        }
+        return;
+    }
 
     // Compile every plan once and warm the buffer pool; a query that
     // matches nothing means the generator or planner is broken, so fail

@@ -95,6 +95,7 @@ impl Session {
                 "load" => self.cmd_load(arg),
                 "generate" => self.cmd_generate(arg),
                 "explain" => self.cmd_explain(arg),
+                "analyze" => self.cmd_analyze(arg),
                 "count" => self.cmd_count(arg),
                 "limit" => self.cmd_limit(arg),
                 "serve" => self.cmd_serve(arg),
@@ -254,6 +255,33 @@ impl Session {
             ex.optimized_cost, ex.applied, ex.iterations
         );
         out.push_str(&ex.optimized_plan);
+        out.push_str("optimizer trace:\n");
+        out.push_str(&ex.opt_trace.render());
+        Ok(out)
+    }
+
+    fn cmd_analyze(&mut self, arg: &str) -> Result<String, Box<dyn std::error::Error>> {
+        self.require_docs()?;
+        let (json, xpath) = match arg.strip_prefix("json") {
+            Some(rest) if rest.starts_with(char::is_whitespace) => (true, rest.trim()),
+            _ => (false, arg),
+        };
+        if xpath.is_empty() {
+            return Err(".analyze needs an XPath expression".into());
+        }
+        let analysis = self.engine.read().analyze_doc(DocId(0), xpath)?;
+        if json {
+            return Ok(analysis.render_json());
+        }
+        let mut out = analysis.render();
+        out.push_str("optimizer trace:\n");
+        out.push_str(&analysis.opt_trace.render());
+        let p = &analysis.profile;
+        let _ = write!(
+            out,
+            "profile: {:.2?}, {} hit(s) / {} miss(es), {} batch pin(s), {} morsel(s)",
+            p.elapsed, p.buffer_hits, p.buffer_misses, p.batch_pins, p.morsels
+        );
         Ok(out)
     }
 
@@ -401,6 +429,10 @@ commands:
   .load <file>        load an XML file into the store
   .generate [mb]      generate ~mb megabytes of XMark auction data
   .explain <xpath>    show default vs optimized plan with live costs
+                      and the optimizer's pass-by-pass trace
+  .analyze [json] <xpath>
+                      run the query with per-operator instrumentation:
+                      est vs act rows, q-errors, misestimation summary
   .count <xpath>      count results (index-only when possible)
   .limit [n]          rows shown per query (0 = unlimited)
   .serve <port|stop>  share this session's store over TCP
@@ -509,6 +541,26 @@ mod tests {
         assert!(out.contains("default plan"), "{out}");
         assert!(out.contains("optimized plan"), "{out}");
         assert!(out.contains('φ'), "{out}");
+        assert!(out.contains("optimizer trace:"), "{out}");
+        assert!(out.contains("pass: clean-up"), "{out}");
+        assert!(out.contains("pass: cost gathering"), "{out}");
+    }
+
+    #[test]
+    fn analyze_shows_actuals_and_trace() {
+        let mut s = loaded();
+        let out = s.execute(".analyze //person/name").unwrap();
+        assert!(out.contains("est="), "{out}");
+        assert!(out.contains("act="), "{out}");
+        assert!(out.contains("misestimations"), "{out}");
+        assert!(out.contains("optimizer trace:"), "{out}");
+        assert!(out.contains("profile:"), "{out}");
+        let out = s.execute(".analyze json //person/name").unwrap();
+        assert!(out.starts_with('{'), "{out}");
+        assert!(out.contains("\"operators\""), "{out}");
+        assert!(out.contains("\"trace\""), "{out}");
+        let out = s.execute(".analyze").unwrap();
+        assert!(out.contains("error"), "{out}");
     }
 
     #[test]

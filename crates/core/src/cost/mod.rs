@@ -46,6 +46,45 @@ impl OpCost {
     }
 }
 
+/// The estimate snapshot one operator carries on an optimized plan —
+/// the paper's Table I quantities frozen at optimization time so that
+/// EXPLAIN ANALYZE can put `est=…` next to `act=…` even for plans that
+/// were cached long before execution.
+///
+/// Unlike [`OpCost`] (the optimizer's working figures, owned by a
+/// [`PlanCosts`] side table), an `EstimateCard` is stamped *onto* the
+/// [`crate::plan::QueryPlan`] by [`crate::engine::Engine::optimize_plan`]
+/// and travels with it through plan caches and streams.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EstimateCard {
+    /// `COUNT(opᵢ)` — index nodes satisfying the node test (steps only).
+    pub count: Option<u64>,
+    /// `TC(opᵢ)` — occurrences of a literal's value (value ops only).
+    pub tc: Option<u64>,
+    /// `IN(opᵢ)` — maximum tuples the operator receives.
+    pub input: u64,
+    /// `OUT(opᵢ)` — maximum tuples it emits.
+    pub output: u64,
+    /// Selectivity ratio `δ = OUT/IN`, clamped to `[0, 1]`.
+    pub selectivity: f64,
+    /// Estimated cost charged by the optimizer: `IN + OUT` (every tuple
+    /// received or emitted is an index operation).
+    pub cost: u64,
+}
+
+impl From<&OpCost> for EstimateCard {
+    fn from(c: &OpCost) -> Self {
+        EstimateCard {
+            count: c.count,
+            tc: c.tc,
+            input: c.input,
+            output: c.output,
+            selectivity: c.selectivity(),
+            cost: c.input + c.output,
+        }
+    }
+}
+
 /// Cost annotations for a whole plan.
 #[derive(Debug, Clone)]
 pub struct PlanCosts {
@@ -70,6 +109,20 @@ impl PlanCosts {
     /// 2550 persons into a child scan.
     pub fn total(&self) -> u64 {
         self.per_op.values().map(|c| c.input + c.output).sum()
+    }
+
+    /// The estimate table as stampable cards, indexed by arena position
+    /// (`None` for operators the estimator never reached — detached
+    /// arena slots left behind by rewrites). `len` is the plan's arena
+    /// length; see [`crate::plan::QueryPlan::set_estimates`].
+    pub fn cards(&self, len: usize) -> Vec<Option<EstimateCard>> {
+        let mut cards = vec![None; len];
+        for (id, cost) in &self.per_op {
+            if let Some(slot) = cards.get_mut(id.index()) {
+                *slot = Some(EstimateCard::from(cost));
+            }
+        }
+        cards
     }
 }
 

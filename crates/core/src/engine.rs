@@ -9,8 +9,10 @@ use crate::cost::estimate;
 use crate::error::{EngineError, Result};
 use crate::exec::parallel::{ParallelHooks, ParallelScanStats, ScanPool};
 use crate::exec::{self, value::Value, Env};
+use crate::explain::Analysis;
 use crate::opt::{self, OptimizeOutcome, OptimizerOptions};
 use crate::plan::{builder::build_plan, display, Operator, QueryPlan};
+use crate::shared::QueryProfile;
 use std::sync::{Arc, Mutex};
 use vamana_flex::KeyRange;
 use vamana_mass::{DocId, MassStore, NodeEntry, RecordKind};
@@ -79,6 +81,10 @@ pub struct Explain {
     pub applied: Vec<&'static str>,
     /// Optimizer iterations.
     pub iterations: usize,
+    /// The optimizer's ordered pass log: clean-up / cost-gathering /
+    /// every rule decision with before/after costs (render with
+    /// [`crate::opt::OptTrace::render`]).
+    pub opt_trace: crate::opt::OptTrace,
 }
 
 /// A streaming query cursor: owns its plan and pulls tuples through the
@@ -109,6 +115,7 @@ impl<'s> QueryStream<'s> {
                     plan: &plan,
                     store: engine.store(),
                     root_ctx: &root_ctx,
+                    stats: None,
                 };
                 let mut iter = None;
                 if engine.options().batched {
@@ -151,6 +158,7 @@ impl<'s> QueryStream<'s> {
             plan: &self.plan,
             store: self.store,
             root_ctx: &self.root_ctx,
+            stats: None,
         };
         if self.batched {
             if self
@@ -192,6 +200,7 @@ impl<'s> QueryStream<'s> {
             plan: &self.plan,
             store: self.store,
             root_ctx: &self.root_ctx,
+            stats: None,
         };
         let budget = max - (out.len() - start);
         let produced = if self.batched {
@@ -385,6 +394,7 @@ impl Engine {
             plan,
             store: self.store(),
             root_ctx: &root_ctx,
+            stats: None,
         };
         let hooks = self.parallel_hooks(plan);
         exec::run_plan(
@@ -428,6 +438,7 @@ impl Engine {
             plan: &plan,
             store: self.store(),
             root_ctx: &root_ctx,
+            stats: None,
         };
         exec::run_from_mode(
             env,
@@ -520,6 +531,97 @@ impl Engine {
             optimized_cost: outcome.final_cost,
             applied: outcome.applied,
             iterations: outcome.iterations,
+            opt_trace: outcome.opt_trace,
+        })
+    }
+
+    /// `EXPLAIN ANALYZE`: compiles, (optionally) optimizes, and executes
+    /// `xpath` on `doc` with per-operator instrumentation enabled,
+    /// returning an [`Analysis`] holding the estimate-stamped plan, the
+    /// optimizer's pass log, and the recorded actuals.
+    ///
+    /// Execution follows the engine's configured mode (scalar, batched,
+    /// or parallel) exactly as [`Engine::query_doc`] would — the actual
+    /// row counts are identical in every mode; only batch/timing counters
+    /// differ.
+    pub fn analyze_doc(&self, doc: DocId, xpath: &str) -> Result<Analysis> {
+        let buffer_before = self.store().buffer_pool().stats();
+        let par_before = self.parallel_stats();
+        let start = std::time::Instant::now();
+        let scope = self.doc_scope(doc)?;
+        let mut plan = self.compile(xpath)?;
+        opt::cleanup::cleanup(&mut plan);
+        let default_costs = estimate(&plan, self.store(), &scope)?;
+        let default_cost = default_costs.total();
+        let (plan, final_cost, applied, opt_trace) = if self.options.optimize {
+            let outcome = self.optimize_plan(plan, doc)?;
+            (
+                outcome.plan,
+                outcome.final_cost,
+                outcome.applied,
+                outcome.opt_trace,
+            )
+        } else {
+            // Default-plan analysis: stamp the default estimates and log
+            // the two passes that did run (no rewriting).
+            plan.set_estimates(default_costs.cards(plan.len()));
+            let opt_trace = crate::opt::OptTrace {
+                events: vec![
+                    crate::opt::OptEvent::Cleanup,
+                    crate::opt::OptEvent::CostGathering {
+                        total: default_cost,
+                    },
+                ],
+            };
+            (plan, default_cost, Vec::new(), opt_trace)
+        };
+        let stats = exec::stats::ExecStats::new(plan.len());
+        let root_ctx = self.doc_entry(doc)?;
+        let env = Env {
+            plan: &plan,
+            store: self.store(),
+            root_ctx: &root_ctx,
+            stats: Some(&stats),
+        };
+        let hooks = self.parallel_hooks(&plan);
+        let out = exec::run_plan(
+            env,
+            None,
+            self.options.set_semantics,
+            self.options.batched,
+            hooks.as_ref(),
+        )?;
+        let elapsed = start.elapsed();
+        let actuals = stats.snapshot();
+        let buffer_after = self.store().buffer_pool().stats();
+        let par = self.parallel_stats();
+        let profile = QueryProfile {
+            elapsed,
+            buffer_hits: buffer_after.hits.saturating_sub(buffer_before.hits),
+            buffer_misses: buffer_after.misses.saturating_sub(buffer_before.misses),
+            batch_pins: buffer_after
+                .batch_pins
+                .saturating_sub(buffer_before.batch_pins),
+            pins_saved: buffer_after
+                .pins_saved
+                .saturating_sub(buffer_before.pins_saved),
+            morsels: par.morsels.saturating_sub(par_before.morsels),
+            worker_batches: par.worker_batches.saturating_sub(par_before.worker_batches),
+            merge_stalls: par.merge_stalls.saturating_sub(par_before.merge_stalls),
+            rows: out.len() as u64,
+            operators: Some(actuals.clone()),
+        };
+        Ok(Analysis {
+            xpath: xpath.to_string(),
+            plan,
+            optimized: self.options.optimize,
+            default_cost,
+            final_cost,
+            applied,
+            opt_trace,
+            actuals,
+            rows: out.len() as u64,
+            profile,
         })
     }
 
@@ -587,6 +689,7 @@ impl Engine {
                     plan: &plan,
                     store: self.store(),
                     root_ctx: &root_ctx,
+                    stats: None,
                 };
                 exec::eval_expr(env, expr_id, &root_ctx, 1, 1)
             }

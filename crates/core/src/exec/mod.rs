@@ -11,10 +11,12 @@
 //! the tuple under test; absolute paths anchor back at the query root.
 
 pub mod parallel;
+pub mod stats;
 pub mod value;
 
 use crate::error::{EngineError, Result};
 use crate::plan::{ArithOp, BinOp, ContextSource, OpId, Operator, QueryPlan, TestSpec};
+use stats::ExecStats;
 use std::collections::HashSet;
 use value::Value;
 use vamana_flex::{Axis, FlexKey, KeyRange};
@@ -52,6 +54,9 @@ pub struct Env<'p, 's> {
     /// The query root context (document node), set by the engine before
     /// execution begins (§V-B).
     pub root_ctx: &'p NodeEntry,
+    /// Per-operator actuals collector for `EXPLAIN ANALYZE`. `None` on
+    /// the normal query path — cursors then touch no counters at all.
+    pub stats: Option<&'p ExecStats>,
 }
 
 impl<'p, 's> Env<'p, 's> {
@@ -145,6 +150,7 @@ pub fn run_plan(
     let Some(top) = top else {
         return Ok(Vec::new());
     };
+    let started = env.stats.map(|_| std::time::Instant::now());
     let mut iter = match par {
         Some(hooks) if outer.is_none() && batched => {
             match parallel::build_parallel(env, top, hooks)? {
@@ -166,6 +172,19 @@ pub fn run_plan(
         out.sort_by(|a, b| a.key.cmp(&b.key));
         out.dedup_by(|a, b| a.key == b.key);
     }
+    if let Some(stats) = env.stats {
+        // The root operator's actuals are the run's: post-dedup output
+        // cardinality and the whole run's wall time. Guarded so a plan
+        // whose root *is* the top step does not double-count.
+        let root = env.plan.root();
+        if matches!(env.plan.op(root), Operator::Root { .. }) {
+            stats.add_invocation(root);
+            stats.add_rows(root, out.len() as u64);
+            if let Some(t0) = started {
+                stats.add_nanos(root, t0.elapsed().as_nanos() as u64);
+            }
+        }
+    }
     Ok(out)
 }
 
@@ -178,8 +197,9 @@ pub enum OpIter<'s> {
     /// A value-index step.
     ValueStep(Box<ValueStepIter<'s>>),
     /// Set union: left stream then right stream (dedup happens at the
-    /// top under set semantics).
-    Union(Box<OpIter<'s>>, Box<OpIter<'s>>),
+    /// top under set semantics). Carries its plan [`OpId`] so analyze
+    /// runs can attribute the merged output.
+    Union(OpId, Box<OpIter<'s>>, Box<OpIter<'s>>),
     /// Value semi-join (algebra completeness): yields left tuples whose
     /// string value matches some right tuple under the condition.
     Join(std::vec::IntoIter<NodeEntry>),
@@ -204,6 +224,7 @@ pub fn build_iter<'s>(env: Env<'_, 's>, id: OpId, outer: Option<&NodeEntry>) -> 
                 None => OpIter::Anchor(Some(anchor_for(env, *source, outer))),
             };
             Ok(OpIter::Step(Box::new(StepIter {
+                op: id,
                 axis: *axis,
                 // Resolve the node test once — an unknown name means the
                 // step is provably empty for every context.
@@ -249,6 +270,7 @@ pub fn build_iter<'s>(env: Env<'_, 's>, id: OpId, outer: Option<&NodeEntry>) -> 
             })))
         }
         Operator::Union { left, right } => Ok(OpIter::Union(
+            id,
             Box::new(build_iter(env, *left, outer)?),
             Box::new(build_iter(env, *right, outer)?),
         )),
@@ -266,6 +288,10 @@ pub fn build_iter<'s>(env: Env<'_, 's>, id: OpId, outer: Option<&NodeEntry>) -> 
             group.sort_by(|a, b| a.key.cmp(&b.key));
             for pred in predicates {
                 group = apply_predicate(env, *pred, group, false, outer)?;
+            }
+            if let Some(stats) = env.stats {
+                stats.add_invocation(id);
+                stats.add_rows(id, group.len() as u64);
             }
             Ok(OpIter::Join(group.into_iter()))
         }
@@ -287,6 +313,10 @@ pub fn build_iter<'s>(env: Env<'_, 's>, id: OpId, outer: Option<&NodeEntry>) -> 
                 if hit {
                     out.push(t);
                 }
+            }
+            if let Some(stats) = env.stats {
+                stats.add_invocation(id);
+                stats.add_rows(id, out.len() as u64);
             }
             Ok(OpIter::Join(out.into_iter()))
         }
@@ -310,14 +340,30 @@ impl<'s> OpIter<'s> {
             OpIter::Anchor(item) => Ok(item.take()),
             OpIter::Step(s) => s.next(env),
             OpIter::ValueStep(s) => s.next(env),
-            OpIter::Union(l, r) => {
-                if let Some(t) = l.next(env)? {
-                    return Ok(Some(t));
+            OpIter::Union(id, l, r) => {
+                let t = match l.next(env)? {
+                    Some(t) => Some(t),
+                    None => r.next(env)?,
+                };
+                if let Some(stats) = env.stats {
+                    stats.add_invocation(*id);
+                    if t.is_some() {
+                        stats.add_rows(*id, 1);
+                    }
                 }
-                r.next(env)
+                Ok(t)
             }
             OpIter::Join(items) => Ok(items.next()),
-            OpIter::Parallel(p) => p.next(),
+            OpIter::Parallel(p) => {
+                let t = p.next()?;
+                if let Some(stats) = env.stats {
+                    stats.add_invocation(p.op);
+                    if t.is_some() {
+                        stats.add_rows(p.op, 1);
+                    }
+                }
+                Ok(t)
+            }
         }
     }
 
@@ -342,12 +388,17 @@ impl<'s> OpIter<'s> {
             }
             OpIter::Step(s) => s.next_batch(env, out, max),
             OpIter::ValueStep(s) => s.next_batch(env, out, max),
-            OpIter::Union(l, r) => {
+            OpIter::Union(id, l, r) => {
                 // Left stream first; a short left batch means the left
                 // side is exhausted, so top up from the right.
-                let n = l.next_batch(env, out, max)?;
+                let mut n = l.next_batch(env, out, max)?;
                 if n < max {
-                    return Ok(n + r.next_batch(env, out, max - n)?);
+                    n += r.next_batch(env, out, max - n)?;
+                }
+                if let Some(stats) = env.stats {
+                    stats.add_invocation(*id);
+                    stats.add_batch(*id);
+                    stats.add_rows(*id, n as u64);
                 }
                 Ok(n)
             }
@@ -356,13 +407,33 @@ impl<'s> OpIter<'s> {
                 out.extend(items.by_ref().take(max));
                 Ok(out.len() - start)
             }
-            OpIter::Parallel(p) => p.next_batch(out, max),
+            OpIter::Parallel(p) => match env.stats {
+                None => p.next_batch(out, max),
+                Some(stats) => {
+                    // The merge point sees every tuple regardless of
+                    // which worker produced it, so attributing rows here
+                    // matches the serial pipeline's totals exactly; the
+                    // pool delta credits worker page traffic to the scan.
+                    let (p0, pin0) = env.store.buffer_pool().probe_pin_counts();
+                    let t0 = std::time::Instant::now();
+                    let n = p.next_batch(out, max)?;
+                    let (p1, pin1) = env.store.buffer_pool().probe_pin_counts();
+                    stats.add_invocation(p.op);
+                    stats.add_batch(p.op);
+                    stats.add_rows(p.op, n as u64);
+                    stats.add_nanos(p.op, t0.elapsed().as_nanos() as u64);
+                    stats.add_probe_pins(p.op, p1.saturating_sub(p0), pin1.saturating_sub(pin0));
+                    Ok(n)
+                }
+            },
         }
     }
 }
 
 /// Cursor for a step operator — Algorithm 1 of the paper.
 pub struct StepIter<'s> {
+    /// The plan operator this cursor executes (analyze attribution).
+    op: OpId,
     axis: Axis,
     /// Node test resolved once at build time; `None` means the name does
     /// not occur in the store, so the step is provably empty.
@@ -431,6 +502,17 @@ impl<'s> StepIter<'s> {
     }
 
     fn next(&mut self, env: Env<'_, 's>) -> Result<Option<NodeEntry>> {
+        let t = self.next_inner(env)?;
+        if let Some(stats) = env.stats {
+            stats.add_invocation(self.op);
+            if t.is_some() {
+                stats.add_rows(self.op, 1);
+            }
+        }
+        Ok(t)
+    }
+
+    fn next_inner(&mut self, env: Env<'_, 's>) -> Result<Option<NodeEntry>> {
         loop {
             match self.state {
                 OpState::OutOfTuples => return Ok(None),
@@ -469,6 +551,29 @@ impl<'s> StepIter<'s> {
     /// pulled one at a time, so the tuple sequence is byte-identical to
     /// [`StepIter::next`]'s. One batch may span several contexts.
     fn next_batch(
+        &mut self,
+        env: Env<'_, 's>,
+        out: &mut Vec<NodeEntry>,
+        max: usize,
+    ) -> Result<usize> {
+        let Some(stats) = env.stats else {
+            return self.next_batch_inner(env, out, max);
+        };
+        // Inclusive attribution at batch granularity: the pool delta and
+        // the clock cover child context pulls made during this batch.
+        let (p0, pin0) = env.store.buffer_pool().probe_pin_counts();
+        let t0 = std::time::Instant::now();
+        let got = self.next_batch_inner(env, out, max)?;
+        let (p1, pin1) = env.store.buffer_pool().probe_pin_counts();
+        stats.add_invocation(self.op);
+        stats.add_batch(self.op);
+        stats.add_rows(self.op, got as u64);
+        stats.add_nanos(self.op, t0.elapsed().as_nanos() as u64);
+        stats.add_probe_pins(self.op, p1.saturating_sub(p0), pin1.saturating_sub(pin0));
+        Ok(got)
+    }
+
+    fn next_batch_inner(
         &mut self,
         env: Env<'_, 's>,
         out: &mut Vec<NodeEntry>,
@@ -528,6 +633,17 @@ pub struct ValueStepIter<'s> {
 
 impl<'s> ValueStepIter<'s> {
     fn next(&mut self, env: Env<'_, 's>) -> Result<Option<NodeEntry>> {
+        let t = self.next_inner(env)?;
+        if let Some(stats) = env.stats {
+            stats.add_invocation(self.op);
+            if t.is_some() {
+                stats.add_rows(self.op, 1);
+            }
+        }
+        Ok(t)
+    }
+
+    fn next_inner(&mut self, env: Env<'_, 's>) -> Result<Option<NodeEntry>> {
         loop {
             match self.state {
                 OpState::OutOfTuples => return Ok(None),
@@ -548,6 +664,27 @@ impl<'s> ValueStepIter<'s> {
     /// Batched pull: drains the current buffer in chunks and refills from
     /// the next context when it runs dry. Short count means exhausted.
     fn next_batch(
+        &mut self,
+        env: Env<'_, 's>,
+        out: &mut Vec<NodeEntry>,
+        max: usize,
+    ) -> Result<usize> {
+        let Some(stats) = env.stats else {
+            return self.next_batch_inner(env, out, max);
+        };
+        let (p0, pin0) = env.store.buffer_pool().probe_pin_counts();
+        let t0 = std::time::Instant::now();
+        let got = self.next_batch_inner(env, out, max)?;
+        let (p1, pin1) = env.store.buffer_pool().probe_pin_counts();
+        stats.add_invocation(self.op);
+        stats.add_batch(self.op);
+        stats.add_rows(self.op, got as u64);
+        stats.add_nanos(self.op, t0.elapsed().as_nanos() as u64);
+        stats.add_probe_pins(self.op, p1.saturating_sub(p0), pin1.saturating_sub(pin0));
+        Ok(got)
+    }
+
+    fn next_batch_inner(
         &mut self,
         env: Env<'_, 's>,
         out: &mut Vec<NodeEntry>,
@@ -682,6 +819,9 @@ pub fn apply_predicate(
         if keep {
             out.push(tuple);
         }
+    }
+    if let Some(stats) = env.stats {
+        stats.add_predicate(pred, size as u64, out.len() as u64);
     }
     Ok(out)
 }

@@ -7,7 +7,7 @@
 //!
 //! 1. The optimizer marks a plan parallel-worthy
 //!    ([`crate::opt::parallel::decide`]) and records the degree.
-//! 2. At execution time [`build_parallel`] derives *morsels* from the
+//! 2. At execution time `build_parallel` derives *morsels* from the
 //!    live store: for a single-context descendant scan, disjoint
 //!    page-run key ranges from `MassStore::partition_range`; for a
 //!    multi-context step, contiguous chunks of the context list. Either
@@ -438,6 +438,9 @@ pub struct ParallelHooks {
 /// the store (workers own `Arc` clones). Drains morsel queues strictly
 /// in morsel order, which *is* document/pipeline order by construction.
 pub struct ParallelIter {
+    /// The plan operator the parallel scan replaces (the top step) —
+    /// analyze runs attribute merged rows to it at the dispatch site.
+    pub(crate) op: crate::plan::OpId,
     set: Arc<MorselSet>,
     pool: Arc<ScanPool>,
     current: usize,
@@ -632,6 +635,7 @@ pub(crate) fn build_parallel<'s>(
             .submit(Box::new(move |unbounded| task.run(unbounded)));
     }
     Ok(Some(OpIter::Parallel(Box::new(ParallelIter {
+        op: top,
         set,
         pool: Arc::clone(&hooks.pool),
         current: 0,

@@ -39,15 +39,19 @@ pub mod cost;
 pub mod engine;
 pub mod error;
 pub mod exec;
+pub mod explain;
 pub mod opt;
 pub mod plan;
 pub mod shared;
 
+pub use cost::EstimateCard;
 pub use engine::{Engine, EngineOptions, Explain, QueryStream};
 pub use error::{EngineError, Result};
 pub use exec::parallel::ParallelScanStats;
+pub use exec::stats::{ExecStats, ExecStatsSnapshot, OpActualsSnapshot};
 pub use exec::value::Value;
-pub use opt::{OptimizeOutcome, OptimizerOptions};
+pub use explain::{qerror, Analysis, Misestimate};
+pub use opt::{OptEvent, OptTrace, OptimizeOutcome, OptimizerOptions, RuleDecision};
 pub use plan::{builder::build_plan, display::render, OpId, Operator, ParallelChoice, QueryPlan};
 pub use shared::{QueryProfile, SharedEngine};
 

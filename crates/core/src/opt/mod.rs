@@ -14,10 +14,107 @@ pub mod rules;
 
 use crate::cost::{estimate, PlanCosts};
 use crate::error::Result;
-use crate::plan::QueryPlan;
+use crate::plan::{OpId, QueryPlan};
 use rules::{RuleCtx, LIBRARY};
+use std::fmt::Write as _;
 use vamana_flex::KeyRange;
 use vamana_mass::MassStore;
+
+/// One rule considered during re-writing: the paper's "apply only if the
+/// re-estimated cost does not increase" decision, made visible. A
+/// decision is recorded for *every* candidate a rule produced, applied
+/// or not; rules that did not match an operator at all leave no entry.
+#[derive(Debug, Clone)]
+pub struct RuleDecision {
+    /// The clean-up/cost/rewrite iteration this decision belongs to
+    /// (1-based).
+    pub iteration: usize,
+    /// Rule name from the transformation library.
+    pub rule: &'static str,
+    /// The operator the rule was tried on (id in the *pre-rewrite* plan).
+    pub target: OpId,
+    /// Local cost `IN + OUT` of the target before the rewrite.
+    pub local_before: Option<u64>,
+    /// Local cost of the replacement operator in the candidate plan.
+    pub local_after: Option<u64>,
+    /// Plan-wide tuple volume before the rewrite.
+    pub total_before: u64,
+    /// Plan-wide tuple volume of the candidate.
+    pub total_after: u64,
+    /// Whether the candidate was kept.
+    pub applied: bool,
+}
+
+/// One event in the optimizer's ordered pass log.
+#[derive(Debug, Clone)]
+pub enum OptEvent {
+    /// A clean-up pass ran (redundant-step elimination).
+    Cleanup,
+    /// A cost-gathering pass ran; `total` is the plan-wide tuple volume
+    /// it measured.
+    CostGathering {
+        /// Σ (IN + OUT) over live operators after this pass.
+        total: u64,
+    },
+    /// A rewrite rule produced a candidate and the acceptance test ran.
+    Rule(RuleDecision),
+}
+
+/// The ordered log of optimizer passes — clean-up, cost gathering, and
+/// every rewrite decision — that EXPLAIN renders so a user can see *why*
+/// the optimizer kept or rejected each transformation.
+#[derive(Debug, Clone, Default)]
+pub struct OptTrace {
+    /// Events in the order they happened.
+    pub events: Vec<OptEvent>,
+}
+
+impl OptTrace {
+    /// The rule decisions, in order (skipping pass markers).
+    pub fn decisions(&self) -> impl Iterator<Item = &RuleDecision> {
+        self.events.iter().filter_map(|e| match e {
+            OptEvent::Rule(d) => Some(d),
+            _ => None,
+        })
+    }
+
+    /// Renders the log as indented text, one line per event.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for event in &self.events {
+            match event {
+                OptEvent::Cleanup => {
+                    let _ = writeln!(out, "pass: clean-up");
+                }
+                OptEvent::CostGathering { total } => {
+                    let _ = writeln!(out, "pass: cost gathering (Σ tuple volume {total})");
+                }
+                OptEvent::Rule(d) => {
+                    let local = match (d.local_before, d.local_after) {
+                        (Some(b), Some(a)) => format!("local {b}→{a}, "),
+                        _ => String::new(),
+                    };
+                    let _ = writeln!(
+                        out,
+                        "iter {}: {} on op{} — {}total {}→{} {}",
+                        d.iteration,
+                        d.rule,
+                        d.target.0,
+                        local,
+                        d.total_before,
+                        d.total_after,
+                        if d.applied {
+                            "✓ applied"
+                        } else {
+                            "✗ rejected"
+                        }
+                    );
+                }
+            }
+        }
+        out
+    }
+}
 
 /// Optimizer configuration.
 #[derive(Debug, Clone)]
@@ -58,6 +155,8 @@ pub struct OptimizeOutcome {
     /// Intermediate plans: one snapshot per applied rule, paired with the
     /// rule name (drives the Fig 8-style transformation traces).
     pub trace: Vec<(&'static str, QueryPlan)>,
+    /// Ordered pass log with every rule decision, applied or rejected.
+    pub opt_trace: OptTrace,
 }
 
 /// Optimizes `plan` against live statistics from `store`, scoped to
@@ -71,9 +170,14 @@ pub fn optimize(
     let rule_ctx = RuleCtx {
         set_semantics: options.set_semantics,
     };
+    let mut opt_trace = OptTrace::default();
     cleanup::cleanup(&mut plan);
+    opt_trace.events.push(OptEvent::Cleanup);
     let mut costs = estimate(&plan, store, scope)?;
     let initial_cost = costs.total();
+    opt_trace.events.push(OptEvent::CostGathering {
+        total: initial_cost,
+    });
     let mut applied = Vec::new();
     let mut trace: Vec<(&'static str, QueryPlan)> = Vec::new();
     let mut iterations = 0;
@@ -103,6 +207,16 @@ pub fn optimize(
                     (Some(_), Some(_)) => false,
                     _ => cand_costs.total() <= costs.total(),
                 };
+                opt_trace.events.push(OptEvent::Rule(RuleDecision {
+                    iteration: iterations,
+                    rule: rule.name,
+                    target: op,
+                    local_before: old_local,
+                    local_after: new_local,
+                    total_before: costs.total(),
+                    total_after: cand_costs.total(),
+                    applied: accept,
+                }));
                 if accept {
                     plan = candidate;
                     costs = cand_costs;
@@ -116,6 +230,7 @@ pub fn optimize(
     }
 
     let final_cost = costs.total();
+    plan.set_estimates(costs.cards(plan.len()));
     Ok(OptimizeOutcome {
         plan,
         costs,
@@ -124,6 +239,7 @@ pub fn optimize(
         applied,
         iterations,
         trace,
+        opt_trace,
     })
 }
 

@@ -13,7 +13,7 @@ pub fn render(plan: &QueryPlan, costs: Option<&PlanCosts>) -> String {
     out
 }
 
-fn op_symbol(plan: &QueryPlan, id: OpId) -> String {
+pub(crate) fn op_symbol(plan: &QueryPlan, id: OpId) -> String {
     match plan.op(id) {
         Operator::Root { .. } => format!("R{}", id.0),
         Operator::Step { axis, test, .. } => format!("φ{} {}::{}", id.0, axis, test),

@@ -338,6 +338,11 @@ pub struct QueryPlan {
     ops: Vec<Operator>,
     root: OpId,
     parallel: Option<ParallelChoice>,
+    /// Per-operator [`EstimateCard`]s stamped at optimization time,
+    /// indexed by arena position. Empty until
+    /// [`QueryPlan::set_estimates`] runs (e.g. on plans that never went
+    /// through the optimizer).
+    estimates: Vec<Option<crate::cost::EstimateCard>>,
 }
 
 impl QueryPlan {
@@ -347,7 +352,28 @@ impl QueryPlan {
             ops,
             root,
             parallel: None,
+            estimates: Vec::new(),
         }
+    }
+
+    /// The estimate card stamped on `id`, if the plan was estimated and
+    /// the operator is live (detached slots and post-stamp pushes read
+    /// back as `None`).
+    pub fn estimate(&self, id: OpId) -> Option<crate::cost::EstimateCard> {
+        self.estimates.get(id.index()).copied().flatten()
+    }
+
+    /// True once [`QueryPlan::set_estimates`] has stamped the plan.
+    pub fn has_estimates(&self) -> bool {
+        !self.estimates.is_empty()
+    }
+
+    /// Stamps the per-operator estimates (see
+    /// [`crate::cost::PlanCosts::cards`]). The optimizer calls this once
+    /// the plan has reached its final shape; rewrites that clone and
+    /// mutate the arena afterwards should re-stamp.
+    pub fn set_estimates(&mut self, estimates: Vec<Option<crate::cost::EstimateCard>>) {
+        self.estimates = estimates;
     }
 
     /// The optimizer's parallel-scan choice, if it decided to fan out.

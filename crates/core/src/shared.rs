@@ -23,7 +23,7 @@ use vamana_mass::{BufferStats, DocId, NodeEntry};
 /// so treat them as "pool activity during this query", not a precise
 /// per-query charge (exact attribution would need per-thread counters
 /// threaded through every operator).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct QueryProfile {
     /// Wall-clock execution time (compile + optimize + execute).
     pub elapsed: Duration,
@@ -45,6 +45,11 @@ pub struct QueryProfile {
     pub merge_stalls: u64,
     /// Result cardinality.
     pub rows: u64,
+    /// Per-operator actuals of the run — populated only by
+    /// `EXPLAIN ANALYZE` ([`crate::engine::Engine::analyze_doc`]);
+    /// `None` on the plain profiled query paths, which record no
+    /// per-operator counters at all.
+    pub operators: Option<crate::exec::stats::ExecStatsSnapshot>,
 }
 
 fn delta(before: BufferStats, after: BufferStats) -> (u64, u64, u64, u64) {
@@ -81,6 +86,7 @@ impl Engine {
             worker_batches: par.worker_batches.saturating_sub(par_before.worker_batches),
             merge_stalls: par.merge_stalls.saturating_sub(par_before.merge_stalls),
             rows: rows.len() as u64,
+            operators: None,
         };
         Ok((rows, profile))
     }
@@ -111,6 +117,7 @@ impl Engine {
             worker_batches: par.worker_batches.saturating_sub(par_before.worker_batches),
             merge_stalls: par.merge_stalls.saturating_sub(par_before.merge_stalls),
             rows: rows.len() as u64,
+            operators: None,
         };
         Ok((rows, profile))
     }

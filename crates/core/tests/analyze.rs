@@ -1,0 +1,138 @@
+//! `EXPLAIN ANALYZE` rendering: golden output, mode stability, and
+//! instrumentation hygiene (no drift when disabled, no profile
+//! carry-over between queries).
+
+use vamana_core::{DocId, Engine, EngineOptions, MassStore};
+
+/// ~3600 elements so scan queries clear the lowered parallel thresholds.
+fn big_doc() -> String {
+    let mut xml = String::from("<site>");
+    for s in 0..12 {
+        xml.push_str(&format!("<section id='s{s}'>"));
+        for i in 0..100 {
+            xml.push_str(&format!(
+                "<item><name>n{s}_{i}</name><price>{}</price></item>",
+                i % 17
+            ));
+        }
+        xml.push_str("</section>");
+    }
+    xml.push_str("</site>");
+    xml
+}
+
+fn engine(workers: usize) -> Engine {
+    let mut store = MassStore::open_memory();
+    store.load_xml("doc", &big_doc()).unwrap();
+    Engine::with_options(
+        store,
+        EngineOptions {
+            parallel_workers: workers,
+            parallel_threshold: 64,
+            parallel_min_morsel: 16,
+            ..Default::default()
+        },
+    )
+}
+
+fn small_engine() -> Engine {
+    let mut store = MassStore::open_memory();
+    store
+        .load_xml(
+            "doc",
+            "<site><person id='p0'><name>Yung Flach</name></person>\
+             <person id='p1'><name>Someone Else</name></person></site>",
+        )
+        .unwrap();
+    Engine::new(store)
+}
+
+/// The full `.analyze` rendering, pinned: estimate cards, actual rows,
+/// q-errors, and the misestimation summary. This is the golden test for
+/// the text surface — if it moves, the CLI and server output move too.
+#[test]
+fn golden_analyze_render() {
+    let engine = small_engine();
+    let analysis = engine.analyze_doc(DocId(0), "//person/name").unwrap();
+    let expected = "\
+optimized plan (Σ tuple volume 12, 0 rules applied), 2 rows:
+R0  [IN=2 OUT=2 δ=1.000] est=2 act=2 (err ×1.0)
+  └─ φ3 child::name  [COUNT=2 IN=2 OUT=2 δ=1.000] est=2 act=2 (err ×1.0)
+    └─ φ2 descendant::person  [COUNT=2 IN=2 OUT=2 δ=1.000] est=2 act=2 (err ×1.0)
+misestimations: none above ×1.05
+";
+    assert_eq!(analysis.render(), expected);
+}
+
+/// `Analysis::render` is mode stable: scalar, batched, and parallel runs
+/// produce byte-identical text (actual rows are pipeline-invariant; the
+/// varying counters are confined to the JSON/profile surfaces).
+#[test]
+fn render_is_identical_across_modes() {
+    let mut e = engine(4);
+    for xpath in ["/site//*", "//item/*", "//item[price='3']/name"] {
+        e.options_mut().batched = false;
+        e.options_mut().parallel = false;
+        let scalar = e.analyze_doc(DocId(0), xpath).unwrap();
+        e.options_mut().batched = true;
+        let batched = e.analyze_doc(DocId(0), xpath).unwrap();
+        e.options_mut().parallel = true;
+        let parallel = e.analyze_doc(DocId(0), xpath).unwrap();
+        assert_eq!(
+            scalar.render(),
+            batched.render(),
+            "{xpath}: scalar vs batched"
+        );
+        assert_eq!(
+            batched.render(),
+            parallel.render(),
+            "{xpath}: batched vs parallel"
+        );
+        if xpath == "/site//*" {
+            assert!(
+                parallel.profile.morsels > 0,
+                "{xpath}: parallel mode did not engage, mode stability untested"
+            );
+        }
+    }
+}
+
+/// Repeated ANALYZE of the same query yields identical actuals, and
+/// stats-disabled runs in between record nowhere (each analysis carries
+/// its own counter tree; the plain query path has none at all).
+#[test]
+fn repeated_analyze_has_no_counter_drift() {
+    let e = engine(2);
+    let first = e.analyze_doc(DocId(0), "//item/name").unwrap();
+    for _ in 0..3 {
+        e.query_doc(DocId(0), "//item/name").unwrap();
+    }
+    let second = e.analyze_doc(DocId(0), "//item/name").unwrap();
+    // Everything but wall time is deterministic run to run.
+    let stable = |a: &vamana_core::ExecStatsSnapshot| -> Vec<(u64, u64, u64, u64, u64)> {
+        a.ops
+            .iter()
+            .map(|o| (o.invocations, o.rows, o.batches, o.probes, o.pins))
+            .collect()
+    };
+    assert_eq!(stable(&first.actuals), stable(&second.actuals));
+    assert_eq!(first.render(), second.render());
+}
+
+/// Profile counters are per-query deltas: a big parallel query followed
+/// by a tiny serial one on the same engine must not leak morsel or
+/// batch-pin counts into the second profile.
+#[test]
+fn profile_counters_reset_between_queries() {
+    let mut e = engine(4);
+    e.options_mut().batched = true;
+    e.options_mut().parallel = true;
+    let (_, big) = e.query_doc_profiled(DocId(0), "/site//*").unwrap();
+    assert!(big.morsels > 0, "big scan should fan out");
+    // `//section` matches 12 nodes — far below the parallel threshold.
+    let (rows, small) = e.query_doc_profiled(DocId(0), "//section").unwrap();
+    assert_eq!(rows.len(), 12);
+    assert_eq!(small.morsels, 0, "morsels leaked into the serial query");
+    assert_eq!(small.worker_batches, 0, "batches leaked");
+    assert_eq!(small.merge_stalls, 0, "stalls leaked");
+}

@@ -162,6 +162,7 @@ fn operator_states_drive_a_manual_pull() {
         plan: &plan,
         store: e.store(),
         root_ctx: &root_ctx,
+        stats: None,
     };
     let top = match plan.op(plan.root()) {
         Operator::Root { child } => child.unwrap(),

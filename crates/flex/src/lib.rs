@@ -49,6 +49,8 @@
 //! assert_eq!(name.parent().unwrap(), root);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod axis;
 pub mod component;
 pub mod generate;

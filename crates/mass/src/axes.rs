@@ -339,7 +339,7 @@ impl<'a> AxisStream<'a> {
     /// Clustered scans decode whole pinned pages in one pass
     /// ([`MassCursor::next_batch`]); sibling-jump scans resolve in-page
     /// jumps by binary search over the pinned records
-    /// ([`MassCursor::next_batch_jump`]); name-index iteration fills the
+    /// (`MassCursor::next_batch_jump`); name-index iteration fills the
     /// batch in a tight loop over the borrowed key slice. Point-lookup
     /// modes fall back to the scalar pull per entry — they still amortize
     /// the caller's per-tuple dispatch.

@@ -219,6 +219,22 @@ impl BufferPool {
         total
     }
 
+    /// Cheap two-counter snapshot for per-operator instrumentation:
+    /// `(probes, batch_pins)`, where probes = page requests
+    /// (hits + misses). Reads two counters per shard instead of the full
+    /// [`BufferStats`] merge, so `EXPLAIN ANALYZE` can take before/after
+    /// deltas around every batch without measurably perturbing the run.
+    pub fn probe_pin_counts(&self) -> (u64, u64) {
+        let mut probes = 0;
+        let mut pins = 0;
+        for shard in &self.shards {
+            let s = &lock(shard).stats;
+            probes += s.hits + s.misses;
+            pins += s.batch_pins;
+        }
+        (probes, pins)
+    }
+
     /// Resets the counters (not the cache) — used between benchmark runs.
     pub fn reset_stats(&self) {
         for shard in &self.shards {

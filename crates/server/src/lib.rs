@@ -13,6 +13,10 @@
 //! ```text
 //! QUERY <xpath>        rows over all documents   → ROW… then OK
 //! EVAL <xpath>         scalar on document 0      → VAL then OK (rows if node-set)
+//! EXPLAIN [JSON] <xpath>
+//!                      plans + optimizer trace   → PLAN… then OK
+//! ANALYZE [JSON] <xpath>
+//!                      instrumented run on doc 0 → PLAN… then OK
 //! LOADXML <name> <xml> load inline XML           → OK
 //! LOAD <name> <path>   load an XML file          → OK
 //! LIMIT <n>            per-connection row cap    → OK (0 = unlimited)
@@ -20,6 +24,14 @@
 //! PING                                           → OK pong
 //! QUIT                                           → OK bye, closes
 //! ```
+//!
+//! `EXPLAIN` shows the default and optimized plan with estimate cards
+//! and the optimizer's pass-by-pass trace; `ANALYZE` additionally
+//! executes the query on document 0 (like `EVAL`) and annotates every
+//! operator with actual row counts and q-errors. With `JSON` the whole
+//! report is one `PLAN` line holding a JSON object — the same rendering
+//! the CLI's `.analyze json` produces. Both run through the worker pool
+//! under the usual deadline and `ERR busy` admission control.
 //!
 //! ## Threading model
 //!
@@ -137,10 +149,12 @@ impl Shared {
     }
 }
 
-/// What a `QUERY` or `EVAL` asks for.
+/// What a `QUERY`, `EVAL`, `EXPLAIN` or `ANALYZE` asks for.
 enum Request {
     Query { xpath: String },
     Eval { xpath: String },
+    Explain { xpath: String, json: bool },
+    Analyze { xpath: String, json: bool },
 }
 
 /// One unit of work handed to the pool.
@@ -166,6 +180,11 @@ enum Outcome {
         text: String,
         elapsed: Duration,
     },
+    /// An `EXPLAIN`/`ANALYZE` report: each line goes out as `PLAN …`.
+    Report {
+        lines: Vec<String>,
+        elapsed: Duration,
+    },
 }
 
 fn query_err(e: impl std::fmt::Display) -> ServerError {
@@ -186,6 +205,8 @@ pub(crate) fn execute_job(shared: &Shared, job: Job) {
     let result = match &job.request {
         Request::Query { xpath } => run_query(shared, xpath, job.limit, job.deadline),
         Request::Eval { xpath } => run_eval(shared, xpath, job.limit),
+        Request::Explain { xpath, json } => run_explain(shared, xpath, *json),
+        Request::Analyze { xpath, json } => run_analyze(shared, xpath, *json),
     };
     match &result {
         Ok(outcome) => {
@@ -207,7 +228,9 @@ pub(crate) fn execute_job(shared: &Shared, job: Job) {
                     *batch_pins,
                     *pins_saved,
                 ),
-                Outcome::Scalar { elapsed, .. } => (*elapsed, 0, 0, 0, 0, 0),
+                Outcome::Scalar { elapsed, .. } | Outcome::Report { elapsed, .. } => {
+                    (*elapsed, 0, 0, 0, 0, 0)
+                }
             };
             shared.metrics.latency.record(elapsed);
             shared
@@ -365,6 +388,93 @@ fn run_eval(shared: &Shared, xpath: &str, limit: usize) -> Result<Outcome, Serve
             elapsed,
         }),
     }
+}
+
+/// Produces the `EXPLAIN` report for `xpath` on document 0: both plans
+/// with estimate cards plus the optimizer's pass log.
+fn run_explain(shared: &Shared, xpath: &str, json: bool) -> Result<Outcome, ServerError> {
+    let engine = shared.engine.read();
+    if engine.store().documents().is_empty() {
+        return Err(ServerError::Query(
+            "no documents loaded (use LOADXML or LOAD)".into(),
+        ));
+    }
+    let start = Instant::now();
+    let ex = engine.explain(DocId(0), xpath).map_err(query_err)?;
+    let elapsed = start.elapsed();
+    let lines = if json {
+        vec![explain_json(xpath, &ex)]
+    } else {
+        let mut text = String::new();
+        use std::fmt::Write as _;
+        let _ = writeln!(text, "default plan (Σ tuple volume {}):", ex.default_cost);
+        text.push_str(&ex.default_plan);
+        let _ = writeln!(
+            text,
+            "optimized plan (Σ tuple volume {}; rules {:?}; {} iteration(s)):",
+            ex.optimized_cost, ex.applied, ex.iterations
+        );
+        text.push_str(&ex.optimized_plan);
+        text.push_str("optimizer trace:\n");
+        text.push_str(&ex.opt_trace.render());
+        text.lines().map(str::to_string).collect()
+    };
+    Ok(Outcome::Report { lines, elapsed })
+}
+
+/// Runs `xpath` on document 0 with per-operator instrumentation and
+/// reports estimated-vs-actual cardinalities (`EXPLAIN ANALYZE`).
+fn run_analyze(shared: &Shared, xpath: &str, json: bool) -> Result<Outcome, ServerError> {
+    let engine = shared.engine.read();
+    if engine.store().documents().is_empty() {
+        return Err(ServerError::Query(
+            "no documents loaded (use LOADXML or LOAD)".into(),
+        ));
+    }
+    let analysis = engine.analyze_doc(DocId(0), xpath).map_err(query_err)?;
+    let elapsed = analysis.profile.elapsed;
+    let lines = if json {
+        vec![analysis.render_json()]
+    } else {
+        let mut text = analysis.render();
+        text.push_str("optimizer trace:\n");
+        text.push_str(&analysis.opt_trace.render());
+        text.lines().map(str::to_string).collect()
+    };
+    Ok(Outcome::Report { lines, elapsed })
+}
+
+/// Hand-rolled JSON for `EXPLAIN JSON` (ANALYZE reuses
+/// [`vamana_core::Analysis::render_json`]).
+fn explain_json(xpath: &str, ex: &vamana_core::Explain) -> String {
+    use std::fmt::Write as _;
+    use vamana_core::explain::escape_json;
+    let mut s = String::from("{");
+    let _ = write!(s, "\"xpath\":\"{}\",", escape_json(xpath));
+    let _ = write!(s, "\"default_cost\":{},", ex.default_cost);
+    let _ = write!(s, "\"optimized_cost\":{},", ex.optimized_cost);
+    let _ = write!(s, "\"iterations\":{},", ex.iterations);
+    s.push_str("\"applied\":[");
+    for (i, rule) in ex.applied.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "\"{}\"", escape_json(rule));
+    }
+    let _ = write!(
+        s,
+        "],\"default_plan\":\"{}\",\"optimized_plan\":\"{}\",\"trace\":[",
+        escape_json(&ex.default_plan),
+        escape_json(&ex.optimized_plan)
+    );
+    for (i, line) in ex.opt_trace.render().lines().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "\"{}\"", escape_json(line));
+    }
+    s.push_str("]}");
+    s
 }
 
 /// Protocol values are single-line: escape the characters that would
@@ -571,19 +681,39 @@ fn serve_connection(
                 let response = handle_load(shared, verb, rest);
                 writeln!(writer, "{response}")?;
             }
-            "QUERY" | "EVAL" if rest.is_empty() => {
+            "QUERY" | "EVAL" | "EXPLAIN" | "ANALYZE" if rest.is_empty() => {
                 writeln!(writer, "ERR proto {verb} needs an XPath expression")?;
             }
-            "QUERY" | "EVAL" => {
+            "QUERY" | "EVAL" | "EXPLAIN" | "ANALYZE" => {
+                // EXPLAIN/ANALYZE take an optional JSON modifier before
+                // the expression: `EXPLAIN JSON //a/b`.
+                let (json, xpath) = match rest.strip_prefix("JSON") {
+                    Some(r) if r.starts_with(' ') && matches!(verb, "EXPLAIN" | "ANALYZE") => {
+                        (true, r.trim())
+                    }
+                    _ => (false, rest),
+                };
+                if xpath.is_empty() {
+                    writeln!(writer, "ERR proto {verb} needs an XPath expression")?;
+                    writer.flush()?;
+                    continue;
+                }
                 let (tx, rx) = std::sync::mpsc::sync_channel(1);
-                let request = if verb == "QUERY" {
-                    Request::Query {
-                        xpath: rest.to_string(),
-                    }
-                } else {
-                    Request::Eval {
-                        xpath: rest.to_string(),
-                    }
+                let request = match verb {
+                    "QUERY" => Request::Query {
+                        xpath: xpath.to_string(),
+                    },
+                    "EVAL" => Request::Eval {
+                        xpath: xpath.to_string(),
+                    },
+                    "EXPLAIN" => Request::Explain {
+                        xpath: xpath.to_string(),
+                        json,
+                    },
+                    _ => Request::Analyze {
+                        xpath: xpath.to_string(),
+                        json,
+                    },
                 };
                 let job = Job {
                     request,
@@ -637,6 +767,17 @@ fn write_reply(
         Ok(Ok(Outcome::Scalar { text, elapsed })) => {
             writeln!(writer, "VAL {}", escape_line(&text))?;
             writeln!(writer, "OK scalar {}us", elapsed.as_micros())
+        }
+        Ok(Ok(Outcome::Report { lines, elapsed })) => {
+            for line in &lines {
+                writeln!(writer, "PLAN {}", escape_line(line))?;
+            }
+            writeln!(
+                writer,
+                "OK {} line(s) {}us",
+                lines.len(),
+                elapsed.as_micros()
+            )
         }
         Ok(Err(e)) => writeln!(writer, "ERR {e}"),
         // Worker pool shut down before replying.

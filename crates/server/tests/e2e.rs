@@ -278,3 +278,43 @@ fn scan_worker_config_and_parallel_stats_are_reported() {
     }
     handle.stop();
 }
+
+#[test]
+fn explain_and_analyze_report_plans_over_the_wire() {
+    let handle = spawn_server(ServerConfig::default());
+    let mut client = Client::connect(&handle);
+
+    let response = client.round_trip("EXPLAIN //person/name");
+    let (ok, lines) = response.split_last().expect("nonempty");
+    assert!(ok.starts_with("OK") && ok.contains("line(s)"), "{ok}");
+    assert!(lines.iter().all(|l| l.starts_with("PLAN ")), "{lines:?}");
+    let text = lines.join("\n");
+    assert!(text.contains("default plan"), "{text}");
+    assert!(text.contains("optimized plan"), "{text}");
+    assert!(text.contains("pass: clean-up"), "{text}");
+
+    let response = client.round_trip("ANALYZE //person/name");
+    let (ok, lines) = response.split_last().expect("nonempty");
+    assert!(ok.starts_with("OK"), "{ok}");
+    let text = lines.join("\n");
+    assert!(text.contains("est="), "{text}");
+    assert!(text.contains("act="), "{text}");
+    assert!(text.contains("misestimations"), "{text}");
+
+    // JSON form: one PLAN line carrying a JSON object.
+    let response = client.round_trip("ANALYZE JSON //person/name");
+    assert_eq!(response.len(), 2, "{response:?}");
+    assert!(response[0].starts_with("PLAN {"), "{response:?}");
+    assert!(response[0].contains("\"operators\""), "{response:?}");
+    let response = client.round_trip("EXPLAIN JSON //person/name");
+    assert!(response[0].starts_with("PLAN {"), "{response:?}");
+    assert!(response[0].contains("\"optimized_plan\""), "{response:?}");
+
+    // Errors mirror QUERY's behavior and keep the connection alive.
+    let err = client.round_trip("EXPLAIN");
+    assert!(err[0].starts_with("ERR proto"), "{err:?}");
+    let err = client.round_trip("ANALYZE //person[");
+    assert!(err[0].starts_with("ERR query"), "{err:?}");
+    assert_eq!(client.round_trip("PING"), vec!["OK pong"]);
+    handle.stop();
+}

@@ -4,9 +4,9 @@
 //! ships a miniature property-testing framework exposing the subset of
 //! the proptest 1.x API its tests use:
 //!
-//! * the [`Strategy`] trait with `prop_map`, `prop_recursive`, `boxed`;
+//! * the `Strategy` trait with `prop_map`, `prop_recursive`, `boxed`;
 //! * range strategies (`0u64..5000`), [`strategy::Just`], tuple
-//!   strategies, [`any`], string strategies from simple regex-like
+//!   strategies, `any`, string strategies from simple regex-like
 //!   patterns (`"[a-z]{1,5}"`, `".{0,60}"`);
 //! * [`collection::vec`], [`option::of`], [`sample::Index`];
 //! * the [`proptest!`] macro with optional
@@ -186,7 +186,7 @@ pub mod strategy {
         }
     }
 
-    /// Uniform choice between boxed strategies (backs [`prop_oneof!`]).
+    /// Uniform choice between boxed strategies (backs `prop_oneof!`).
     pub fn one_of<T: 'static>(choices: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T> {
         assert!(!choices.is_empty(), "prop_oneof! needs at least one arm");
         BoxedStrategy(Rc::new(move |rng: &mut TestRng| {
@@ -432,7 +432,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         min: usize,
