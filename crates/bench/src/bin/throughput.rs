@@ -3,12 +3,18 @@
 //!
 //! ```sh
 //! cargo run --release -p vamana-bench --bin throughput \
-//!     [-- <mb> [workers...] [--window-ms N] [--out PATH] [--analyze]]
+//!     [-- <mb> [workers...] [--window-ms N] [--out PATH] [--analyze] [--mixed PCT]]
 //! ```
 //!
 //! `--analyze` skips the measurement windows: it loads the document,
 //! runs `EXPLAIN ANALYZE` on one representative query per suite, dumps
 //! the per-operator estimated-vs-actual trees to stdout, and exits.
+//!
+//! `--mixed PCT` runs the read/write benchmark instead: reader threads
+//! measure per-query latency in two windows — alone, then sharing the
+//! engine with one writer duty-cycled to `PCT`% of operations — and the
+//! report (`BENCH_5.json`) compares reader p50/p99 across the two plus
+//! the writer's time at the epoch gate.
 //!
 //! Two query suites run in three execution modes over the same build and
 //! the same loaded document:
@@ -50,8 +56,11 @@ struct Args {
     megabytes: f64,
     workers: Vec<usize>,
     window: Duration,
-    out: String,
+    out: Option<String>,
     analyze: bool,
+    /// `Some(write_pct)`: run the mixed read/write benchmark instead of
+    /// the execution-mode comparison.
+    mixed: Option<u32>,
 }
 
 fn parse_args() -> Args {
@@ -59,8 +68,9 @@ fn parse_args() -> Args {
         megabytes: 0.5,
         workers: Vec::new(),
         window: Duration::from_secs(2),
-        out: "BENCH_3.json".to_string(),
+        out: None,
         analyze: false,
+        mixed: None,
     };
     let mut positional = 0usize;
     let mut it = std::env::args().skip(1);
@@ -74,10 +84,18 @@ fn parse_args() -> Args {
                 args.window = Duration::from_millis(ms);
             }
             "--out" => {
-                args.out = it.next().expect("--out needs a path");
+                args.out = Some(it.next().expect("--out needs a path"));
             }
             "--analyze" => {
                 args.analyze = true;
+            }
+            "--mixed" => {
+                let pct: u32 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--mixed needs a write percentage (e.g. 5)");
+                assert!(pct > 0 && pct < 100, "--mixed percentage must be in 1..=99");
+                args.mixed = Some(pct);
             }
             other => {
                 if positional == 0 {
@@ -141,6 +159,11 @@ fn main() {
     let engine = Arc::new(SharedEngine::new(base));
 
     let suites: [(&str, &[(&str, &str)]); 2] = [("scan", SCAN_QUERIES), ("eval", QUERIES)];
+
+    if let Some(write_pct) = args.mixed {
+        run_mixed(&args, &engine, max_workers, write_pct);
+        return;
+    }
 
     if args.analyze {
         // EXPLAIN ANALYZE one representative query per suite and exit —
@@ -245,8 +268,220 @@ fn main() {
     }
 
     let json = render_json(&args, &suites, &samples);
-    std::fs::write(&args.out, &json).expect("write json");
-    eprintln!("wrote {}", args.out);
+    let out = args.out.as_deref().unwrap_or("BENCH_3.json");
+    std::fs::write(out, &json).expect("write json");
+    eprintln!("wrote {out}");
+}
+
+/// Reader latencies and counts from one mixed-mode measurement window.
+struct MixedPhase {
+    reads: u64,
+    writes: u64,
+    /// Sorted per-query reader latencies, microseconds.
+    latencies_us: Vec<u64>,
+    elapsed: Duration,
+    writer_wait_us: u64,
+}
+
+impl MixedPhase {
+    fn quantile_us(&self, q: f64) -> u64 {
+        if self.latencies_us.is_empty() {
+            return 0;
+        }
+        let rank = ((q * self.latencies_us.len() as f64).ceil() as usize)
+            .clamp(1, self.latencies_us.len());
+        self.latencies_us[rank - 1]
+    }
+
+    fn qps(&self) -> f64 {
+        self.reads as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+/// The 95/5 (configurable) read/write benchmark: reader tail latency
+/// with and without a concurrent writer against the same engine.
+///
+/// Phase 1 runs `readers` threads over the scan suite and records
+/// per-query latency — the no-writer baseline. Phase 2 repeats the
+/// window with one writer thread issuing `apply_update` insert/delete
+/// pairs, duty-cycled so writes stay at `write_pct`% of completed
+/// operations. The report compares reader p50/p99 across phases and
+/// records how long the writer spent at the epoch gate.
+fn run_mixed(args: &Args, engine: &Arc<SharedEngine>, readers: usize, write_pct: u32) {
+    // Mixed mode measures the serving configuration: batched execution,
+    // serial per query (inter-query concurrency comes from the readers).
+    {
+        let mut guard = engine.write();
+        let opts = guard.options_mut();
+        opts.batched = true;
+        opts.parallel = false;
+    }
+    let plans: Vec<QueryPlan> = SCAN_QUERIES
+        .iter()
+        .map(|(name, xpath)| {
+            let guard = engine.read();
+            let plan = guard.compile(xpath).expect(name);
+            guard.optimize_plan(plan, DocId(0)).expect(name).plan
+        })
+        .collect();
+
+    eprintln!("mixed mode: {readers} reader(s), write duty {write_pct}%");
+    let baseline = run_mixed_window(engine, &plans, readers, None, args.window);
+    let mixed = run_mixed_window(engine, &plans, readers, Some(write_pct), args.window);
+
+    println!(
+        "{:>10} {:>9} {:>9} {:>11} {:>11} {:>13} {:>16}",
+        "phase", "reads", "writes", "p50_us", "p99_us", "reads/sec", "writer_wait_us"
+    );
+    for (phase, s) in [("baseline", &baseline), ("mixed", &mixed)] {
+        println!(
+            "{:>10} {:>9} {:>9} {:>11} {:>11} {:>13.1} {:>16}",
+            phase,
+            s.reads,
+            s.writes,
+            s.quantile_us(0.50),
+            s.quantile_us(0.99),
+            s.qps(),
+            s.writer_wait_us
+        );
+    }
+
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"throughput_mixed_read_write\",\n");
+    out.push_str(&format!(
+        "  \"host_cpus\": {},\n",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    ));
+    out.push_str(&format!("  \"doc_megabytes\": {},\n", args.megabytes));
+    out.push_str(&format!("  \"window_ms\": {},\n", args.window.as_millis()));
+    out.push_str(&format!("  \"readers\": {readers},\n"));
+    out.push_str(&format!("  \"write_pct\": {write_pct},\n"));
+    out.push_str("  \"results\": {\n");
+    for (i, (phase, s)) in [("baseline", &baseline), ("mixed", &mixed)]
+        .iter()
+        .enumerate()
+    {
+        out.push_str(&format!(
+            "    \"{phase}\": {{\"reads\": {}, \"writes\": {}, \"reader_p50_us\": {}, \"reader_p99_us\": {}, \"reads_per_sec\": {:.1}, \"writer_wait_us\": {}}}{}\n",
+            s.reads,
+            s.writes,
+            s.quantile_us(0.50),
+            s.quantile_us(0.99),
+            s.qps(),
+            s.writer_wait_us,
+            if i == 0 { "," } else { "" }
+        ));
+    }
+    out.push_str("  },\n");
+    let ratio = mixed.quantile_us(0.99).max(1) as f64 / baseline.quantile_us(0.99).max(1) as f64;
+    out.push_str(&format!(
+        "  \"p99_ratio_mixed_over_baseline\": {ratio:.2}\n"
+    ));
+    out.push_str("}\n");
+    let path = args.out.as_deref().unwrap_or("BENCH_5.json");
+    std::fs::write(path, &out).expect("write json");
+    eprintln!("wrote {path}");
+}
+
+/// One mixed-mode window: `readers` query threads, plus one writer
+/// thread when `write_pct` is set.
+fn run_mixed_window(
+    engine: &Arc<SharedEngine>,
+    plans: &[QueryPlan],
+    readers: usize,
+    write_pct: Option<u32>,
+    window: Duration,
+) -> MixedPhase {
+    let stop = Arc::new(AtomicBool::new(false));
+    let reads = Arc::new(AtomicU64::new(0));
+    let writes = Arc::new(AtomicU64::new(0));
+    let wait_before = engine.read().writer_wait_total();
+    let start = Instant::now();
+    let mut latencies: Vec<u64> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..readers.max(1) {
+            let engine = Arc::clone(engine);
+            let stop = Arc::clone(&stop);
+            let reads = Arc::clone(&reads);
+            handles.push(scope.spawn(move || {
+                let mut buf = Vec::with_capacity(BATCH_SIZE);
+                let mut lats = Vec::new();
+                let mut i = t;
+                while !stop.load(Ordering::Relaxed) {
+                    let plan = &plans[i % plans.len()];
+                    let t0 = Instant::now();
+                    let guard = engine.read();
+                    let mut stream = guard.stream_plan(plan.clone(), DocId(0)).expect("stream");
+                    loop {
+                        buf.clear();
+                        if stream.next_batch(&mut buf, BATCH_SIZE).expect("batch") == 0 {
+                            break;
+                        }
+                    }
+                    drop(guard);
+                    lats.push(t0.elapsed().as_micros() as u64);
+                    reads.fetch_add(1, Ordering::Relaxed);
+                    i += 1;
+                }
+                lats
+            }));
+        }
+        if let Some(pct) = write_pct {
+            let engine = Arc::clone(engine);
+            let stop = Arc::clone(&stop);
+            let reads = Arc::clone(&reads);
+            let writes = Arc::clone(&writes);
+            scope.spawn(move || {
+                use vamana_core::UpdateOp;
+                let insert = UpdateOp::Insert {
+                    target: "/site".to_string(),
+                    fragment: "<benchrow>w</benchrow>".to_string(),
+                };
+                let delete = UpdateOp::Delete {
+                    target: "//benchrow".to_string(),
+                };
+                let mut inserted = false;
+                while !stop.load(Ordering::Relaxed) {
+                    // Duty cycle: hold writes at `pct`% of completed ops.
+                    let r = reads.load(Ordering::Relaxed);
+                    let w = writes.load(Ordering::Relaxed);
+                    let target = (r + w) * pct as u64 / 100;
+                    if w >= target {
+                        std::thread::sleep(Duration::from_micros(200));
+                        continue;
+                    }
+                    let op = if inserted { &delete } else { &insert };
+                    engine.write().apply_update(DocId(0), op).expect("update");
+                    inserted = !inserted;
+                    writes.fetch_add(1, Ordering::Relaxed);
+                }
+                // Leave the document as found.
+                if inserted {
+                    engine
+                        .write()
+                        .apply_update(DocId(0), &delete)
+                        .expect("cleanup");
+                }
+            });
+        }
+        std::thread::sleep(window);
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            latencies.extend(h.join().expect("reader"));
+        }
+    });
+    latencies.sort_unstable();
+    let wait_after = engine.read().writer_wait_total();
+    MixedPhase {
+        reads: reads.load(Ordering::Relaxed),
+        writes: writes.load(Ordering::Relaxed),
+        latencies_us: latencies,
+        elapsed: start.elapsed(),
+        writer_wait_us: wait_after.saturating_sub(wait_before).as_micros() as u64,
+    }
 }
 
 /// Runs the suite's query mix from `drivers` threads for `window`.

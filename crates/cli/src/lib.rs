@@ -24,7 +24,8 @@
 
 use std::fmt::Write as _;
 use std::sync::Arc;
-use vamana_core::{DocId, Engine, MassStore, SharedEngine, Value};
+use vamana_core::{DocId, Engine, MassStore, SharedEngine, UpdateOp, Value};
+use vamana_mass::{pager::FilePager, FsyncPolicy};
 use vamana_server::{render_rows, RenderOptions, Server, ServerConfig, ServerHandle};
 
 /// Result rows printed per query unless `.limit` changes it.
@@ -103,6 +104,9 @@ impl Session {
                 "docs" => Ok(self.cmd_docs()),
                 "optimizer" => self.cmd_optimizer(arg),
                 "xquery" => self.cmd_xquery(arg),
+                "insert" => self.cmd_insert(arg),
+                "delete" => self.cmd_delete(arg),
+                "checkpoint" => self.cmd_checkpoint(),
                 "save" => self.cmd_save(arg),
                 "open" => self.cmd_open(arg),
                 other => Err(format!("unknown command .{other}; try .help").into()),
@@ -373,14 +377,93 @@ impl Session {
         }
     }
 
+    /// Resolves a document argument — numeric id or document name.
+    fn resolve_doc(&self, token: &str) -> Result<DocId, Box<dyn std::error::Error>> {
+        let engine = self.engine.read();
+        let docs = engine.store().documents();
+        if let Ok(i) = token.parse::<u32>() {
+            if (i as usize) < docs.len() {
+                return Ok(DocId(i));
+            }
+        }
+        docs.iter()
+            .position(|d| &*d.name == token)
+            .map(|i| DocId(i as u32))
+            .ok_or_else(|| format!("no such document `{token}` (see .docs)").into())
+    }
+
+    fn cmd_insert(&mut self, arg: &str) -> Result<String, Box<dyn std::error::Error>> {
+        let Some((doc, tail)) = arg
+            .split_once(char::is_whitespace)
+            .map(|(d, t)| (d, t.trim()))
+        else {
+            return Err(".insert needs: <doc> <target-xpath> <fragment>".into());
+        };
+        let Some(at) = tail.find(" <") else {
+            return Err(".insert needs an XML fragment after the target XPath".into());
+        };
+        let (target, fragment) = tail.split_at(at);
+        let doc = self.resolve_doc(doc)?;
+        let op = UpdateOp::Insert {
+            target: target.trim().to_string(),
+            fragment: fragment.trim().to_string(),
+        };
+        let outcome = self.engine.write().apply_update(doc, &op)?;
+        Ok(format!(
+            "inserted {} tuple(s) at the first of {} match(es) (lsn {}, doc generation {}) in {:.2?}",
+            outcome.inserted,
+            outcome.matched,
+            outcome.lsn,
+            outcome.doc_generation,
+            outcome.profile.elapsed
+        ))
+    }
+
+    fn cmd_delete(&mut self, arg: &str) -> Result<String, Box<dyn std::error::Error>> {
+        let Some((doc, target)) = arg
+            .split_once(char::is_whitespace)
+            .map(|(d, t)| (d, t.trim()))
+        else {
+            return Err(".delete needs: <doc> <target-xpath>".into());
+        };
+        if target.is_empty() {
+            return Err(".delete needs: <doc> <target-xpath>".into());
+        }
+        let doc = self.resolve_doc(doc)?;
+        let op = UpdateOp::Delete {
+            target: target.to_string(),
+        };
+        let outcome = self.engine.write().apply_update(doc, &op)?;
+        Ok(format!(
+            "deleted {} tuple(s) across {} match(es) (lsn {}, doc generation {}) in {:.2?}",
+            outcome.deleted,
+            outcome.matched,
+            outcome.lsn,
+            outcome.doc_generation,
+            outcome.profile.elapsed
+        ))
+    }
+
+    fn cmd_checkpoint(&mut self) -> Result<String, Box<dyn std::error::Error>> {
+        let t = std::time::Instant::now();
+        let stats = self.engine.write().checkpoint()?;
+        Ok(format!(
+            "checkpointed in {:.2?}: WAL depth {} record(s), last lsn {}",
+            t.elapsed(),
+            stats.depth,
+            stats.last_lsn
+        ))
+    }
+
     fn cmd_save(&mut self, path: &str) -> Result<String, Box<dyn std::error::Error>> {
         if path.is_empty() {
             return Err(".save needs a file path".into());
         }
         self.require_docs()?;
-        // Rebuild the store into a file-backed pager by re-serializing
-        // the documents (the in-memory pager has no file to checkpoint).
-        let mut file_store = MassStore::create_file(path, 1024)?;
+        // Rebuild the store into a durable file-backed pager (pages +
+        // WAL) by re-serializing the documents (the in-memory pager has
+        // no file to checkpoint).
+        let mut file_store = MassStore::create_durable(path, 1024, FsyncPolicy::Always)?;
         {
             let engine = self.engine.read();
             for i in 0..engine.store().documents().len() {
@@ -393,7 +476,7 @@ impl Session {
         let tuples = file_store.stats().tuples;
         *self.engine.write() = Engine::new(file_store);
         Ok(format!(
-            "saved to {path} ({tuples} tuples); session now runs on the file-backed store"
+            "saved to {path} ({tuples} tuples); session now runs on the durable file-backed store"
         ))
     }
 
@@ -401,13 +484,29 @@ impl Session {
         if path.is_empty() {
             return Err(".open needs a file path".into());
         }
-        let store = MassStore::open_file(path, 1024)?;
+        // A sibling `.wal` file marks a durable store: open it through
+        // recovery (replays the committed WAL tail) instead of plain.
+        let durable = FilePager::wal_path(std::path::Path::new(path)).exists();
+        let store = if durable {
+            MassStore::open_durable(path, 1024, FsyncPolicy::Always)?
+        } else {
+            MassStore::open_file(path, 1024)?
+        };
         let stats = store.stats();
+        let wal = store.wal_stats();
         *self.engine.write() = Engine::new(store);
-        Ok(format!(
+        let mut out = format!(
             "opened {path}: {} documents, {} tuples on {} pages",
             stats.documents, stats.tuples, stats.pages
-        ))
+        );
+        if durable {
+            let _ = write!(
+                out,
+                " (durable; replayed {} WAL record(s) to lsn {})",
+                wal.replayed_records, wal.replayed_lsn
+            );
+        }
+        Ok(out)
     }
 }
 
@@ -440,8 +539,13 @@ commands:
   .optimizer [on|off] toggle the cost-driven optimizer
   .stats              storage and buffer-pool statistics
   .docs               list loaded documents
-  .save <file>        persist the store to disk (switches to it)
-  .open <file>        open a persisted store
+  .insert <doc> <xpath> <fragment>
+                      append an XML fragment to the first match
+  .delete <doc> <xpath>
+                      delete every match's subtree
+  .checkpoint         fold the WAL into the page store and truncate it
+  .save <file>        persist the store to disk with a WAL (switches to it)
+  .open <file>        open a persisted store (recovers from its WAL)
   .help               this text
   .quit               exit";
 
@@ -615,6 +719,58 @@ mod tests {
         assert!(out.contains("opened"), "{out}");
         let out = s2.execute("//name").unwrap();
         assert!(out.contains("Yung Flach"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn insert_delete_and_checkpoint_commands() {
+        let mut s = loaded();
+        let out = s
+            .execute(".insert 0 /site <person id='p1'><name>Grace</name></person>")
+            .unwrap();
+        assert!(out.contains("match(es)"), "{out}");
+        assert!(out.contains("doc generation 1"), "{out}");
+        let out = s.execute(".count //person").unwrap();
+        assert!(out.starts_with('2'), "{out}");
+
+        let out = s.execute(".delete 0 //person[name='Grace']").unwrap();
+        assert!(out.contains("deleted"), "{out}");
+        let out = s.execute(".count //person").unwrap();
+        assert!(out.starts_with('1'), "{out}");
+
+        // In-memory stores checkpoint trivially (no WAL).
+        let out = s.execute(".checkpoint").unwrap();
+        assert!(out.contains("WAL depth 0"), "{out}");
+
+        let out = s.execute(".insert 0").unwrap();
+        assert!(out.contains("error"), "{out}");
+        let out = s.execute(".delete nosuchdoc //a").unwrap();
+        assert!(out.contains("no such document"), "{out}");
+    }
+
+    #[test]
+    fn saved_store_recovers_updates_from_the_wal() {
+        let mut s = loaded();
+        let dir = std::env::temp_dir().join(format!("vamana-cli-wal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let f = dir.join("durable.mass");
+        let out = s.execute(&format!(".save {}", f.display())).unwrap();
+        assert!(out.contains("saved"), "{out}");
+
+        // Update through the durable session; do NOT checkpoint — the
+        // WAL alone must carry the insert across the reopen.
+        let out = s
+            .execute(".insert 0 /site <person id='p9'><name>Walled</name></person>")
+            .unwrap();
+        assert!(out.contains("lsn"), "{out}");
+        drop(s);
+
+        let mut s2 = Session::new();
+        let out = s2.execute(&format!(".open {}", f.display())).unwrap();
+        assert!(out.contains("durable"), "{out}");
+        assert!(out.contains("replayed"), "{out}");
+        let out = s2.execute("//person[name='Walled']").unwrap();
+        assert!(out.contains("1 node(s)"), "{out}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -13,9 +13,11 @@ use crate::explain::Analysis;
 use crate::opt::{self, OptimizeOutcome, OptimizerOptions};
 use crate::plan::{builder::build_plan, display, Operator, QueryPlan};
 use crate::shared::QueryProfile;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 use vamana_flex::KeyRange;
-use vamana_mass::{DocId, MassStore, NodeEntry, RecordKind};
+use vamana_mass::{DocId, MassError, MassStore, NodeEntry, RecordKind, WalStats};
 use vamana_xpath::{parse, Expr};
 
 /// Engine configuration.
@@ -48,6 +50,11 @@ pub struct EngineOptions {
     /// Smallest worthwhile per-worker slice of the estimate; the degree
     /// is capped at `count / parallel_min_morsel`.
     pub parallel_min_morsel: u64,
+    /// How long a writer waits at the epoch gate for in-flight readers
+    /// (parallel morsel workers, open streams) to drop their store
+    /// handles before giving up with
+    /// [`vamana_mass::MassError::WriterConflict`].
+    pub writer_drain_timeout: Duration,
 }
 
 impl Default for EngineOptions {
@@ -61,8 +68,50 @@ impl Default for EngineOptions {
             parallel_workers: 0,
             parallel_threshold: 4096,
             parallel_min_morsel: 1024,
+            writer_drain_timeout: Duration::from_secs(2),
         }
     }
+}
+
+/// A logical update routed through [`Engine::apply_update`]: targets are
+/// named by XPath, content arrives as an XML fragment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UpdateOp {
+    /// Append `fragment` as the last child of the first node matching
+    /// `target`.
+    Insert {
+        /// XPath selecting the insertion parent (first match wins).
+        target: String,
+        /// XML fragment with a single root element.
+        fragment: String,
+    },
+    /// Delete the subtrees of *all* nodes matching `target`.
+    Delete {
+        /// XPath selecting the nodes to remove.
+        target: String,
+    },
+}
+
+/// What an [`Engine::apply_update`] did.
+#[derive(Debug, Clone)]
+pub struct UpdateOutcome {
+    /// Document the update ran against.
+    pub doc: DocId,
+    /// Nodes matched by the target XPath.
+    pub matched: u64,
+    /// Records inserted (fragment size, attributes and text included).
+    pub inserted: u64,
+    /// Records deleted (whole subtrees).
+    pub deleted: u64,
+    /// WAL commit LSN of the last logged operation (0 for volatile
+    /// stores).
+    pub lsn: u64,
+    /// The document's generation *after* the update — plan caches keyed
+    /// on `(doc, doc_generation)` use this to invalidate.
+    pub doc_generation: u64,
+    /// Execution profile: target resolution + apply, including the time
+    /// spent waiting at the writer epoch gate.
+    pub profile: QueryProfile,
 }
 
 /// A compiled-and-explained query (used by examples and the figures
@@ -240,16 +289,15 @@ pub struct Engine {
     /// Lazily created engine-level worker pool, reused across queries and
     /// rebuilt only when the configured width changes.
     scan_pool: Mutex<Option<Arc<ScanPool>>>,
+    /// Cumulative microseconds writers spent at the epoch gate waiting
+    /// for reader-held store clones to drain.
+    writer_wait_us: AtomicU64,
 }
 
 impl Engine {
     /// Wraps a store with default options (optimizer on).
     pub fn new(store: MassStore) -> Self {
-        Engine {
-            store: Arc::new(store),
-            options: EngineOptions::default(),
-            scan_pool: Mutex::new(None),
-        }
+        Self::with_options(store, EngineOptions::default())
     }
 
     /// Wraps a store with explicit options.
@@ -258,6 +306,7 @@ impl Engine {
             store: Arc::new(store),
             options,
             scan_pool: Mutex::new(None),
+            writer_wait_us: AtomicU64::new(0),
         }
     }
 
@@ -266,12 +315,43 @@ impl Engine {
         &self.store
     }
 
-    /// Mutable store access (loading documents, updates). Store clones
-    /// held by in-flight parallel scans are reaped before each query
-    /// returns, so exclusive access here is always available between
-    /// queries.
-    pub fn store_mut(&mut self) -> &mut MassStore {
-        Arc::get_mut(&mut self.store).expect("store pinned by an active parallel scan")
+    /// A shared handle on the store, as held by parallel scan workers
+    /// for the duration of a morsel. While any such handle is alive,
+    /// [`Engine::store_mut`] waits at the epoch gate.
+    pub fn store_handle(&self) -> Arc<MassStore> {
+        Arc::clone(&self.store)
+    }
+
+    /// Mutable store access (loading documents, updates), behind the
+    /// *epoch gate*: store clones held by in-flight parallel scans or
+    /// open streams are normally reaped before their query returns, but
+    /// a writer arriving while one is still alive waits (bounded by
+    /// [`EngineOptions::writer_drain_timeout`]) for the readers to
+    /// drain instead of panicking. On timeout the caller gets
+    /// [`MassError::WriterConflict`] and the store is untouched.
+    pub fn store_mut(&mut self) -> Result<&mut MassStore> {
+        let start = Instant::now();
+        let deadline = start + self.options.writer_drain_timeout;
+        loop {
+            if Arc::get_mut(&mut self.store).is_some() {
+                break;
+            }
+            if Instant::now() >= deadline {
+                return Err(EngineError::Storage(MassError::WriterConflict));
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let waited = start.elapsed();
+        if !waited.is_zero() {
+            self.writer_wait_us
+                .fetch_add(waited.as_micros() as u64, Ordering::Relaxed);
+        }
+        Ok(Arc::get_mut(&mut self.store).expect("gate drained"))
+    }
+
+    /// Total time writers have spent waiting at the epoch gate.
+    pub fn writer_wait_total(&self) -> Duration {
+        Duration::from_micros(self.writer_wait_us.load(Ordering::Relaxed))
     }
 
     /// The scan-pool width this engine resolves to: the configured
@@ -341,7 +421,80 @@ impl Engine {
 
     /// Convenience: parse and load an XML string as a document.
     pub fn load_xml(&mut self, name: &str, xml: &str) -> Result<DocId> {
-        Ok(self.store_mut().load_xml(name, xml)?)
+        Ok(self.store_mut()?.load_xml(name, xml)?)
+    }
+
+    /// Applies a logical update to `doc`: resolves the target XPath under
+    /// shared access, then routes the mutation through the store's
+    /// WAL-logged update path behind the epoch gate. Inserts append the
+    /// fragment to the *first* match; deletes remove the subtrees of
+    /// *every* match (skipping nodes already removed as part of an
+    /// earlier match's subtree).
+    pub fn apply_update(&mut self, doc: DocId, op: &UpdateOp) -> Result<UpdateOutcome> {
+        let start = Instant::now();
+        let buffer_before = self.store().buffer_pool().stats();
+        let target = match op {
+            UpdateOp::Insert { target, .. } | UpdateOp::Delete { target } => target,
+        };
+        let matched = self.query_doc(doc, target)?;
+        if let UpdateOp::Insert { .. } = op {
+            if let Some(first) = matched.first() {
+                if !matches!(first.kind, RecordKind::Element | RecordKind::Document) {
+                    return Err(EngineError::Unsupported(
+                        "insert target must be an element or document node".into(),
+                    ));
+                }
+            }
+        }
+        let wait_start = Instant::now();
+        let store = self.store_mut()?;
+        let writer_wait = wait_start.elapsed();
+        let tuples_before = store.stats().tuples;
+        let mut deleted = 0u64;
+        match op {
+            UpdateOp::Insert { fragment, .. } => {
+                if let Some(first) = matched.first() {
+                    store.append_fragment(&first.key, fragment)?;
+                }
+            }
+            UpdateOp::Delete { .. } => {
+                for entry in &matched {
+                    if store.contains(&entry.key)? {
+                        deleted += store.delete_subtree(&entry.key)?;
+                    }
+                }
+            }
+        }
+        let inserted = store.stats().tuples.saturating_sub(tuples_before);
+        let lsn = store.wal_stats().last_lsn;
+        let doc_generation = store.doc_generation(doc);
+        let buffer_after = self.store().buffer_pool().stats();
+        let profile = QueryProfile {
+            elapsed: start.elapsed(),
+            buffer_hits: buffer_after.hits.saturating_sub(buffer_before.hits),
+            buffer_misses: buffer_after.misses.saturating_sub(buffer_before.misses),
+            rows: matched.len() as u64,
+            writer_wait,
+            ..QueryProfile::default()
+        };
+        Ok(UpdateOutcome {
+            doc,
+            matched: matched.len() as u64,
+            inserted,
+            deleted,
+            lsn,
+            doc_generation,
+            profile,
+        })
+    }
+
+    /// Folds the WAL into the page store and truncates it (see
+    /// [`MassStore::checkpoint`]), behind the epoch gate. Returns the
+    /// post-checkpoint WAL counters.
+    pub fn checkpoint(&mut self) -> Result<WalStats> {
+        let store = self.store_mut()?;
+        store.checkpoint()?;
+        Ok(store.wal_stats())
     }
 
     fn doc_entry(&self, doc: DocId) -> Result<NodeEntry> {
@@ -609,6 +762,7 @@ impl Engine {
             worker_batches: par.worker_batches.saturating_sub(par_before.worker_batches),
             merge_stalls: par.merge_stalls.saturating_sub(par_before.merge_stalls),
             rows: out.len() as u64,
+            writer_wait: Duration::ZERO,
             operators: Some(actuals.clone()),
         };
         Ok(Analysis {

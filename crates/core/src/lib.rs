@@ -45,7 +45,7 @@ pub mod plan;
 pub mod shared;
 
 pub use cost::EstimateCard;
-pub use engine::{Engine, EngineOptions, Explain, QueryStream};
+pub use engine::{Engine, EngineOptions, Explain, QueryStream, UpdateOp, UpdateOutcome};
 pub use error::{EngineError, Result};
 pub use exec::parallel::ParallelScanStats;
 pub use exec::stats::{ExecStats, ExecStatsSnapshot, OpActualsSnapshot};

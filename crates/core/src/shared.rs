@@ -45,6 +45,10 @@ pub struct QueryProfile {
     pub merge_stalls: u64,
     /// Result cardinality.
     pub rows: u64,
+    /// Time a writer spent parked at the epoch gate waiting for pinned
+    /// readers to drain ([`Engine::store_mut`]); always zero on the
+    /// read-only profiled paths.
+    pub writer_wait: Duration,
     /// Per-operator actuals of the run — populated only by
     /// `EXPLAIN ANALYZE` ([`crate::engine::Engine::analyze_doc`]);
     /// `None` on the plain profiled query paths, which record no
@@ -86,6 +90,7 @@ impl Engine {
             worker_batches: par.worker_batches.saturating_sub(par_before.worker_batches),
             merge_stalls: par.merge_stalls.saturating_sub(par_before.merge_stalls),
             rows: rows.len() as u64,
+            writer_wait: Duration::ZERO,
             operators: None,
         };
         Ok((rows, profile))
@@ -117,6 +122,7 @@ impl Engine {
             worker_batches: par.worker_batches.saturating_sub(par_before.worker_batches),
             merge_stalls: par.merge_stalls.saturating_sub(par_before.merge_stalls),
             rows: rows.len() as u64,
+            writer_wait: Duration::ZERO,
             operators: None,
         };
         Ok((rows, profile))

@@ -201,6 +201,11 @@ impl BufferPool {
         lock(&self.store).read_catalog()
     }
 
+    /// Flushes all previously written pages/blobs to durable storage.
+    pub fn sync(&self) -> Result<()> {
+        lock(&self.store).sync()
+    }
+
     /// Snapshot of the pool counters, merged across shards. Each shard's
     /// counters are read under its lock, so the totals never tear a
     /// single-shard update; concurrent activity on *other* shards may be

@@ -51,8 +51,9 @@ impl<'a> Reader<'a> {
 }
 
 impl MassStore {
-    /// Serializes the catalog (name table + document registry).
-    fn encode_catalog(&self) -> Vec<u8> {
+    /// Serializes the catalog (name table + document registry + the WAL
+    /// LSN as of this checkpoint).
+    fn encode_catalog(&self, checkpoint_lsn: u64) -> Vec<u8> {
         let mut out = Vec::new();
         out.extend_from_slice(MAGIC);
         out.extend_from_slice(&(self.names.len() as u32).to_le_bytes());
@@ -69,14 +70,32 @@ impl MassStore {
             put_bytes(&mut out, d.name.as_bytes());
             put_bytes(&mut out, d.doc_key.as_flat());
         }
+        out.extend_from_slice(&checkpoint_lsn.to_le_bytes());
         out
     }
 
     /// Persists the catalog through the pager. Data pages are written
     /// through on every mutation, so `checkpoint` + the page file is a
     /// complete, reopenable image of the store.
-    pub fn checkpoint(&self) -> Result<()> {
-        self.pool.write_catalog(&self.encode_catalog())
+    ///
+    /// For durable stores this folds the log into the page file: pages and
+    /// blobs are fsynced, the catalog records the current WAL position,
+    /// and the log is truncated. A crash anywhere in that sequence is
+    /// safe — replaying an already-folded log is idempotent, and a torn
+    /// log header after the truncation resets to the catalog's LSN.
+    pub fn checkpoint(&mut self) -> Result<()> {
+        let lsn = match &self.wal {
+            Some(w) => {
+                self.pool.sync()?;
+                w.next_lsn()
+            }
+            None => 0,
+        };
+        self.pool.write_catalog(&self.encode_catalog(lsn))?;
+        if let Some(w) = self.wal.as_mut() {
+            w.truncate_for_checkpoint()?;
+        }
+        Ok(())
     }
 
     /// Reopens a file-backed store created with
@@ -122,6 +141,12 @@ impl MassStore {
                 doc_key: key,
             });
         }
+        self.doc_gens = vec![0; self.docs.len()];
+        // Checkpoint LSN trailer (absent in catalogs written before the
+        // WAL existed): floors LSN assignment if the log header was lost.
+        if r.buf.len() >= r.at + 8 {
+            self.checkpoint_lsn_floor = u64::from_le_bytes(r.take(8)?.try_into().expect("8 bytes"));
+        }
 
         // 2. Page scan: sparse index first (pages are not in key order
         //    after splits), then the secondary indexes in key order so
@@ -132,12 +157,75 @@ impl MassStore {
             if let Some(first) = page.first_key() {
                 entries.push((first.to_vec(), page_id));
             } else {
-                // Emptied by an earlier delete: reusable.
+                // Emptied by an earlier delete, or allocated by a split
+                // that crashed before its first write: reusable.
                 self.free_pages.push(page_id);
             }
         }
         entries.sort();
         self.index = entries;
+
+        // 2a. Torn-load trim: bulk loads bypass the WAL (the page file +
+        //     catalog written by the load's checkpoint are its durable
+        //     image), so a crash mid-load leaves records whose document
+        //     was never registered. Drop them — that load never
+        //     committed. Pages emptied by the trim join the free list.
+        let mut pos = 0;
+        while pos < self.index.len() {
+            let page_id = self.index[pos].1;
+            let has_orphans = self
+                .pool
+                .get(page_id)?
+                .records()
+                .iter()
+                .any(|rec| self.document_of(&rec.key).is_none());
+            if !has_orphans {
+                pos += 1;
+                continue;
+            }
+            let mut page = (*self.pool.get(page_id)?).clone();
+            let mut i = 0;
+            while i < page.len() {
+                if self.document_of(&page.records()[i].key).is_none() {
+                    page.remove(i);
+                } else {
+                    i += 1;
+                }
+            }
+            if page.is_empty() {
+                self.index.remove(pos);
+                self.free_pages.push(page_id);
+            } else {
+                self.index[pos].0 = page.first_key().expect("non-empty").to_vec();
+                pos += 1;
+            }
+            self.pool.put(page_id, page)?;
+        }
+        // Re-sort: trimming can change a page's first key.
+        self.index.sort();
+
+        // 2b. Overlap repair: a crash between a split's two page writes
+        //     (new upper page first, then the shrunk lower page) leaves
+        //     the lower page still holding records that were copied to
+        //     the upper one. Trim any record that belongs to a following
+        //     page before indexing, so nothing is double-counted.
+        for pos in 0..self.index.len().saturating_sub(1) {
+            let next_first = self.index[pos + 1].0.clone();
+            let page_id = self.index[pos].1;
+            let overlaps = self
+                .pool
+                .get(page_id)?
+                .last_key()
+                .is_some_and(|k| k >= next_first.as_slice());
+            if !overlaps {
+                continue;
+            }
+            let mut page = (*self.pool.get(page_id)?).clone();
+            while page.last_key().is_some_and(|k| k >= next_first.as_slice()) {
+                page.remove(page.len() - 1);
+            }
+            self.pool.put(page_id, page)?;
+        }
 
         for pos in 0..self.index.len() {
             let page = self.pool.get(self.index[pos].1)?;
@@ -229,7 +317,7 @@ mod tests {
     fn empty_store_reopens_cleanly() {
         let path = temp_path("empty");
         {
-            let s = MassStore::create_file(&path, 64).unwrap();
+            let mut s = MassStore::create_file(&path, 64).unwrap();
             s.checkpoint().unwrap();
         }
         let s = MassStore::open_file(&path, 64).unwrap();

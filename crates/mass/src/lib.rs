@@ -46,6 +46,7 @@ pub mod catalog;
 pub mod cursor;
 pub mod error;
 pub mod export;
+pub mod fault;
 pub mod loader;
 pub mod name_index;
 pub mod names;
@@ -55,13 +56,16 @@ pub mod record;
 pub mod stats;
 pub mod store;
 pub mod value_index;
+pub mod wal;
 
 pub use axes::{axis_stream, range_scan_stream, AxisStream, KindFilter, NodeEntry, NodeFilter};
 pub use buffer::{BufferPool, BufferStats};
 pub use cursor::MassCursor;
 pub use error::{MassError, Result};
+pub use fault::{FaultClock, FaultPager, FaultWalBackend, SharedPager};
 pub use names::{NameId, NameTable};
 pub use record::{NodeRecord, RecordKind, ValueRef};
 pub use stats::StoreStats;
 pub use store::{DocId, DocInfo, MassStore};
 pub use value_index::RangeOp;
+pub use wal::{FileWalBackend, FsyncPolicy, MemWalBackend, Wal, WalBackend, WalRecord, WalStats};

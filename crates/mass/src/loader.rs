@@ -130,6 +130,13 @@ impl MassStore {
             name: name.into(),
             doc_key,
         });
+        self.doc_gens.push(0);
+        // Bulk loads bypass the WAL (logging every record would double
+        // the write volume), so durable stores checkpoint right away:
+        // the page file + catalog become the durable image of the load.
+        if self.wal.is_some() {
+            self.checkpoint()?;
+        }
         Ok(DocId(ordinal as u32))
     }
 

@@ -163,6 +163,13 @@ impl Page {
         }
         let magic = u16::from_le_bytes([bytes[0], bytes[1]]);
         if magic != MAGIC {
+            // An all-zero header is a page that was allocated (backends
+            // zero-extend eagerly) but never written — e.g. a crash
+            // between a split's allocation and its first write-out.
+            // Decode it as empty so recovery can reclaim it.
+            if bytes[..PAGE_HEADER].iter().all(|&b| b == 0) {
+                return Ok(Page::default());
+            }
             return Err(MassError::CorruptPage {
                 page: page_id,
                 reason: "bad magic".into(),

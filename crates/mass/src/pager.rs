@@ -29,6 +29,11 @@ pub trait PageStore: Send {
     fn write_catalog(&mut self, bytes: &[u8]) -> Result<()>;
     /// Reads the catalog image, empty if never written.
     fn read_catalog(&mut self) -> Result<Vec<u8>>;
+    /// Flushes all previously written pages/blobs to durable storage.
+    /// No-op for stores without a durability boundary.
+    fn sync(&mut self) -> Result<()> {
+        Ok(())
+    }
 }
 
 /// Heap-backed page store for tests, benchmarks and small documents.
@@ -179,6 +184,14 @@ impl FilePager {
         p.push(".cat");
         std::path::PathBuf::from(p)
     }
+
+    /// Path of the write-ahead log that accompanies a durable store at
+    /// `path` (same suffix convention as `.blob`/`.cat`).
+    pub fn wal_path(path: &Path) -> std::path::PathBuf {
+        let mut p = path.as_os_str().to_owned();
+        p.push(".wal");
+        std::path::PathBuf::from(p)
+    }
 }
 
 impl PageStore for FilePager {
@@ -241,6 +254,12 @@ impl PageStore for FilePager {
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Vec::new()),
             Err(e) => Err(e.into()),
         }
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        self.pages.sync_all()?;
+        self.blobs.sync_all()?;
+        Ok(())
     }
 }
 

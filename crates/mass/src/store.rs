@@ -20,8 +20,9 @@ use crate::pager::{FilePager, MemoryPager, PageStore};
 use crate::record::{NodeRecord, RecordKind, ValueRef};
 use crate::stats::StoreStats;
 use crate::value_index::{RangeOp, ValueIndex};
+use crate::wal::{FileWalBackend, FsyncPolicy, Wal, WalBackend, WalRecord, WalStats};
 use std::path::Path;
-use vamana_flex::{label_between, seq_label, FlexKey, KeyRange};
+use vamana_flex::{attr_label, label_between, seq_label, FlexKey, KeyRange};
 
 /// Values longer than this go to the overflow blob heap.
 pub const INLINE_VALUE_MAX: usize = 1024;
@@ -55,6 +56,14 @@ pub struct MassStore {
     /// artifacts derived from store contents — compiled plans, cost
     /// estimates — key on this to detect staleness.
     pub(crate) generation: u64,
+    /// Per-document mutation counters, parallel to `docs`. A plan cached
+    /// for one document stays valid while *other* documents change.
+    pub(crate) doc_gens: Vec<u64>,
+    /// Write-ahead log for durable stores; `None` = volatile store.
+    pub(crate) wal: Option<Wal>,
+    /// Checkpoint LSN read back from the catalog during recovery; floors
+    /// LSN assignment when the log header itself was lost.
+    pub(crate) checkpoint_lsn_floor: u64,
 }
 
 impl std::fmt::Debug for MassStore {
@@ -98,7 +107,100 @@ impl MassStore {
             tuples: 0,
             free_pages: Vec::new(),
             generation: 0,
+            doc_gens: Vec::new(),
+            wal: None,
+            checkpoint_lsn_floor: 0,
         }
+    }
+
+    /// Creates a new durable store at `path` (truncates existing): a
+    /// file-backed pager plus a write-ahead log at `<path>.wal`. Every
+    /// update commits to the log before touching pages, so the store
+    /// reopens to exactly the committed state after any crash.
+    pub fn create_durable<P: AsRef<Path>>(
+        path: P,
+        capacity: usize,
+        policy: FsyncPolicy,
+    ) -> Result<Self> {
+        let wal_path = FilePager::wal_path(path.as_ref());
+        let pager = FilePager::create(path)?;
+        let backend = FileWalBackend::create(&wal_path)?;
+        Self::create_with_wal(Box::new(pager), capacity, Box::new(backend), policy)
+    }
+
+    /// Reopens a durable store created with [`MassStore::create_durable`]:
+    /// rebuilds the in-memory indexes from the catalog and pages, then
+    /// replays the log's committed suffix (discarding any torn tail).
+    pub fn open_durable<P: AsRef<Path>>(
+        path: P,
+        capacity: usize,
+        policy: FsyncPolicy,
+    ) -> Result<Self> {
+        let wal_path = FilePager::wal_path(path.as_ref());
+        let pager = FilePager::open(path)?;
+        let backend = FileWalBackend::open(&wal_path)?;
+        Self::open_with_wal(Box::new(pager), capacity, Box::new(backend), policy)
+    }
+
+    /// [`MassStore::create_durable`] over arbitrary backends (tests,
+    /// fault injection).
+    pub fn create_with_wal(
+        pager: Box<dyn PageStore>,
+        capacity: usize,
+        backend: Box<dyn WalBackend>,
+        policy: FsyncPolicy,
+    ) -> Result<Self> {
+        let mut store = Self::with_pager(pager, capacity);
+        store.wal = Some(Wal::create(backend, policy)?);
+        // A durable empty catalog, so a crash before the first load still
+        // reopens cleanly.
+        store.checkpoint()?;
+        Ok(store)
+    }
+
+    /// [`MassStore::open_durable`] over arbitrary backends (tests, fault
+    /// injection).
+    pub fn open_with_wal(
+        pager: Box<dyn PageStore>,
+        capacity: usize,
+        backend: Box<dyn WalBackend>,
+        policy: FsyncPolicy,
+    ) -> Result<Self> {
+        let mut store = Self::with_pager(pager, capacity);
+        store.recover()?;
+        let (wal, records) = Wal::open(backend, policy, store.checkpoint_lsn_floor)?;
+        store.wal = Some(wal);
+        store.replay_wal(records)?;
+        Ok(store)
+    }
+
+    /// Applies the committed records handed back by [`Wal::open`]. Replay
+    /// is idempotent: names are re-interned in LSN order (reproducing the
+    /// exact id sequence on top of the catalog), inserts whose key
+    /// already survived in the page file are skipped, deletes of absent
+    /// subtrees are no-ops.
+    fn replay_wal(&mut self, records: Vec<(u64, WalRecord)>) -> Result<()> {
+        let mut last = 0u64;
+        let mut n = 0u64;
+        for (lsn, rec) in &records {
+            self.apply_wal_record(rec, true)?;
+            last = *lsn;
+            n += 1;
+        }
+        if let Some(w) = self.wal.as_mut() {
+            w.note_replayed(last, n);
+        }
+        Ok(())
+    }
+
+    /// True when updates are logged to a write-ahead log.
+    pub fn is_durable(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// Write-ahead-log counters; all-zero for volatile stores.
+    pub fn wal_stats(&self) -> WalStats {
+        self.wal.as_ref().map(Wal::stats).unwrap_or_default()
     }
 
     /// Mutation counter: changes whenever store contents change, so
@@ -109,6 +211,22 @@ impl MassStore {
 
     pub(crate) fn bump_generation(&mut self) {
         self.generation += 1;
+    }
+
+    /// Mutation counter for one document. Cached plans key on
+    /// `(doc, doc_generation)` so updates to one document invalidate only
+    /// that document's plans.
+    pub fn doc_generation(&self, doc: DocId) -> u64 {
+        self.doc_gens.get(doc.0 as usize).copied().unwrap_or(0)
+    }
+
+    /// Bumps the generation of the document containing `key`.
+    fn bump_doc(&mut self, key: &FlexKey) {
+        if let Some(doc) = self.document_of(key) {
+            if let Some(g) = self.doc_gens.get_mut(doc.0 as usize) {
+                *g += 1;
+            }
+        }
     }
 
     // ---- names ---------------------------------------------------------
@@ -593,8 +711,12 @@ impl MassStore {
                 upper.insert(rec)?;
             }
             let new_id = self.allocate_page()?;
-            self.pool.put(page_id, page)?;
+            // Write the new upper page before rewriting the lower one: a
+            // crash between the two leaves duplicated records (the old
+            // image plus the upper copy), which recovery repairs, rather
+            // than losing the upper half outright.
             self.pool.put(new_id, upper)?;
+            self.pool.put(page_id, page)?;
             self.index.insert(pos + 1, (upper_first, new_id));
         }
         Ok(())
@@ -679,6 +801,82 @@ impl MassStore {
         Ok(cursor.next()?.map(|r| r.key))
     }
 
+    /// Applies one logical WAL record to the store. On the live path
+    /// (`replay == false`) the caller has already logged and committed the
+    /// record; on recovery (`replay == true`) the record may be partially
+    /// applied already, so inserts skip keys that survived in the page
+    /// file. Names are interned *before* the existence check so the
+    /// interned-id sequence is identical on both paths.
+    pub(crate) fn apply_wal_record(&mut self, rec: &WalRecord, replay: bool) -> Result<()> {
+        match rec {
+            WalRecord::InsertElement { key, name } => {
+                let name_id = self.intern(name);
+                if replay && self.contains(key)? {
+                    return Ok(());
+                }
+                let rec = NodeRecord::element(key.clone(), name_id);
+                self.insert_record(rec.clone())?;
+                self.index_record(&rec, None, false);
+            }
+            WalRecord::InsertText { key, value } => {
+                if replay && self.contains(key)? {
+                    return Ok(());
+                }
+                let vref = self.make_value(value)?;
+                let rec = NodeRecord {
+                    key: key.clone(),
+                    kind: RecordKind::Text,
+                    name: None,
+                    value: vref,
+                };
+                self.insert_record(rec.clone())?;
+                self.index_record(&rec, Some(value), false);
+            }
+            WalRecord::InsertAttribute { key, name, value } => {
+                let name_id = self.intern(name);
+                if replay && self.contains(key)? {
+                    return Ok(());
+                }
+                let vref = self.make_value(value)?;
+                let rec = NodeRecord {
+                    key: key.clone(),
+                    kind: RecordKind::Attribute,
+                    name: Some(name_id),
+                    value: vref,
+                };
+                self.insert_record(rec.clone())?;
+                self.index_record(&rec, Some(value), false);
+            }
+            WalRecord::DeleteSubtree { key } => {
+                self.delete_subtree_unlogged(key)?;
+            }
+            WalRecord::Commit => {}
+        }
+        Ok(())
+    }
+
+    /// Logs `recs` plus a commit marker to the WAL, returning the commit
+    /// LSN (0 for volatile stores). On any failure the uncommitted frames
+    /// are rolled back so the log never exposes a torn operation.
+    fn log_records(&mut self, recs: &[WalRecord]) -> Result<u64> {
+        let Some(wal) = self.wal.as_mut() else {
+            return Ok(0);
+        };
+        for rec in recs {
+            if let Err(e) = wal.append(rec) {
+                wal.rollback().ok();
+                return Err(e);
+            }
+        }
+        match wal.commit() {
+            Ok(lsn) => Ok(lsn),
+            Err(e) => {
+                wal.rollback().ok();
+                Err(e)
+            }
+        }
+    }
+
     /// Inserts a new element under `parent` after all existing children,
     /// returning its key.
     pub fn append_element(&mut self, parent: &FlexKey, name: &str) -> Result<FlexKey> {
@@ -686,10 +884,13 @@ impl MassStore {
             return Err(MassError::InvalidUpdate("parent does not exist".into()));
         }
         let key = self.next_child_key(parent)?;
-        let name_id = self.intern(name);
-        let rec = NodeRecord::element(key.clone(), name_id);
-        self.insert_record(rec.clone())?;
-        self.index_record(&rec, None, false);
+        let rec = WalRecord::InsertElement {
+            key: key.clone(),
+            name: name.to_string(),
+        };
+        self.log_records(std::slice::from_ref(&rec))?;
+        self.apply_wal_record(&rec, false)?;
+        self.bump_doc(&key);
         Ok(key)
     }
 
@@ -699,15 +900,13 @@ impl MassStore {
             return Err(MassError::InvalidUpdate("parent does not exist".into()));
         }
         let key = self.next_child_key(parent)?;
-        let vref = self.make_value(value)?;
-        let rec = NodeRecord {
+        let rec = WalRecord::InsertText {
             key: key.clone(),
-            kind: RecordKind::Text,
-            name: None,
-            value: vref,
+            value: value.to_string(),
         };
-        self.insert_record(rec.clone())?;
-        self.index_record(&rec, Some(value), false);
+        self.log_records(std::slice::from_ref(&rec))?;
+        self.apply_wal_record(&rec, false)?;
+        self.bump_doc(&key);
         Ok(key)
     }
 
@@ -726,14 +925,17 @@ impl MassStore {
             }
             None => self.next_child_key(&parent)?,
         };
-        let name_id = self.intern(name);
-        let rec = NodeRecord::element(key.clone(), name_id);
-        self.insert_record(rec.clone())?;
-        self.index_record(&rec, None, false);
+        let rec = WalRecord::InsertElement {
+            key: key.clone(),
+            name: name.to_string(),
+        };
+        self.log_records(std::slice::from_ref(&rec))?;
+        self.apply_wal_record(&rec, false)?;
+        self.bump_doc(&key);
         Ok(key)
     }
 
-    fn next_child_key(&mut self, parent: &FlexKey) -> Result<FlexKey> {
+    fn next_child_key(&self, parent: &FlexKey) -> Result<FlexKey> {
         match self.last_child_key(parent)? {
             Some(last) => {
                 let label = label_after(last.last_label().expect("child key has label"));
@@ -746,40 +948,82 @@ impl MassStore {
     /// Inserts a parsed XML fragment as the last child of `parent`,
     /// returning the key of the fragment's root element. The fragment
     /// must have a single root element.
+    ///
+    /// The whole fragment is planned into WAL records first (assigning
+    /// every key without touching the store), logged as one atomic
+    /// operation, then applied — so a crash mid-fragment recovers to
+    /// either none or all of it.
     pub fn append_fragment(&mut self, parent: &FlexKey, xml: &str) -> Result<FlexKey> {
         let doc = vamana_xml::parse(xml)
             .map_err(|e| MassError::InvalidUpdate(format!("fragment parse failed: {e}")))?;
         let root = doc
             .root_element()
             .ok_or_else(|| MassError::InvalidUpdate("fragment has no root element".into()))?;
-        self.append_node_recursive(parent, &doc, root)
+        if self.get(parent)?.is_none() {
+            return Err(MassError::InvalidUpdate("parent does not exist".into()));
+        }
+        let root_key = self.next_child_key(parent)?;
+        let mut recs = Vec::new();
+        Self::plan_node(&doc, root, &root_key, &mut recs)?;
+        self.log_records(&recs)?;
+        for rec in &recs {
+            self.apply_wal_record(rec, false)?;
+        }
+        self.bump_doc(&root_key);
+        Ok(root_key)
     }
 
-    fn append_node_recursive(
-        &mut self,
-        parent: &FlexKey,
+    /// Plans the WAL records for inserting `node` (and its subtree) at
+    /// `key`, without touching the store. Fresh elements get attribute
+    /// ordinals `0..n` and child labels chained with [`label_after`] from
+    /// the last attribute label — exactly the keys the sequential
+    /// append path would assign. Unsupported node kinds are rejected here,
+    /// before anything is logged.
+    fn plan_node(
         doc: &vamana_xml::Document,
         node: vamana_xml::NodeId,
-    ) -> Result<FlexKey> {
+        key: &FlexKey,
+        out: &mut Vec<WalRecord>,
+    ) -> Result<()> {
         use vamana_xml::NodeKind;
         match doc.kind(node) {
             NodeKind::Element { name } => {
-                let name = name.to_string();
-                let key = self.append_element(parent, &name)?;
+                out.push(WalRecord::InsertElement {
+                    key: key.clone(),
+                    name: name.to_string(),
+                });
+                let mut n_attrs = 0u64;
                 for attr in doc.attributes(node) {
                     let aname = doc.name(attr).expect("attribute name").to_string();
                     let avalue = doc.value(attr).expect("attribute value").to_string();
-                    self.append_attribute(&key, &aname, &avalue)?;
+                    out.push(WalRecord::InsertAttribute {
+                        key: key.child(&attr_label(n_attrs)),
+                        name: aname,
+                        value: avalue,
+                    });
+                    n_attrs += 1;
                 }
-                let children: Vec<_> = doc.children(node).collect();
-                for child in children {
-                    self.append_node_recursive(&key, doc, child)?;
+                let mut last_label = if n_attrs > 0 {
+                    Some(attr_label(n_attrs - 1))
+                } else {
+                    None
+                };
+                for child in doc.children(node) {
+                    let label = match &last_label {
+                        Some(prev) => label_after(prev),
+                        None => seq_label(0),
+                    };
+                    Self::plan_node(doc, child, &key.child(&label), out)?;
+                    last_label = Some(label);
                 }
-                Ok(key)
+                Ok(())
             }
             NodeKind::Text { value } => {
-                let value = value.to_string();
-                self.append_text(parent, &value)
+                out.push(WalRecord::InsertText {
+                    key: key.clone(),
+                    value: value.to_string(),
+                });
+                Ok(())
             }
             other => Err(MassError::InvalidUpdate(format!(
                 "unsupported fragment node kind {other:?}"
@@ -813,23 +1057,33 @@ impl MassStore {
                 break;
             }
         }
-        let key = element.child(&vamana_flex::attr_label(ordinal));
-        let name_id = self.intern(name);
-        let vref = self.make_value(value)?;
-        let rec = NodeRecord {
+        let key = element.child(&attr_label(ordinal));
+        let rec = WalRecord::InsertAttribute {
             key: key.clone(),
-            kind: RecordKind::Attribute,
-            name: Some(name_id),
-            value: vref,
+            name: name.to_string(),
+            value: value.to_string(),
         };
-        self.insert_record(rec.clone())?;
-        self.index_record(&rec, Some(value), false);
+        self.log_records(std::slice::from_ref(&rec))?;
+        self.apply_wal_record(&rec, false)?;
+        self.bump_doc(&key);
         Ok(key)
     }
 
     /// Deletes the node at `key` and its whole subtree. Returns the number
     /// of records removed.
     pub fn delete_subtree(&mut self, key: &FlexKey) -> Result<u64> {
+        let rec = WalRecord::DeleteSubtree { key: key.clone() };
+        self.log_records(std::slice::from_ref(&rec))?;
+        let removed = self.delete_subtree_unlogged(key)?;
+        if removed > 0 {
+            self.bump_doc(key);
+        }
+        Ok(removed)
+    }
+
+    /// [`MassStore::delete_subtree`] without WAL logging — the apply/replay
+    /// half of the operation.
+    fn delete_subtree_unlogged(&mut self, key: &FlexKey) -> Result<u64> {
         self.bump_generation();
         let range = KeyRange::subtree(key);
         if self.index.is_empty() {

@@ -19,11 +19,23 @@
 //!                      instrumented run on doc 0 → PLAN… then OK
 //! LOADXML <name> <xml> load inline XML           → OK
 //! LOAD <name> <path>   load an XML file          → OK
+//! INSERT <doc> <target-xpath> <fragment>
+//!                      append fragment to first match → OK update …
+//! DELETE <doc> <target-xpath>
+//!                      delete every match's subtree   → OK update …
+//! CHECKPOINT           fold WAL into pages, truncate  → OK checkpoint …
 //! LIMIT <n>            per-connection row cap    → OK (0 = unlimited)
 //! STATS                metrics snapshot          → STAT… then OK
 //! PING                                           → OK pong
 //! QUIT                                           → OK bye, closes
 //! ```
+//!
+//! `INSERT`/`DELETE` take a document (by name or numeric id) and a
+//! target XPath; `INSERT` additionally takes an XML fragment, split from
+//! the target at the first ` <`. Updates run through the worker pool
+//! under the usual deadline, serialized on a single-writer lane, and
+//! each bumps the target document's generation — which invalidates
+//! exactly that document's cached plans.
 //!
 //! `EXPLAIN` shows the default and optimized plan with estimate cards
 //! and the optimizer's pass-by-pass trace; `ANALYZE` additionally
@@ -48,10 +60,10 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use vamana_core::{exec::BATCH_SIZE, DocId, Engine, SharedEngine, Value};
+use vamana_core::{exec::BATCH_SIZE, DocId, Engine, SharedEngine, UpdateOp, Value};
 
 pub mod cache;
 pub mod metrics;
@@ -130,6 +142,11 @@ pub struct Shared {
     metrics: Metrics,
     config: ServerConfig,
     stopping: AtomicBool,
+    /// Single-writer lane: updates and checkpoints serialize here
+    /// *before* taking the engine write lock, so at most one worker
+    /// blocks readers at a time and the rest queue with their deadlines
+    /// still ticking.
+    writer_lane: Mutex<()>,
 }
 
 impl Shared {
@@ -149,12 +166,15 @@ impl Shared {
     }
 }
 
-/// What a `QUERY`, `EVAL`, `EXPLAIN` or `ANALYZE` asks for.
+/// What a `QUERY`, `EVAL`, `EXPLAIN`, `ANALYZE`, `INSERT`, `DELETE` or
+/// `CHECKPOINT` asks for.
 enum Request {
     Query { xpath: String },
     Eval { xpath: String },
     Explain { xpath: String, json: bool },
     Analyze { xpath: String, json: bool },
+    Update { doc: String, op: UpdateOp },
+    Checkpoint,
 }
 
 /// One unit of work handed to the pool.
@@ -185,6 +205,22 @@ enum Outcome {
         lines: Vec<String>,
         elapsed: Duration,
     },
+    /// An applied `INSERT`/`DELETE`.
+    Updated {
+        matched: u64,
+        inserted: u64,
+        deleted: u64,
+        lsn: u64,
+        generation: u64,
+        writer_wait: Duration,
+        elapsed: Duration,
+    },
+    /// A completed `CHECKPOINT`.
+    Checkpointed {
+        records: u64,
+        last_lsn: u64,
+        elapsed: Duration,
+    },
 }
 
 fn query_err(e: impl std::fmt::Display) -> ServerError {
@@ -207,6 +243,8 @@ pub(crate) fn execute_job(shared: &Shared, job: Job) {
         Request::Eval { xpath } => run_eval(shared, xpath, job.limit),
         Request::Explain { xpath, json } => run_explain(shared, xpath, *json),
         Request::Analyze { xpath, json } => run_analyze(shared, xpath, *json),
+        Request::Update { doc, op } => run_update(shared, doc, op, job.deadline),
+        Request::Checkpoint => run_checkpoint(shared, job.deadline),
     };
     match &result {
         Ok(outcome) => {
@@ -228,9 +266,10 @@ pub(crate) fn execute_job(shared: &Shared, job: Job) {
                     *batch_pins,
                     *pins_saved,
                 ),
-                Outcome::Scalar { elapsed, .. } | Outcome::Report { elapsed, .. } => {
-                    (*elapsed, 0, 0, 0, 0, 0)
-                }
+                Outcome::Scalar { elapsed, .. }
+                | Outcome::Report { elapsed, .. }
+                | Outcome::Updated { elapsed, .. }
+                | Outcome::Checkpointed { elapsed, .. } => (*elapsed, 0, 0, 0, 0, 0),
             };
             shared.metrics.latency.record(elapsed);
             shared
@@ -277,13 +316,16 @@ fn run_query(
             "no documents loaded (use LOADXML or LOAD)".into(),
         ));
     }
-    let generation = engine.store().generation();
     let start = Instant::now();
     let before = engine.store().buffer_pool().stats();
     let mut all = Vec::new();
     let mut all_cached = true;
     for i in 0..engine.store().documents().len() {
         let doc = DocId(i as u32);
+        // Plans validate against the *per-document* generation: an
+        // update to one document invalidates exactly that document's
+        // cached plans, and loads/updates elsewhere leave them warm.
+        let generation = engine.store().doc_generation(doc);
         let plan = match shared.cache.get(xpath, doc, generation) {
             Some(plan) => plan,
             None => {
@@ -444,6 +486,72 @@ fn run_analyze(shared: &Shared, xpath: &str, json: bool) -> Result<Outcome, Serv
     Ok(Outcome::Report { lines, elapsed })
 }
 
+/// Resolves a protocol document token — a numeric id or a document
+/// name — against the store.
+fn resolve_doc(engine: &Engine, token: &str) -> Option<DocId> {
+    let docs = engine.store().documents();
+    if let Ok(i) = token.parse::<u32>() {
+        if (i as usize) < docs.len() {
+            return Some(DocId(i));
+        }
+    }
+    docs.iter()
+        .position(|d| &*d.name == token)
+        .map(|i| DocId(i as u32))
+}
+
+/// Applies an `INSERT`/`DELETE` on the single-writer lane: serialize
+/// against other writers first (deadline still enforced), then take the
+/// engine write lock and route the mutation through
+/// [`Engine::apply_update`] — and through the WAL on durable stores.
+fn run_update(
+    shared: &Shared,
+    doc: &str,
+    op: &UpdateOp,
+    deadline: Instant,
+) -> Result<Outcome, ServerError> {
+    let _lane = shared.writer_lane.lock().unwrap_or_else(|p| p.into_inner());
+    if Instant::now() >= deadline {
+        return Err(ServerError::Timeout(shared.config.query_timeout));
+    }
+    let mut engine = shared.engine.write();
+    let Some(doc) = resolve_doc(&engine, doc) else {
+        return Err(ServerError::Query(format!("no such document {doc}")));
+    };
+    let start = Instant::now();
+    let outcome = engine.apply_update(doc, op).map_err(query_err)?;
+    shared.metrics.updates.fetch_add(1, Ordering::Relaxed);
+    shared.metrics.writer_wait_us.fetch_add(
+        outcome.profile.writer_wait.as_micros() as u64,
+        Ordering::Relaxed,
+    );
+    Ok(Outcome::Updated {
+        matched: outcome.matched,
+        inserted: outcome.inserted,
+        deleted: outcome.deleted,
+        lsn: outcome.lsn,
+        generation: outcome.doc_generation,
+        writer_wait: outcome.profile.writer_wait,
+        elapsed: start.elapsed(),
+    })
+}
+
+/// Folds the WAL into the page store under the single-writer lane.
+fn run_checkpoint(shared: &Shared, deadline: Instant) -> Result<Outcome, ServerError> {
+    let _lane = shared.writer_lane.lock().unwrap_or_else(|p| p.into_inner());
+    if Instant::now() >= deadline {
+        return Err(ServerError::Timeout(shared.config.query_timeout));
+    }
+    let start = Instant::now();
+    let stats = shared.engine.write().checkpoint().map_err(query_err)?;
+    shared.metrics.checkpoints.fetch_add(1, Ordering::Relaxed);
+    Ok(Outcome::Checkpointed {
+        records: stats.depth,
+        last_lsn: stats.last_lsn,
+        elapsed: start.elapsed(),
+    })
+}
+
 /// Hand-rolled JSON for `EXPLAIN JSON` (ANALYZE reuses
 /// [`vamana_core::Analysis::render_json`]).
 fn explain_json(xpath: &str, ex: &vamana_core::Explain) -> String {
@@ -529,6 +637,7 @@ impl Server {
             metrics: Metrics::default(),
             config: config.clone(),
             stopping: AtomicBool::new(false),
+            writer_lane: Mutex::new(()),
         });
         let pool = Arc::new(WorkerPool::new(
             config.workers,
@@ -681,6 +790,32 @@ fn serve_connection(
                 let response = handle_load(shared, verb, rest);
                 writeln!(writer, "{response}")?;
             }
+            "INSERT" | "DELETE" | "CHECKPOINT" => {
+                let request = match parse_update(verb, rest) {
+                    Ok(r) => r,
+                    Err(msg) => {
+                        writeln!(writer, "ERR proto {msg}")?;
+                        writer.flush()?;
+                        continue;
+                    }
+                };
+                let (tx, rx) = std::sync::mpsc::sync_channel(1);
+                let job = Job {
+                    request,
+                    limit,
+                    deadline: Instant::now() + shared.config.query_timeout,
+                    reply: tx,
+                };
+                if pool.try_submit(job).is_err() {
+                    shared
+                        .metrics
+                        .busy_rejections
+                        .fetch_add(1, Ordering::Relaxed);
+                    writeln!(writer, "ERR {}", ServerError::Busy)?;
+                    continue;
+                }
+                write_reply(&mut writer, &rx)?;
+            }
             "QUERY" | "EVAL" | "EXPLAIN" | "ANALYZE" if rest.is_empty() => {
                 writeln!(writer, "ERR proto {verb} needs an XPath expression")?;
             }
@@ -779,9 +914,72 @@ fn write_reply(
                 elapsed.as_micros()
             )
         }
+        Ok(Ok(Outcome::Updated {
+            matched,
+            inserted,
+            deleted,
+            lsn,
+            generation,
+            writer_wait,
+            elapsed,
+        })) => writeln!(
+            writer,
+            "OK update matched={matched} inserted={inserted} deleted={deleted} \
+             lsn={lsn} generation={generation} writer_wait={}us {}us",
+            writer_wait.as_micros(),
+            elapsed.as_micros()
+        ),
+        Ok(Ok(Outcome::Checkpointed {
+            records,
+            last_lsn,
+            elapsed,
+        })) => writeln!(
+            writer,
+            "OK checkpoint records={records} lsn={last_lsn} {}us",
+            elapsed.as_micros()
+        ),
         Ok(Err(e)) => writeln!(writer, "ERR {e}"),
         // Worker pool shut down before replying.
         Err(_) => writeln!(writer, "ERR busy server shutting down"),
+    }
+}
+
+/// Parses `INSERT <doc> <target> <fragment>`, `DELETE <doc> <target>`
+/// and `CHECKPOINT`. The insert fragment is split from the target XPath
+/// at the first ` <` (a fragment is always markup; a target never
+/// contains ` <` because comparisons bind tighter than spaces in our
+/// grammar's practical use — and `<` in predicates is written without a
+/// leading space or the update is rejected as missing its fragment).
+fn parse_update(verb: &str, rest: &str) -> Result<Request, String> {
+    if verb == "CHECKPOINT" {
+        return Ok(Request::Checkpoint);
+    }
+    let Some((doc, tail)) = rest.split_once(' ').map(|(d, t)| (d, t.trim())) else {
+        return Err(format!("{verb} needs a document and a target XPath"));
+    };
+    if doc.is_empty() || tail.is_empty() {
+        return Err(format!("{verb} needs a document and a target XPath"));
+    }
+    match verb {
+        "INSERT" => {
+            let Some(at) = tail.find(" <") else {
+                return Err("INSERT needs an XML fragment after the target XPath".into());
+            };
+            let (target, fragment) = tail.split_at(at);
+            Ok(Request::Update {
+                doc: doc.to_string(),
+                op: UpdateOp::Insert {
+                    target: target.trim().to_string(),
+                    fragment: fragment.trim().to_string(),
+                },
+            })
+        }
+        _ => Ok(Request::Update {
+            doc: doc.to_string(),
+            op: UpdateOp::Delete {
+                target: tail.to_string(),
+            },
+        }),
     }
 }
 
@@ -799,16 +997,14 @@ fn handle_load(shared: &Shared, verb: &str, rest: &str) -> String {
         payload.to_string()
     };
     match shared.engine.load_xml(name, &xml) {
-        Ok(id) => {
-            // The generation bump already invalidates logically; clearing
-            // also frees plans that can never validate again.
-            shared.cache.clear();
-            format!(
-                "OK loaded document {} generation {}",
-                id.0,
-                shared.engine.generation()
-            )
-        }
+        // No cache clear: plans validate per document, and a load never
+        // changes an existing document's generation — other documents'
+        // cached plans stay warm.
+        Ok(id) => format!(
+            "OK loaded document {} generation {}",
+            id.0,
+            shared.engine.generation()
+        ),
         Err(e) => format!("ERR query {e}"),
     }
 }
@@ -841,6 +1037,20 @@ fn render_stats(shared: &Shared) -> Vec<String> {
     out.push(format!("STAT pool_par_morsels {}", par.morsels));
     out.push(format!("STAT pool_par_batches {}", par.worker_batches));
     out.push(format!("STAT pool_par_merge_stalls {}", par.merge_stalls));
+    let wal = engine.store().wal_stats();
+    out.push(format!(
+        "STAT store_durable {}",
+        engine.store().is_durable() as u32
+    ));
+    out.push(format!("STAT wal_records {}", wal.records));
+    out.push(format!("STAT wal_depth {}", wal.depth));
+    out.push(format!("STAT wal_fsyncs {}", wal.fsyncs));
+    out.push(format!("STAT wal_last_lsn {}", wal.last_lsn));
+    out.push(format!("STAT wal_replayed_lsn {}", wal.replayed_lsn));
+    out.push(format!(
+        "STAT engine_writer_wait_us {}",
+        engine.writer_wait_total().as_micros()
+    ));
     out
 }
 

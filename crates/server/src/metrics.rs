@@ -76,6 +76,13 @@ pub struct Metrics {
     /// Per-record pool entries batched scans avoided during queries —
     /// `pins_saved / batch_pins` is the observed amortization factor.
     pub pins_saved: AtomicU64,
+    /// Applied `INSERT`/`DELETE` updates.
+    pub updates: AtomicU64,
+    /// Completed `CHECKPOINT`s.
+    pub checkpoints: AtomicU64,
+    /// Cumulative microseconds update workers spent parked at the
+    /// engine's epoch gate waiting for in-flight readers to drain.
+    pub writer_wait_us: AtomicU64,
     /// Workers currently executing a job (gauge).
     pub active_workers: AtomicU64,
     /// Connections accepted over the server's lifetime.
@@ -98,6 +105,9 @@ impl Metrics {
         out.push(format!("STAT buffer_misses {}", c(&self.buffer_misses)));
         out.push(format!("STAT batch_pins {}", c(&self.batch_pins)));
         out.push(format!("STAT pins_saved {}", c(&self.pins_saved)));
+        out.push(format!("STAT updates_total {}", c(&self.updates)));
+        out.push(format!("STAT checkpoints_total {}", c(&self.checkpoints)));
+        out.push(format!("STAT writer_wait_us {}", c(&self.writer_wait_us)));
         out.push(format!("STAT active_workers {}", c(&self.active_workers)));
         out.push(format!("STAT connections_total {}", c(&self.connections)));
         out.push(format!(

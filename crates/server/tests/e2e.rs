@@ -216,14 +216,20 @@ fn load_invalidates_plan_cache_and_new_document_is_queryable() {
     let generation_before = stat_value(&stats, "store_generation");
     assert!(stat_value(&stats, "plan_cache_size") > 0);
 
-    // Loading a document bumps the generation and clears the cache.
+    // Loading a document bumps the store generation but leaves the
+    // existing document's cached plans warm: invalidation is per
+    // document, not store-wide.
     let loaded = client.round_trip("LOADXML tiny <r><province>Eden</province></r>");
     assert!(loaded[0].starts_with("OK loaded document 1"), "{loaded:?}");
     let stats = client.round_trip("STATS");
     assert!(stat_value(&stats, "store_generation") > generation_before);
-    assert_eq!(stat_value(&stats, "plan_cache_size"), 0);
+    assert!(
+        stat_value(&stats, "plan_cache_size") > 0,
+        "a load must not clear other documents' plans: {stats:?}"
+    );
 
-    // The next query recompiles and sees the new document's rows.
+    // The next query compiles a plan only for the new document and sees
+    // its rows (any per-document miss reports `plan=compiled`).
     let third = client.round_trip("QUERY //province");
     assert!(third.last().unwrap().contains("plan=compiled"), "{third:?}");
     assert!(
