@@ -61,6 +61,10 @@ struct Args {
     /// `Some(write_pct)`: run the mixed read/write benchmark instead of
     /// the execution-mode comparison.
     mixed: Option<u32>,
+    /// `Some(n)`: run the replicated-read benchmark instead — aggregate
+    /// read QPS over a primary plus 0..=n replicas, and a lag-convergence
+    /// histogram (`BENCH_6.json`).
+    replicas: Option<usize>,
 }
 
 fn parse_args() -> Args {
@@ -71,6 +75,7 @@ fn parse_args() -> Args {
         out: None,
         analyze: false,
         mixed: None,
+        replicas: None,
     };
     let mut positional = 0usize;
     let mut it = std::env::args().skip(1);
@@ -96,6 +101,13 @@ fn parse_args() -> Args {
                     .expect("--mixed needs a write percentage (e.g. 5)");
                 assert!(pct > 0 && pct < 100, "--mixed percentage must be in 1..=99");
                 args.mixed = Some(pct);
+            }
+            "--replicas" => {
+                let n: usize = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--replicas needs a follower count (e.g. 2)");
+                args.replicas = Some(n);
             }
             other => {
                 if positional == 0 {
@@ -146,6 +158,10 @@ fn mode_setup(mode: &str, w: usize) -> (usize, bool, bool) {
 
 fn main() {
     let args = parse_args();
+    if let Some(n) = args.replicas {
+        run_replicas(&args, n);
+        return;
+    }
     let max_workers = args.workers.iter().copied().max().unwrap_or(1);
 
     eprintln!("generating ~{} MB of XMark data…", args.megabytes);
@@ -636,4 +652,243 @@ fn render_json(args: &Args, suites: &[(&str, &[(&str, &str)]); 2], samples: &[Sa
     }
     out.push_str("  }\n}\n");
     out
+}
+
+// ---------------------------------------------------------------------
+// Replicated reads: `--replicas n`.
+// ---------------------------------------------------------------------
+
+/// One window of replicated reads: aggregate QPS at a given fan-out.
+struct ReplSample {
+    replicas: usize,
+    reads: u64,
+    elapsed: Duration,
+}
+
+impl ReplSample {
+    fn qps(&self) -> f64 {
+        self.reads as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+/// Number of reader threads driving queries, split round-robin over the
+/// primary plus every replica. Held constant across fan-outs so the QPS
+/// delta isolates what the extra serving processes buy.
+const REPL_READERS: usize = 8;
+
+/// Writes per lag burst and bursts per fan-out.
+const LAG_BURST_WRITES: usize = 50;
+const LAG_BURSTS: usize = 3;
+
+/// `--replicas n`: for each fan-out 0..=n, stand up a durable primary
+/// plus that many log-shipping replicas, measure aggregate read QPS with
+/// a fixed reader pool spread over every endpoint, then burst writes at
+/// the primary and time each replica's convergence back to zero lag.
+/// Results go to `BENCH_6.json` (override with `--out`).
+fn run_replicas(args: &Args, max_replicas: usize) {
+    use vamana_mass::FsyncPolicy;
+    use vamana_replica::{Replica, ReplicaConfig};
+    use vamana_server::testkit::{lag_value, Client};
+    use vamana_server::{Server, ServerConfig};
+
+    eprintln!("generating ~{} MB of XMark data…", args.megabytes);
+    let xml = vamana_bench::document(args.megabytes);
+    let dir = std::env::temp_dir().join(format!("vamana-bench-repl-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("bench temp dir");
+
+    let queries: Vec<String> = SCAN_QUERIES
+        .iter()
+        .map(|(_, xpath)| format!("QUERY {xpath}"))
+        .collect();
+
+    let mut samples: Vec<ReplSample> = Vec::new();
+    let mut convergence_us: Vec<u64> = Vec::new();
+
+    for fanout in 0..=max_replicas {
+        // Fresh primary per fan-out: identical starting state, no
+        // carry-over from the previous window's lag bursts.
+        let path = dir.join(format!("primary-{fanout}.mass"));
+        let mut store = MassStore::create_durable(&path, 4096, FsyncPolicy::Never).expect("store");
+        store.load_xml("auction", &xml).expect("load xmark");
+        let primary = Server::bind("127.0.0.1:0", Engine::new(store), ServerConfig::default())
+            .expect("bind")
+            .spawn()
+            .expect("spawn");
+        let mut ctl = Client::connect(&primary);
+
+        let replicas: Vec<_> = (0..fanout)
+            .map(|i| {
+                Replica::start(ReplicaConfig {
+                    primary: primary.addr().to_string(),
+                    data: dir.join(format!("replica-{fanout}-{i}.mass")),
+                    fsync: FsyncPolicy::Never,
+                    ..ReplicaConfig::default()
+                })
+                .expect("start replica")
+            })
+            .collect();
+
+        // Every endpoint answers queries; wait until the replicas have
+        // the snapshot applied before opening the taps.
+        let target = lag_value(&ctl.round_trip("LAG"), "last_lsn");
+        let mut endpoints = vec![primary.addr()];
+        for r in &replicas {
+            let mut follower = Client::connect_addr(r.addr());
+            let deadline = Instant::now() + Duration::from_secs(30);
+            while lag_value(&follower.round_trip("LAG"), "applied_lsn") < target {
+                assert!(Instant::now() < deadline, "replica never caught up");
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            endpoints.push(r.addr());
+        }
+
+        // Measurement window: REPL_READERS threads round-robin over the
+        // endpoints, each counting completed queries.
+        let stop = Arc::new(AtomicBool::new(false));
+        let reads = Arc::new(AtomicU64::new(0));
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for t in 0..REPL_READERS {
+                let endpoint = endpoints[t % endpoints.len()];
+                let stop = Arc::clone(&stop);
+                let reads = Arc::clone(&reads);
+                let queries = &queries;
+                scope.spawn(move || {
+                    let mut client = Client::connect_addr(endpoint);
+                    client.round_trip("LIMIT 1");
+                    let mut i = t;
+                    while !stop.load(Ordering::Relaxed) {
+                        let reply = client.round_trip(&queries[i % queries.len()]);
+                        assert!(reply.last().unwrap().starts_with("OK"), "{reply:?}");
+                        reads.fetch_add(1, Ordering::Relaxed);
+                        i += 1;
+                    }
+                });
+            }
+            std::thread::sleep(args.window);
+            stop.store(true, Ordering::Relaxed);
+        });
+        let sample = ReplSample {
+            replicas: fanout,
+            reads: reads.load(Ordering::Relaxed),
+            elapsed: start.elapsed(),
+        };
+        eprintln!(
+            "fan-out {fanout}: {} reads in {:.2?} ({:.1} reads/sec over {} endpoint(s))",
+            sample.reads,
+            sample.elapsed,
+            sample.qps(),
+            endpoints.len()
+        );
+        samples.push(sample);
+
+        // Lag convergence: burst writes at the primary, then time each
+        // replica's walk back to zero lag.
+        if fanout > 0 {
+            for _ in 0..LAG_BURSTS {
+                for i in 0..LAG_BURST_WRITES {
+                    let reply = ctl.round_trip(&format!(
+                        "INSERT auction //people <person><name>lag{i}</name></person>"
+                    ));
+                    assert!(reply[0].starts_with("OK update"), "{reply:?}");
+                }
+                let target = lag_value(&ctl.round_trip("LAG"), "last_lsn");
+                for r in &replicas {
+                    let mut follower = Client::connect_addr(r.addr());
+                    let t0 = Instant::now();
+                    let deadline = t0 + Duration::from_secs(30);
+                    while lag_value(&follower.round_trip("LAG"), "applied_lsn") < target {
+                        assert!(Instant::now() < deadline, "burst never converged");
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    convergence_us.push(t0.elapsed().as_micros() as u64);
+                }
+            }
+        }
+
+        for r in replicas {
+            r.stop();
+        }
+        primary.stop();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Histogram of convergence times: cumulative millisecond buckets
+    // over microsecond samples (streaming replicas usually converge in
+    // well under a millisecond, so sub-ms fidelity matters).
+    const BUCKETS: [(&str, u64); 6] = [
+        ("le_1", 1_000),
+        ("le_5", 5_000),
+        ("le_10", 10_000),
+        ("le_50", 50_000),
+        ("le_100", 100_000),
+        ("le_1000", 1_000_000),
+    ];
+    let mut hist: Vec<(&str, u64)> = BUCKETS
+        .iter()
+        .map(|(label, cap)| {
+            (
+                *label,
+                convergence_us.iter().filter(|&&us| us <= *cap).count() as u64,
+            )
+        })
+        .collect();
+    hist.push((
+        "gt_1000",
+        convergence_us.iter().filter(|&&us| us > 1_000_000).count() as u64,
+    ));
+
+    println!("{:>10} {:>10} {:>13}", "replicas", "reads", "reads/sec");
+    for s in &samples {
+        println!("{:>10} {:>10} {:>13.1}", s.replicas, s.reads, s.qps());
+    }
+    println!("lag convergence (us): {convergence_us:?}");
+
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"throughput_replicated_reads\",\n");
+    out.push_str(&format!(
+        "  \"host_cpus\": {},\n",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    ));
+    out.push_str(&format!("  \"doc_megabytes\": {},\n", args.megabytes));
+    out.push_str(&format!("  \"window_ms\": {},\n", args.window.as_millis()));
+    out.push_str(&format!("  \"readers\": {REPL_READERS},\n"));
+    out.push_str(&format!(
+        "  \"lag_burst\": {{\"writes\": {LAG_BURST_WRITES}, \"bursts\": {LAG_BURSTS}}},\n"
+    ));
+    out.push_str("  \"results\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"replicas\": {}, \"reads\": {}, \"reads_per_sec\": {:.1}}}{}\n",
+            s.replicas,
+            s.reads,
+            s.qps(),
+            if i + 1 < samples.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"lag_convergence_ms\": {\n");
+    out.push_str(&format!(
+        "    \"samples_us\": [{}],\n",
+        convergence_us
+            .iter()
+            .map(|us| us.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    out.push_str("    \"histogram\": {");
+    out.push_str(
+        &hist
+            .iter()
+            .map(|(label, n)| format!("\"{label}\": {n}"))
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    out.push_str("}\n  }\n}\n");
+    let path = args.out.as_deref().unwrap_or("BENCH_6.json");
+    std::fs::write(path, &out).expect("write json");
+    eprintln!("wrote {path}");
 }

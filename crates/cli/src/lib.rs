@@ -107,6 +107,8 @@ impl Session {
                 "insert" => self.cmd_insert(arg),
                 "delete" => self.cmd_delete(arg),
                 "checkpoint" => self.cmd_checkpoint(),
+                "wal" => Ok(self.cmd_wal()),
+                "replica" => self.cmd_replica(arg),
                 "save" => self.cmd_save(arg),
                 "open" => self.cmd_open(arg),
                 other => Err(format!("unknown command .{other}; try .help").into()),
@@ -455,6 +457,63 @@ impl Session {
         ))
     }
 
+    fn cmd_wal(&self) -> String {
+        let engine = self.engine.read();
+        let store = engine.store();
+        if !store.is_durable() {
+            return "in-memory store: no write-ahead log (use .save <file>)".to_string();
+        }
+        let wal = store.wal_stats();
+        let policy = match store.fsync_policy() {
+            Some(FsyncPolicy::Always) => "always".to_string(),
+            Some(FsyncPolicy::EveryN(n)) => format!("every {n} commit(s)"),
+            Some(FsyncPolicy::Never) => "never".to_string(),
+            None => "unknown".to_string(),
+        };
+        format!(
+            "wal depth:  {} record(s) since the last checkpoint\nstart lsn:  {}\nlast lsn:   {}\ncommits:    {} (this session)\nfsync:      {} ({} issued)\nreplayed:   {} record(s) to lsn {} at open",
+            wal.depth,
+            wal.start_lsn,
+            wal.last_lsn,
+            wal.commits,
+            policy,
+            wal.fsyncs,
+            wal.replayed_records,
+            wal.replayed_lsn
+        )
+    }
+
+    /// Asks a server (primary or replica) for its `LAG` report.
+    fn cmd_replica(&mut self, arg: &str) -> Result<String, Box<dyn std::error::Error>> {
+        if arg.is_empty() {
+            return Err(".replica needs a <host:port> to ask for LAG".into());
+        }
+        use std::io::{BufRead, BufReader, Write};
+        let stream = std::net::TcpStream::connect(arg)?;
+        stream.set_read_timeout(Some(std::time::Duration::from_secs(5)))?;
+        let mut writer = stream.try_clone()?;
+        let mut reader = BufReader::new(stream);
+        writeln!(writer, "LAG")?;
+        writer.flush()?;
+        let mut out = String::new();
+        loop {
+            let mut line = String::new();
+            if reader.read_line(&mut line)? == 0 {
+                return Err("server closed the connection mid-response".into());
+            }
+            let line = line.trim_end();
+            if line.starts_with("OK") {
+                break;
+            }
+            if line.starts_with("ERR") {
+                return Err(line.to_string().into());
+            }
+            let _ = writeln!(out, "  {}", line.strip_prefix("LAG ").unwrap_or(line));
+        }
+        out.pop();
+        Ok(out)
+    }
+
     fn cmd_save(&mut self, path: &str) -> Result<String, Box<dyn std::error::Error>> {
         if path.is_empty() {
             return Err(".save needs a file path".into());
@@ -544,6 +603,9 @@ commands:
   .delete <doc> <xpath>
                       delete every match's subtree
   .checkpoint         fold the WAL into the page store and truncate it
+  .wal                write-ahead log depth, LSN range, and fsync policy
+  .replica <host:port>
+                      ask a server for its replication LAG report
   .save <file>        persist the store to disk with a WAL (switches to it)
   .open <file>        open a persisted store (recovers from its WAL)
   .help               this text
@@ -772,6 +834,45 @@ mod tests {
         let out = s2.execute("//person[name='Walled']").unwrap();
         assert!(out.contains("1 node(s)"), "{out}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wal_command_reports_depth_and_policy() {
+        let mut s = Session::new();
+        let out = s.execute(".wal").unwrap();
+        assert!(out.contains("in-memory store"), "{out}");
+
+        let mut s = loaded();
+        let dir = std::env::temp_dir().join(format!("vamana-cli-walcmd-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let f = dir.join("walcmd.mass");
+        s.execute(&format!(".save {}", f.display())).unwrap();
+        let out = s
+            .execute(".insert 0 /site <person id='p2'><name>Lag</name></person>")
+            .unwrap();
+        assert!(out.contains("lsn"), "{out}");
+        let out = s.execute(".wal").unwrap();
+        assert!(out.contains("wal depth"), "{out}");
+        assert!(out.contains("fsync:      always"), "{out}");
+        assert!(!out.contains("wal depth:  0 "), "pending records: {out}");
+        let out = s.execute(".checkpoint").unwrap();
+        assert!(out.contains("WAL depth 0"), "{out}");
+        let out = s.execute(".wal").unwrap();
+        assert!(out.contains("wal depth:  0 "), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replica_command_fetches_lag_from_a_server() {
+        let mut s = loaded();
+        s.execute(".serve 0").unwrap();
+        let addr = s.serving_addr().expect("serving");
+        let out = s.execute(&format!(".replica {addr}")).unwrap();
+        assert!(out.contains("role primary"), "{out}");
+        assert!(out.contains("feeds"), "{out}");
+        s.execute(".serve stop").unwrap();
+        let out = s.execute(".replica").unwrap();
+        assert!(out.contains("error"), "{out}");
     }
 
     #[test]

@@ -354,6 +354,17 @@ impl Engine {
         Duration::from_micros(self.writer_wait_us.load(Ordering::Relaxed))
     }
 
+    /// Swaps the underlying store wholesale — a replica installing a
+    /// snapshot shipped from its primary. Waits at the same epoch gate as
+    /// [`Engine::store_mut`] so no in-flight scan still holds the old
+    /// store. Callers owning plan caches must clear them: the new store's
+    /// document generations restart at zero.
+    pub fn replace_store(&mut self, store: MassStore) -> Result<()> {
+        self.store_mut()?;
+        self.store = Arc::new(store);
+        Ok(())
+    }
+
     /// The scan-pool width this engine resolves to: the configured
     /// [`EngineOptions::parallel_workers`], or one per available core.
     pub fn effective_workers(&self) -> usize {

@@ -53,6 +53,7 @@ pub mod names;
 pub mod page;
 pub mod pager;
 pub mod record;
+pub mod repl;
 pub mod stats;
 pub mod store;
 pub mod value_index;
@@ -65,7 +66,11 @@ pub use error::{MassError, Result};
 pub use fault::{FaultClock, FaultPager, FaultWalBackend, SharedPager};
 pub use names::{NameId, NameTable};
 pub use record::{NodeRecord, RecordKind, ValueRef};
+pub use repl::{ReplLogStats, ReplicationLog, DEFAULT_RETAIN_FRAMES};
 pub use stats::StoreStats;
 pub use store::{DocId, DocInfo, MassStore};
 pub use value_index::RangeOp;
-pub use wal::{FileWalBackend, FsyncPolicy, MemWalBackend, Wal, WalBackend, WalRecord, WalStats};
+pub use wal::{
+    encode_frame, verify_frame, FileWalBackend, FsyncPolicy, MemWalBackend, Wal, WalBackend,
+    WalRecord, WalStats, FRAME_HEADER_LEN,
+};

@@ -15,7 +15,35 @@ use vamana_xml::{Document, NodeId, NodeKind};
 impl MassStore {
     /// Loads `doc` under `name`, returning its id. Documents load after
     /// all previously loaded ones; their records never interleave.
+    ///
+    /// On durable stores the load is first logged as one
+    /// [`crate::wal::WalRecord::LoadDocument`] record carrying the
+    /// document's compact serialization — that is what replication
+    /// streams to followers — and then checkpointed, so the local log
+    /// stays shallow (the page file + catalog are the durable image,
+    /// exactly as before; the replication ring retains the frame
+    /// independently of the checkpoint's truncation).
     pub fn load_document(&mut self, name: &str, doc: &Document) -> Result<DocId> {
+        if self.is_durable() {
+            let xml = vamana_xml::write_document(doc, &vamana_xml::WriteOptions::default());
+            self.log_records(&[crate::wal::WalRecord::LoadDocument {
+                name: name.to_string(),
+                xml,
+            }])?;
+        }
+        let id = self.load_document_unlogged(name, doc)?;
+        if self.is_durable() {
+            self.checkpoint()?;
+        }
+        Ok(id)
+    }
+
+    /// The unlogged bulk load: key assignment, page packing, index
+    /// feeding — no WAL traffic, no checkpoint. Keys depend only on the
+    /// document structure and the load ordinal, so replaying the same
+    /// documents in the same order (WAL recovery, replication snapshots)
+    /// reproduces an identical key space.
+    pub(crate) fn load_document_unlogged(&mut self, name: &str, doc: &Document) -> Result<DocId> {
         self.bump_generation();
         let ordinal = self.docs.len() as u64;
         let mut generator = KeyGenerator::new();
@@ -131,12 +159,6 @@ impl MassStore {
             doc_key,
         });
         self.doc_gens.push(0);
-        // Bulk loads bypass the WAL (logging every record would double
-        // the write volume), so durable stores checkpoint right away:
-        // the page file + catalog become the durable image of the load.
-        if self.wal.is_some() {
-            self.checkpoint()?;
-        }
         Ok(DocId(ordinal as u32))
     }
 

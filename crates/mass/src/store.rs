@@ -64,6 +64,10 @@ pub struct MassStore {
     /// Checkpoint LSN read back from the catalog during recovery; floors
     /// LSN assignment when the log header itself was lost.
     pub(crate) checkpoint_lsn_floor: u64,
+    /// Replication ring: committed frames retained for follower catch-up,
+    /// independent of checkpoint truncation. `None` until
+    /// [`MassStore::attach_replication`].
+    pub(crate) repl: Option<crate::repl::ReplicationLog>,
 }
 
 impl std::fmt::Debug for MassStore {
@@ -110,6 +114,7 @@ impl MassStore {
             doc_gens: Vec::new(),
             wal: None,
             checkpoint_lsn_floor: 0,
+            repl: None,
         }
     }
 
@@ -221,7 +226,7 @@ impl MassStore {
     }
 
     /// Bumps the generation of the document containing `key`.
-    fn bump_doc(&mut self, key: &FlexKey) {
+    pub(crate) fn bump_doc(&mut self, key: &FlexKey) {
         if let Some(doc) = self.document_of(key) {
             if let Some(g) = self.doc_gens.get_mut(doc.0 as usize) {
                 *g += 1;
@@ -850,6 +855,20 @@ impl MassStore {
             WalRecord::DeleteSubtree { key } => {
                 self.delete_subtree_unlogged(key)?;
             }
+            WalRecord::LoadDocument { name, xml } => {
+                // A bulk load that entered the log (for replication) but
+                // also checkpointed right after it — replay skips it when
+                // the document already survived in the page file. The
+                // unlogged loader assigns keys deterministically from the
+                // document structure and load ordinal, so replaying on a
+                // follower reproduces the primary's exact key space.
+                if replay && self.document_by_name(name).is_some() {
+                    return Ok(());
+                }
+                let doc = vamana_xml::parse(xml)
+                    .map_err(|e| MassError::InvalidUpdate(format!("load replay parse: {e}")))?;
+                self.load_document_unlogged(name, &doc)?;
+            }
             WalRecord::Commit => {}
         }
         Ok(())
@@ -857,24 +876,40 @@ impl MassStore {
 
     /// Logs `recs` plus a commit marker to the WAL, returning the commit
     /// LSN (0 for volatile stores). On any failure the uncommitted frames
-    /// are rolled back so the log never exposes a torn operation.
-    fn log_records(&mut self, recs: &[WalRecord]) -> Result<u64> {
+    /// are rolled back so the log never exposes a torn operation. Once
+    /// committed, the batch is published to the replication ring (if one
+    /// is attached) under the exact LSNs the log assigned.
+    pub(crate) fn log_records(&mut self, recs: &[WalRecord]) -> Result<u64> {
         let Some(wal) = self.wal.as_mut() else {
             return Ok(0);
         };
+        let mut lsns = Vec::with_capacity(recs.len());
         for rec in recs {
-            if let Err(e) = wal.append(rec) {
+            match wal.append(rec) {
+                Ok(lsn) => lsns.push(lsn),
+                Err(e) => {
+                    wal.rollback().ok();
+                    return Err(e);
+                }
+            }
+        }
+        let commit_lsn = match wal.commit() {
+            Ok(lsn) => lsn,
+            Err(e) => {
                 wal.rollback().ok();
                 return Err(e);
             }
+        };
+        if let Some(log) = &self.repl {
+            let mut frames: Vec<(u64, std::sync::Arc<Vec<u8>>)> = lsns
+                .into_iter()
+                .zip(recs)
+                .map(|(lsn, rec)| (lsn, std::sync::Arc::new(rec.encode())))
+                .collect();
+            frames.push((commit_lsn, std::sync::Arc::new(WalRecord::Commit.encode())));
+            log.publish(&frames);
         }
-        match wal.commit() {
-            Ok(lsn) => Ok(lsn),
-            Err(e) => {
-                wal.rollback().ok();
-                Err(e)
-            }
-        }
+        Ok(commit_lsn)
     }
 
     /// Inserts a new element under `parent` after all existing children,

@@ -45,6 +45,34 @@ const HEADER_LEN: usize = 5 + 8;
 /// Frame prefix: len + lsn + crc.
 const FRAME_HEADER: usize = 4 + 8 + 4;
 
+/// Size of the `[len][lsn][crc]` prefix of every frame — shared with the
+/// replication feed, which ships WAL frames byte-identically on the wire.
+pub const FRAME_HEADER_LEN: usize = FRAME_HEADER;
+
+/// Encodes one frame exactly as it is laid out in the log file:
+/// `[len: u32 LE][lsn: u64 LE][crc: u32 LE][payload]`, with the CRC over
+/// `lsn || payload`. The replication feed reuses this encoding on the
+/// wire so followers persist received frames without re-framing.
+pub fn encode_frame(lsn: u64, payload: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&lsn.to_le_bytes());
+    let mut checked = Vec::with_capacity(8 + payload.len());
+    checked.extend_from_slice(&lsn.to_le_bytes());
+    checked.extend_from_slice(payload);
+    frame.extend_from_slice(&crc32(&checked).to_le_bytes());
+    frame.extend_from_slice(payload);
+    frame
+}
+
+/// Verifies a received frame's CRC (over `lsn || payload`).
+pub fn verify_frame(lsn: u64, payload: &[u8], crc: u32) -> bool {
+    let mut checked = Vec::with_capacity(8 + payload.len());
+    checked.extend_from_slice(&lsn.to_le_bytes());
+    checked.extend_from_slice(payload);
+    crc32(&checked) == crc
+}
+
 /// When the log backend is fsynced.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FsyncPolicy {
@@ -74,6 +102,9 @@ pub struct WalStats {
     pub replayed_lsn: u64,
     /// Number of records replayed at open.
     pub replayed_records: u64,
+    /// LSN the log's first frame carries (the header LSN): everything
+    /// below it has been folded into the page file by a checkpoint.
+    pub start_lsn: u64,
 }
 
 /// One logical update record. Inserts carry the FLEX key assigned at
@@ -113,10 +144,25 @@ pub enum WalRecord {
     /// Commit marker: all frames since the previous marker form one
     /// atomic operation.
     Commit,
+    /// A whole-document bulk load, carried as serialized XML. The loader
+    /// assigns FLEX keys deterministically from document structure and
+    /// ordinal, so replaying the text reproduces the exact key sequence;
+    /// replay skips the record when a document of this name already
+    /// exists. Durable stores log this *before* the bulk page writes so
+    /// loads enter the replication stream (live loads still checkpoint
+    /// immediately afterwards, truncating the record from the local log).
+    LoadDocument {
+        /// Registry name of the document.
+        name: String,
+        /// Compact-serialized XML text of the document.
+        xml: String,
+    },
 }
 
 impl WalRecord {
-    fn encode(&self) -> Vec<u8> {
+    /// Serializes the record to its log payload (also the wire payload
+    /// of the replication feed).
+    pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::new();
         match self {
             WalRecord::InsertElement { key, name } => {
@@ -140,11 +186,17 @@ impl WalRecord {
                 put_bytes(&mut out, key.as_flat());
             }
             WalRecord::Commit => out.push(5),
+            WalRecord::LoadDocument { name, xml } => {
+                out.push(6);
+                put_bytes(&mut out, name.as_bytes());
+                put_bytes(&mut out, xml.as_bytes());
+            }
         }
         out
     }
 
-    fn decode(payload: &[u8]) -> Option<WalRecord> {
+    /// Parses a log payload back into a record (`None` on corruption).
+    pub fn decode(payload: &[u8]) -> Option<WalRecord> {
         let (&tag, mut rest) = payload.split_first()?;
         let rec = match tag {
             1 => WalRecord::InsertElement {
@@ -164,6 +216,10 @@ impl WalRecord {
                 key: FlexKey::from_flat(take_bytes(&mut rest)?),
             },
             5 => WalRecord::Commit,
+            6 => WalRecord::LoadDocument {
+                name: take_string(&mut rest)?,
+                xml: take_string(&mut rest)?,
+            },
             _ => return None,
         };
         if rest.is_empty() {
@@ -376,7 +432,10 @@ impl Wal {
             committed_next_lsn: 1,
             len: HEADER_LEN as u64,
             committed_len: HEADER_LEN as u64,
-            stats: WalStats::default(),
+            stats: WalStats {
+                start_lsn: 1,
+                ..WalStats::default()
+            },
         })
     }
 
@@ -407,7 +466,10 @@ impl Wal {
                 committed_next_lsn: start,
                 len: HEADER_LEN as u64,
                 committed_len: HEADER_LEN as u64,
-                stats: WalStats::default(),
+                stats: WalStats {
+                    start_lsn: start,
+                    ..WalStats::default()
+                },
             };
             return Ok((wal, Vec::new()));
         }
@@ -417,6 +479,7 @@ impl Wal {
         let mut committed: Vec<(u64, WalRecord)> = Vec::new();
         let mut pending: Vec<(u64, WalRecord)> = Vec::new();
         let mut committed_end = HEADER_LEN;
+        let mut committed_next = header_lsn;
         while at + FRAME_HEADER <= bytes.len() {
             let len = u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4")) as usize;
             let end = at + FRAME_HEADER + len;
@@ -443,6 +506,7 @@ impl Wal {
             if matches!(rec, WalRecord::Commit) {
                 committed.append(&mut pending);
                 committed_end = at;
+                committed_next = expected;
             } else {
                 pending.push((lsn, rec));
             }
@@ -451,11 +515,13 @@ impl Wal {
             backend.truncate(committed_end as u64)?;
             backend.sync()?;
         }
-        // `expected` counted frames we may just have truncated; the next
-        // LSN continues after the last *surviving* frame would be ideal,
-        // but continuing after the last *parsed* frame is equally valid
-        // (LSNs may have gaps, never regressions) and avoids re-parsing.
-        let next_lsn = expected.max(lsn_floor).max(header_lsn);
+        // The next LSN continues after the last *surviving* frame (the
+        // final commit marker), not after frames the truncation just
+        // discarded. A replica depends on this: its resume handshake
+        // sends `last_committed_lsn()`, and the primary re-streams the
+        // interrupted batch under the very LSNs that were torn away, so
+        // the contiguity check in `append_external` must expect them.
+        let next_lsn = committed_next.max(lsn_floor).max(header_lsn);
         let depth = committed.len() as u64;
         let last_lsn = committed.last().map(|(l, _)| *l).unwrap_or(0);
         let wal = Wal {
@@ -468,6 +534,7 @@ impl Wal {
             stats: WalStats {
                 depth,
                 last_lsn,
+                start_lsn: header_lsn,
                 ..WalStats::default()
             },
         };
@@ -475,16 +542,8 @@ impl Wal {
     }
 
     fn append_frame(&mut self, rec: &WalRecord) -> Result<u64> {
-        let payload = rec.encode();
         let lsn = self.next_lsn;
-        let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
-        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        frame.extend_from_slice(&lsn.to_le_bytes());
-        let mut checked = Vec::with_capacity(8 + payload.len());
-        checked.extend_from_slice(&lsn.to_le_bytes());
-        checked.extend_from_slice(&payload);
-        frame.extend_from_slice(&crc32(&checked).to_le_bytes());
-        frame.extend_from_slice(&payload);
+        let frame = encode_frame(lsn, &rec.encode());
         self.backend.append(&frame)?;
         self.next_lsn += 1;
         self.len += frame.len() as u64;
@@ -506,6 +565,14 @@ impl Wal {
     /// Returns the marker's LSN.
     pub fn commit(&mut self) -> Result<u64> {
         let lsn = self.append_frame(&WalRecord::Commit)?;
+        self.seal_commit()?;
+        Ok(lsn)
+    }
+
+    /// Commit bookkeeping shared by [`Wal::commit`] and
+    /// [`Wal::append_external`]: fsync per policy, advance the durable
+    /// prefix markers.
+    fn seal_commit(&mut self) -> Result<()> {
         self.stats.commits += 1;
         let due = match self.policy {
             FsyncPolicy::Always => true,
@@ -518,7 +585,49 @@ impl Wal {
         }
         self.committed_len = self.len;
         self.committed_next_lsn = self.next_lsn;
-        Ok(lsn)
+        Ok(())
+    }
+
+    /// Appends a record that carries an *externally assigned* LSN — the
+    /// replication path, where a follower mirrors the primary's frames
+    /// into its own log under the primary's numbering. The LSN must be
+    /// exactly the next one this log expects; a gap means frames were
+    /// lost in transit and the caller must resync. Commit markers seal
+    /// the batch with the usual fsync policy.
+    pub fn append_external(&mut self, lsn: u64, rec: &WalRecord) -> Result<u64> {
+        if lsn != self.next_lsn {
+            return Err(crate::error::MassError::InvalidUpdate(format!(
+                "replication LSN gap: log expects {}, stream carries {}",
+                self.next_lsn, lsn
+            )));
+        }
+        let got = self.append_frame(rec)?;
+        if matches!(rec, WalRecord::Commit) {
+            self.seal_commit()?;
+        } else {
+            self.stats.records += 1;
+            self.stats.depth += 1;
+        }
+        Ok(got)
+    }
+
+    /// Re-bases an *empty* log to start at `lsn` — a follower installing
+    /// a snapshot taken at `lsn - 1` points its log here so subsequent
+    /// [`Wal::append_external`] calls accept the primary's numbering.
+    pub fn set_next_lsn(&mut self, lsn: u64) -> Result<()> {
+        if self.len != HEADER_LEN as u64 {
+            return Err(crate::error::MassError::InvalidUpdate(
+                "set_next_lsn requires an empty log (checkpoint first)".into(),
+            ));
+        }
+        self.backend.truncate(0)?;
+        self.backend.append(&header_bytes(lsn))?;
+        self.backend.sync()?;
+        self.next_lsn = lsn;
+        self.committed_next_lsn = lsn;
+        self.stats.start_lsn = lsn;
+        self.stats.last_lsn = 0;
+        Ok(())
     }
 
     /// Discards uncommitted frames after a failed append/commit, so a
@@ -542,12 +651,23 @@ impl Wal {
         self.committed_len = self.len;
         self.committed_next_lsn = self.next_lsn;
         self.stats.depth = 0;
+        self.stats.start_lsn = self.next_lsn;
         Ok(())
     }
 
     /// The LSN the next frame will carry.
     pub fn next_lsn(&self) -> u64 {
         self.next_lsn
+    }
+
+    /// LSN of the last durably committed frame (0 when none yet).
+    pub fn last_committed_lsn(&self) -> u64 {
+        self.committed_next_lsn.saturating_sub(1)
+    }
+
+    /// The configured fsync policy.
+    pub fn policy(&self) -> FsyncPolicy {
+        self.policy
     }
 
     /// Counter snapshot.
@@ -603,6 +723,10 @@ mod tests {
                 key: FlexKey::root().child(&vamana_flex::seq_label(2)),
             },
             WalRecord::Commit,
+            WalRecord::LoadDocument {
+                name: "doc".into(),
+                xml: "<r><a>1</a></r>".into(),
+            },
         ];
         for r in &recs {
             assert_eq!(WalRecord::decode(&r.encode()).as_ref(), Some(r));
@@ -743,6 +867,42 @@ mod tests {
         assert_eq!(records.len(), 1);
         assert_eq!(records[0].0, lsn);
         assert!(reopened.next_lsn() > lsn);
+    }
+
+    #[test]
+    fn external_appends_mirror_primary_lsns() {
+        let (shared, handle) = mem_pair();
+        {
+            let mut wal = Wal::create(handle, FsyncPolicy::Never).unwrap();
+            wal.set_next_lsn(41).unwrap();
+            wal.append_external(41, &rec(0)).unwrap();
+            wal.append_external(42, &WalRecord::Commit).unwrap();
+            // A gap is rejected without touching the log.
+            assert!(wal.append_external(50, &rec(1)).is_err());
+            assert_eq!(wal.next_lsn(), 43);
+            assert_eq!(wal.last_committed_lsn(), 42);
+            // Re-basing a non-empty log is rejected.
+            assert!(wal.set_next_lsn(99).is_err());
+        }
+        let (reopened, records) = Wal::open(Box::new(shared), FsyncPolicy::Never, 0).unwrap();
+        assert_eq!(records, vec![(41, rec(0))]);
+        assert_eq!(reopened.next_lsn(), 43);
+        assert_eq!(reopened.stats().start_lsn, 41);
+    }
+
+    #[test]
+    fn wire_frames_match_log_frames() {
+        let (shared, handle) = mem_pair();
+        let mut wal = Wal::create(handle, FsyncPolicy::Never).unwrap();
+        wal.append(&rec(7)).unwrap();
+        let bytes = shared.clone().read_all().unwrap();
+        let on_disk = &bytes[HEADER_LEN..];
+        assert_eq!(on_disk, encode_frame(1, &rec(7).encode()).as_slice());
+        // And the CRC checks out through the wire-side verifier.
+        let payload = &on_disk[FRAME_HEADER..];
+        let crc = u32::from_le_bytes(on_disk[12..16].try_into().unwrap());
+        assert!(verify_frame(1, payload, crc));
+        assert!(!verify_frame(2, payload, crc));
     }
 
     #[test]

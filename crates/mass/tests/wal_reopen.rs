@@ -1,0 +1,111 @@
+//! Property test: torn-tail recovery is idempotent. Whatever prefix of
+//! a log survives a crash — cut mid-frame, mid-batch, or at a clean
+//! commit boundary, with arbitrary garbage splashed after the cut —
+//! opening it recovers exactly the last wholly-durable commit, and
+//! opening it a *second* time recovers the same LSN over a byte-
+//! identical log image (the first open's truncation is a fixpoint).
+
+use proptest::prelude::*;
+use vamana_flex::{seq_label, FlexKey};
+use vamana_mass::{FsyncPolicy, MemWalBackend, Wal, WalBackend, WalRecord};
+
+/// `VWAL1` magic plus the u64 start LSN.
+const HEADER_LEN: u64 = 13;
+
+fn arb_record() -> impl Strategy<Value = WalRecord> {
+    (
+        proptest::collection::vec(0u64..64, 1..4),
+        "[a-z]{1,12}",
+        0u8..3,
+    )
+        .prop_map(|(path, text, kind)| {
+            let mut key = FlexKey::root();
+            for p in &path {
+                key = key.child(&seq_label(*p));
+            }
+            match kind {
+                0 => WalRecord::InsertElement {
+                    key,
+                    name: text.clone(),
+                },
+                1 => WalRecord::InsertText {
+                    key,
+                    value: text.clone(),
+                },
+                _ => WalRecord::DeleteSubtree { key },
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn torn_tail_recovery_is_idempotent(
+        batches in proptest::collection::vec(
+            proptest::collection::vec(arb_record(), 1..5), 0..6),
+        uncommitted in proptest::collection::vec(arb_record(), 0..4),
+        cut_permille in 0u64..=1000,
+        garbage in proptest::collection::vec(any::<u8>(), 0..48),
+    ) {
+        // Build a log: committed batches, then an uncommitted suffix.
+        // Track the byte length and LSN at every durable commit marker.
+        let backend = MemWalBackend::new();
+        let mut wal = Wal::create(Box::new(backend.clone()), FsyncPolicy::Never).unwrap();
+        let mut commits: Vec<(u64, u64)> = vec![(HEADER_LEN, 0)];
+        for batch in &batches {
+            for rec in batch {
+                wal.append(rec).unwrap();
+            }
+            let lsn = wal.commit().unwrap();
+            commits.push((backend.len() as u64, lsn));
+        }
+        for rec in &uncommitted {
+            wal.append(rec).unwrap();
+        }
+        drop(wal);
+
+        // Tear the tail at an arbitrary point past the header and
+        // splash garbage bytes where the lost suffix used to be.
+        let len = backend.len() as u64;
+        let cut = HEADER_LEN + (len - HEADER_LEN) * cut_permille / 1000;
+        {
+            let mut torn = backend.clone();
+            torn.truncate(cut).unwrap();
+            torn.append(&garbage).unwrap();
+        }
+        // The strongest commit fully inside the surviving prefix is the
+        // only correct recovery point.
+        let expected_lsn = commits
+            .iter()
+            .filter(|(bytes, _)| *bytes <= cut)
+            .map(|(_, lsn)| *lsn)
+            .max()
+            .unwrap();
+
+        let (wal1, recs1) = Wal::open(Box::new(backend.clone()), FsyncPolicy::Never, 0).unwrap();
+        let lsn1 = wal1.last_committed_lsn();
+        drop(wal1);
+        prop_assert_eq!(
+            lsn1,
+            expected_lsn,
+            "recovered {} but the durable prefix ends at {} (cut {} of {}, commits {:?})",
+            lsn1,
+            expected_lsn,
+            cut,
+            len,
+            commits
+        );
+        let image1 = backend.clone().read_all().unwrap();
+        prop_assert!(image1.len() as u64 <= cut.max(HEADER_LEN), "garbage survived the open");
+
+        // Second open: same LSN, same records, byte-identical image.
+        let (wal2, recs2) = Wal::open(Box::new(backend.clone()), FsyncPolicy::Never, 0).unwrap();
+        let lsn2 = wal2.last_committed_lsn();
+        drop(wal2);
+        let image2 = backend.clone().read_all().unwrap();
+        prop_assert_eq!(lsn2, lsn1);
+        prop_assert_eq!(recs2, recs1);
+        prop_assert_eq!(image2, image1);
+    }
+}

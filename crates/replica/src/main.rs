@@ -1,0 +1,81 @@
+//! `vamana-replica` — a read-only follower process.
+//!
+//! ```text
+//! vamana-replica --primary 127.0.0.1:4050 --listen 127.0.0.1:4051 \
+//!                --data replica.mass [--fsync always|never|every:N]
+//!                [--capacity N] [--port-file PATH]
+//! ```
+//!
+//! Connects to the primary's `REPLICATE` feed, keeps a durable local
+//! copy at `--data`, and serves read-only queries on `--listen`. With
+//! `--port-file`, the actually bound address (useful with port 0) is
+//! written there once the server is up — tests and scripts wait on that
+//! file instead of racing the bind.
+
+use std::time::Duration;
+
+use vamana_mass::FsyncPolicy;
+use vamana_replica::{Replica, ReplicaConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: vamana-replica --primary <addr> --listen <addr> --data <path> \
+         [--fsync always|never|every:N] [--capacity N] [--port-file PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut config = ReplicaConfig::default();
+    let mut port_file: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--primary" => config.primary = value(),
+            "--listen" => config.listen = value(),
+            "--data" => config.data = value().into(),
+            "--capacity" => match value().parse() {
+                Ok(n) => config.capacity = n,
+                Err(_) => usage(),
+            },
+            "--fsync" => {
+                let v = value();
+                config.fsync = match v.as_str() {
+                    "always" => FsyncPolicy::Always,
+                    "never" => FsyncPolicy::Never,
+                    other => match other.strip_prefix("every:").and_then(|n| n.parse().ok()) {
+                        Some(n) => FsyncPolicy::EveryN(n),
+                        None => usage(),
+                    },
+                };
+            }
+            "--port-file" => port_file = Some(value()),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+
+    let handle = match Replica::start(config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("vamana-replica: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!("vamana-replica serving read-only on {}", handle.addr());
+    if let Some(path) = port_file {
+        // Write-then-rename so a watcher never reads a half-written file.
+        let tmp = format!("{path}.tmp");
+        if std::fs::write(&tmp, handle.addr().to_string())
+            .and_then(|()| std::fs::rename(&tmp, &path))
+            .is_err()
+        {
+            eprintln!("vamana-replica: cannot write port file {path}");
+            std::process::exit(1);
+        }
+    }
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}

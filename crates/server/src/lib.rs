@@ -26,9 +26,15 @@
 //! CHECKPOINT           fold WAL into pages, truncate  → OK checkpoint …
 //! LIMIT <n>            per-connection row cap    → OK (0 = unlimited)
 //! STATS                metrics snapshot          → STAT… then OK
+//! LAG                  replication gauges        → LAG… then OK
+//! REPLICATE <from_lsn> become a WAL frame feed   → handshake line, then
+//!                      binary frames (see `DESIGN.md`, "Replication")
 //! PING                                           → OK pong
 //! QUIT                                           → OK bye, closes
 //! ```
+//!
+//! On a server configured as a replica ([`ServerConfig::replica`]),
+//! every mutating verb answers `ERR readonly` naming the primary.
 //!
 //! `INSERT`/`DELETE` take a document (by name or numeric id) and a
 //! target XPath; `INSERT` additionally takes an XML fragment, split from
@@ -58,7 +64,7 @@
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -66,9 +72,11 @@ use std::time::{Duration, Instant};
 use vamana_core::{exec::BATCH_SIZE, DocId, Engine, SharedEngine, UpdateOp, Value};
 
 pub mod cache;
+mod feed;
 pub mod metrics;
 pub mod pool;
 pub mod render;
+pub mod testkit;
 
 pub use cache::PlanCache;
 pub use metrics::Metrics;
@@ -96,6 +104,18 @@ pub struct ServerConfig {
     /// engine at bind time. `0` leaves the engine's own setting (one
     /// scan worker per core by default) untouched.
     pub scan_workers: usize,
+    /// Committed WAL frames retained for replication catch-up on durable
+    /// stores. A follower whose resume LSN has aged out of this window
+    /// is snapshot-shipped instead of streamed.
+    pub repl_retain: usize,
+    /// How long an idle replication feed waits for new commits before
+    /// emitting a heartbeat frame (followers use it for lag and
+    /// liveness).
+    pub feed_heartbeat: Duration,
+    /// `Some` turns this server into a read-only replica: write verbs
+    /// return a redirect error naming the primary, and `LAG`/`STATS`
+    /// report the sync status the replica runtime keeps here.
+    pub replica: Option<ReplicaRole>,
 }
 
 impl Default for ServerConfig {
@@ -108,8 +128,41 @@ impl Default for ServerConfig {
             default_limit: 20,
             value_width: 200,
             scan_workers: 0,
+            repl_retain: vamana_mass::DEFAULT_RETAIN_FRAMES,
+            feed_heartbeat: Duration::from_millis(200),
+            replica: None,
         }
     }
+}
+
+/// Live sync counters a replica runtime shares with its read-only
+/// server (reported by `LAG` and `STATS`).
+#[derive(Debug, Default)]
+pub struct ReplicaStatus {
+    /// LSN of the last frame received from the primary.
+    pub received_lsn: AtomicU64,
+    /// LSN of the last commit applied to the local store.
+    pub applied_lsn: AtomicU64,
+    /// The primary's last committed LSN as of the latest frame or
+    /// heartbeat.
+    pub primary_last_lsn: AtomicU64,
+    /// Whether the feed connection is currently up.
+    pub connected: AtomicBool,
+    /// Reconnect attempts since start.
+    pub reconnects: AtomicU64,
+    /// Snapshot installs since start.
+    pub snapshots: AtomicU64,
+    /// Total frames received (including heartbeats).
+    pub frames: AtomicU64,
+}
+
+/// Marks a server as a read-only replica of `primary`.
+#[derive(Debug, Clone)]
+pub struct ReplicaRole {
+    /// Address writes should be redirected to.
+    pub primary: String,
+    /// Shared sync status, updated by the replica's sync loop.
+    pub status: Arc<ReplicaStatus>,
 }
 
 /// Errors a job can produce (I/O errors are handled per connection).
@@ -147,6 +200,8 @@ pub struct Shared {
     /// blocks readers at a time and the rest queue with their deadlines
     /// still ticking.
     writer_lane: Mutex<()>,
+    /// Replication feed connections currently streaming.
+    feeds: AtomicU64,
 }
 
 impl Shared {
@@ -628,8 +683,23 @@ impl Server {
         config: ServerConfig,
     ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
-        if config.scan_workers > 0 {
-            engine.write().options_mut().parallel_workers = config.scan_workers;
+        {
+            let mut guard = engine.write();
+            if config.scan_workers > 0 {
+                guard.options_mut().parallel_workers = config.scan_workers;
+            }
+            // Durable stores get a replication ring at bind time so the
+            // `REPLICATE` feed can serve committed frames; checkpoints
+            // truncate only the file log, never this ring.
+            if guard.store().is_durable() && guard.store().replication_log().is_none() {
+                guard
+                    .store_mut()
+                    .and_then(|s| {
+                        s.attach_replication(config.repl_retain)
+                            .map_err(vamana_core::EngineError::Storage)
+                    })
+                    .map_err(|e| std::io::Error::other(e.to_string()))?;
+            }
         }
         let shared = Arc::new(Shared {
             engine,
@@ -638,6 +708,7 @@ impl Server {
             config: config.clone(),
             stopping: AtomicBool::new(false),
             writer_lane: Mutex::new(()),
+            feeds: AtomicU64::new(0),
         });
         let pool = Arc::new(WorkerPool::new(
             config.workers,
@@ -767,6 +838,22 @@ fn serve_connection(
             Some((v, r)) => (v, r.trim()),
             None => (request, ""),
         };
+        // A replica is read-only: every mutating verb is redirected to
+        // the primary (queries, stats and lag checks proceed normally).
+        if let Some(role) = &shared.config.replica {
+            if matches!(
+                verb,
+                "LOADXML" | "LOAD" | "INSERT" | "DELETE" | "CHECKPOINT"
+            ) {
+                writeln!(
+                    writer,
+                    "ERR readonly replica; send writes to the primary at {}",
+                    role.primary
+                )?;
+                writer.flush()?;
+                continue;
+            }
+        }
         match verb {
             "PING" => writeln!(writer, "OK pong")?,
             "QUIT" => {
@@ -785,6 +872,22 @@ fn serve_connection(
                     writeln!(writer, "{stat}")?;
                 }
                 writeln!(writer, "OK")?;
+            }
+            "LAG" => {
+                for line in render_lag(shared) {
+                    writeln!(writer, "{line}")?;
+                }
+                writeln!(writer, "OK lag")?;
+            }
+            "REPLICATE" => {
+                let Ok(from) = rest.parse::<u64>() else {
+                    writeln!(writer, "ERR proto REPLICATE needs a starting LSN")?;
+                    writer.flush()?;
+                    continue;
+                };
+                // The connection becomes a one-way frame feed; it never
+                // returns to the line protocol.
+                return feed::serve_feed(writer, shared, from);
             }
             "LOADXML" | "LOAD" => {
                 let response = handle_load(shared, verb, rest);
@@ -1051,6 +1154,92 @@ fn render_stats(shared: &Shared) -> Vec<String> {
         "STAT engine_writer_wait_us {}",
         engine.writer_wait_total().as_micros()
     ));
+    match &shared.config.replica {
+        Some(role) => {
+            let s = &role.status;
+            let applied = s.applied_lsn.load(Ordering::Relaxed);
+            let primary_last = s.primary_last_lsn.load(Ordering::Relaxed);
+            out.push(format!(
+                "STAT repl_received_lsn {}",
+                s.received_lsn.load(Ordering::Relaxed)
+            ));
+            out.push(format!("STAT repl_applied_lsn {applied}"));
+            out.push(format!("STAT repl_primary_last_lsn {primary_last}"));
+            out.push(format!(
+                "STAT repl_behind {}",
+                primary_last.saturating_sub(applied)
+            ));
+            out.push(format!(
+                "STAT repl_connected {}",
+                s.connected.load(Ordering::Relaxed) as u32
+            ));
+            out.push(format!(
+                "STAT repl_reconnects {}",
+                s.reconnects.load(Ordering::Relaxed)
+            ));
+            out.push(format!(
+                "STAT repl_snapshots {}",
+                s.snapshots.load(Ordering::Relaxed)
+            ));
+        }
+        None => {
+            if let Some(log) = engine.store().replication_log() {
+                let st = log.stats();
+                out.push(format!("STAT repl_last_lsn {}", st.last_lsn));
+                out.push(format!("STAT repl_floor_lsn {}", st.floor_lsn));
+                out.push(format!("STAT repl_retained {}", st.retained));
+                out.push(format!(
+                    "STAT repl_feeds {}",
+                    shared.feeds.load(Ordering::Relaxed)
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// One `LAG key value` line per replication gauge — the lightweight
+/// check monitoring and followers poll (cheaper than `STATS`, no store
+/// snapshot).
+fn render_lag(shared: &Shared) -> Vec<String> {
+    let mut out = Vec::new();
+    match &shared.config.replica {
+        Some(role) => {
+            let s = &role.status;
+            let applied = s.applied_lsn.load(Ordering::Relaxed);
+            let primary_last = s.primary_last_lsn.load(Ordering::Relaxed);
+            out.push("LAG role replica".to_string());
+            out.push(format!("LAG primary {}", role.primary));
+            out.push(format!(
+                "LAG received_lsn {}",
+                s.received_lsn.load(Ordering::Relaxed)
+            ));
+            out.push(format!("LAG applied_lsn {applied}"));
+            out.push(format!("LAG primary_last_lsn {primary_last}"));
+            out.push(format!(
+                "LAG behind {}",
+                primary_last.saturating_sub(applied)
+            ));
+            out.push(format!(
+                "LAG connected {}",
+                s.connected.load(Ordering::Relaxed) as u32
+            ));
+        }
+        None => {
+            let engine = shared.engine.read();
+            out.push("LAG role primary".to_string());
+            out.push(format!("LAG last_lsn {}", engine.store().replicated_lsn()));
+            if let Some(log) = engine.store().replication_log() {
+                let st = log.stats();
+                out.push(format!("LAG floor_lsn {}", st.floor_lsn));
+                out.push(format!("LAG retained {}", st.retained));
+            }
+            out.push(format!(
+                "LAG feeds {}",
+                shared.feeds.load(Ordering::Relaxed)
+            ));
+        }
+    }
     out
 }
 

@@ -4,50 +4,14 @@
 //! execution, a plan cache that hits on repetition and invalidates on
 //! load, and deadline enforcement.
 
-use std::io::{BufRead, BufReader, Write};
-use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::Duration;
 
 use vamana_core::Engine;
 use vamana_mass::MassStore;
+use vamana_server::testkit::{stat_value, Client};
 use vamana_server::{Server, ServerConfig, ServerHandle};
 use vamana_xmark::{generate_string, XmarkConfig};
-
-/// A minimal protocol client: send one request line, read lines until
-/// the `OK`/`ERR` terminator.
-struct Client {
-    reader: BufReader<TcpStream>,
-    writer: TcpStream,
-}
-
-impl Client {
-    fn connect(handle: &ServerHandle) -> Client {
-        let stream = TcpStream::connect(handle.addr()).expect("connect");
-        Client {
-            reader: BufReader::new(stream.try_clone().expect("clone")),
-            writer: stream,
-        }
-    }
-
-    /// Sends `request` and returns every response line, terminator last.
-    fn round_trip(&mut self, request: &str) -> Vec<String> {
-        writeln!(self.writer, "{request}").expect("send");
-        self.writer.flush().expect("flush");
-        let mut lines = Vec::new();
-        loop {
-            let mut line = String::new();
-            let n = self.reader.read_line(&mut line).expect("recv");
-            assert!(n > 0, "server closed mid-response to {request:?}");
-            let line = line.trim_end().to_string();
-            let done = line.starts_with("OK") || line.starts_with("ERR");
-            lines.push(line);
-            if done {
-                return lines;
-            }
-        }
-    }
-}
 
 fn xmark_engine() -> Engine {
     let xml = generate_string(&XmarkConfig::with_scale(0.003));
@@ -61,16 +25,6 @@ fn spawn_server(config: ServerConfig) -> ServerHandle {
         .expect("bind")
         .spawn()
         .expect("spawn")
-}
-
-fn stat_value(stats: &[String], key: &str) -> u64 {
-    let prefix = format!("STAT {key} ");
-    stats
-        .iter()
-        .find_map(|l| l.strip_prefix(&prefix))
-        .unwrap_or_else(|| panic!("no {key} in {stats:?}"))
-        .parse()
-        .unwrap_or_else(|_| panic!("non-numeric {key}"))
 }
 
 #[test]

@@ -3,55 +3,12 @@
 //! invalidation, WAL counters in `STATS`, and the durable round trip —
 //! update, kill the server, reopen the file-backed store, query again.
 
-use std::io::{BufRead, BufReader, Write};
-use std::net::TcpStream;
 use std::time::Duration;
 
 use vamana_core::Engine;
 use vamana_mass::{FsyncPolicy, MassStore};
+use vamana_server::testkit::{stat_value, Client};
 use vamana_server::{Server, ServerConfig, ServerHandle};
-
-struct Client {
-    reader: BufReader<TcpStream>,
-    writer: TcpStream,
-}
-
-impl Client {
-    fn connect(handle: &ServerHandle) -> Client {
-        let stream = TcpStream::connect(handle.addr()).expect("connect");
-        Client {
-            reader: BufReader::new(stream.try_clone().expect("clone")),
-            writer: stream,
-        }
-    }
-
-    fn round_trip(&mut self, request: &str) -> Vec<String> {
-        writeln!(self.writer, "{request}").expect("send");
-        self.writer.flush().expect("flush");
-        let mut lines = Vec::new();
-        loop {
-            let mut line = String::new();
-            let n = self.reader.read_line(&mut line).expect("recv");
-            assert!(n > 0, "server closed mid-response to {request:?}");
-            let line = line.trim_end().to_string();
-            let done = line.starts_with("OK") || line.starts_with("ERR");
-            lines.push(line);
-            if done {
-                return lines;
-            }
-        }
-    }
-}
-
-fn stat_value(stats: &[String], key: &str) -> u64 {
-    let prefix = format!("STAT {key} ");
-    stats
-        .iter()
-        .find_map(|l| l.strip_prefix(&prefix))
-        .unwrap_or_else(|| panic!("no {key} in {stats:?}"))
-        .parse()
-        .unwrap_or_else(|_| panic!("non-numeric {key}"))
-}
 
 fn spawn_memory_server() -> ServerHandle {
     let mut store = MassStore::open_memory();
