@@ -10,6 +10,11 @@
 //! runs `EXPLAIN ANALYZE` on one representative query per suite, dumps
 //! the per-operator estimated-vs-actual trees to stdout, and exits.
 //!
+//! `--views on|off|both` runs the semantic-cache benchmark instead:
+//! driver threads replay a Zipfian repeated-traffic mix over the scan
+//! suite, with the view cache enabled and/or disabled, and the report
+//! (`BENCH_7.json`) compares throughput across the two configurations.
+//!
 //! `--mixed PCT` runs the read/write benchmark instead: reader threads
 //! measure per-query latency in two windows — alone, then sharing the
 //! engine with one writer duty-cycled to `PCT`% of operations — and the
@@ -65,6 +70,10 @@ struct Args {
     /// read QPS over a primary plus 0..=n replicas, and a lag-convergence
     /// histogram (`BENCH_6.json`).
     replicas: Option<usize>,
+    /// `Some("on"|"off"|"both")`: run the semantic-cache benchmark
+    /// instead — Zipfian repeated traffic over the scan suite with the
+    /// view cache enabled and/or disabled (`BENCH_7.json`).
+    views: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -76,6 +85,7 @@ fn parse_args() -> Args {
         analyze: false,
         mixed: None,
         replicas: None,
+        views: None,
     };
     let mut positional = 0usize;
     let mut it = std::env::args().skip(1);
@@ -108,6 +118,14 @@ fn parse_args() -> Args {
                     .and_then(|v| v.parse().ok())
                     .expect("--replicas needs a follower count (e.g. 2)");
                 args.replicas = Some(n);
+            }
+            "--views" => {
+                let which = it.next().expect("--views takes on|off|both");
+                assert!(
+                    matches!(which.as_str(), "on" | "off" | "both"),
+                    "--views takes on|off|both, got {which}"
+                );
+                args.views = Some(which);
             }
             other => {
                 if positional == 0 {
@@ -160,6 +178,10 @@ fn main() {
     let args = parse_args();
     if let Some(n) = args.replicas {
         run_replicas(&args, n);
+        return;
+    }
+    if let Some(which) = args.views.clone() {
+        run_views(&args, &which);
         return;
     }
     let max_workers = args.workers.iter().copied().max().unwrap_or(1);
@@ -497,6 +519,237 @@ fn run_mixed_window(
         latencies_us: latencies,
         elapsed: start.elapsed(),
         writer_wait_us: wait_after.saturating_sub(wait_before).as_micros() as u64,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Semantic-cache throughput: `--views on|off|both`.
+// ---------------------------------------------------------------------
+
+/// Zipf skew of the repeated-traffic mix: with s = 1.1 over the five
+/// scan queries, the head query draws ~40% of the traffic — the shape a
+/// semantic cache exists for.
+const ZIPF_S: f64 = 1.1;
+
+/// One measurement window of the views benchmark.
+struct ViewsSample {
+    enabled: bool,
+    queries: u64,
+    rows: u64,
+    elapsed: Duration,
+    view_hits: u64,
+    view_misses: u64,
+    view_views: u64,
+}
+
+impl ViewsSample {
+    fn qps(&self) -> f64 {
+        self.queries as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+/// xorshift64*: deterministic per-thread traffic, no external RNG crate.
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+}
+
+/// `--views on|off|both`: repeated-traffic throughput with the semantic
+/// cache enabled and/or disabled. Driver threads replay a Zipfian mix
+/// over the scan suite against one shared engine; with views on, the
+/// warmup passes admit every hot query into the cache, so the once-
+/// compiled plans (the serving layer's plan cache) execute `ViewScan`
+/// over materialized results instead of walking clustered pages.
+/// Results go to `BENCH_7.json` (override with `--out`).
+fn run_views(args: &Args, which: &str) {
+    let drivers = args.workers.first().copied().unwrap_or(4);
+    eprintln!("generating ~{} MB of XMark data…", args.megabytes);
+    let xml = vamana_bench::document(args.megabytes);
+
+    // Cumulative Zipf distribution over the suite, head query first.
+    let weights: Vec<f64> = (0..SCAN_QUERIES.len())
+        .map(|i| 1.0 / ((i + 1) as f64).powf(ZIPF_S))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let mut acc = 0.0;
+    let cdf: Vec<f64> = weights
+        .iter()
+        .map(|w| {
+            acc += w / total;
+            acc
+        })
+        .collect();
+
+    let phases: &[bool] = match which {
+        "on" => &[true],
+        "off" => &[false],
+        _ => &[false, true],
+    };
+    eprintln!("views benchmark: {drivers} driver(s), zipf s={ZIPF_S}");
+
+    println!(
+        "{:>6} {:>8} {:>12} {:>14} {:>10} {:>12}",
+        "views", "drivers", "queries", "queries/sec", "hits", "speedup"
+    );
+    let mut samples: Vec<ViewsSample> = Vec::new();
+    for &enabled in phases {
+        let sample = run_views_phase(&xml, enabled, drivers, &cdf, args.window);
+        let speedup = samples
+            .iter()
+            .find(|s| !s.enabled)
+            .filter(|_| enabled)
+            .map(|off| format!("{:.2}x", sample.qps() / off.qps()))
+            .unwrap_or_else(|| "-".to_string());
+        println!(
+            "{:>6} {:>8} {:>12} {:>14.1} {:>10} {:>12}",
+            if enabled { "on" } else { "off" },
+            drivers,
+            sample.queries,
+            sample.qps(),
+            sample.view_hits,
+            speedup
+        );
+        samples.push(sample);
+    }
+
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"throughput_semantic_views\",\n");
+    out.push_str(&format!(
+        "  \"host_cpus\": {},\n",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    ));
+    out.push_str(&format!("  \"doc_megabytes\": {},\n", args.megabytes));
+    out.push_str(&format!("  \"window_ms\": {},\n", args.window.as_millis()));
+    out.push_str(&format!("  \"drivers\": {drivers},\n"));
+    out.push_str(&format!("  \"zipf_s\": {ZIPF_S},\n"));
+    out.push_str("  \"results\": {\n");
+    for (i, s) in samples.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"views_{}\": {{\"queries\": {}, \"rows\": {}, \"qps\": {:.1}, \"view_hits\": {}, \"view_misses\": {}, \"view_views\": {}}}{}\n",
+            if s.enabled { "on" } else { "off" },
+            s.queries,
+            s.rows,
+            s.qps(),
+            s.view_hits,
+            s.view_misses,
+            s.view_views,
+            if i + 1 < samples.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  }");
+    if let (Some(on), Some(off)) = (
+        samples.iter().find(|s| s.enabled),
+        samples.iter().find(|s| !s.enabled),
+    ) {
+        out.push_str(&format!(
+            ",\n  \"speedup_views_on_over_off\": {:.2}\n",
+            on.qps() / off.qps()
+        ));
+    } else {
+        out.push('\n');
+    }
+    out.push_str("}\n");
+    let path = args.out.as_deref().unwrap_or("BENCH_7.json");
+    std::fs::write(path, &out).expect("write json");
+    eprintln!("wrote {path}");
+}
+
+/// One phase of the views benchmark: fresh engine, two warmup passes
+/// (admission threshold for views-on, buffer-pool warmth for both),
+/// plans compiled once, then `drivers` threads replaying Zipfian traffic.
+fn run_views_phase(
+    xml: &str,
+    enabled: bool,
+    drivers: usize,
+    cdf: &[f64],
+    window: Duration,
+) -> ViewsSample {
+    let mut store = MassStore::open_memory();
+    store.load_xml("auction", xml).expect("load xmark");
+    let mut base = Engine::new(store);
+    {
+        let opts = base.options_mut();
+        opts.batched = true;
+        opts.views = enabled;
+    }
+    let engine = Arc::new(SharedEngine::new(base));
+
+    // Two full passes cross the default admission threshold, so every
+    // scan query has a materialized view before plans are compiled.
+    for _ in 0..2 {
+        for (name, xpath) in SCAN_QUERIES {
+            let guard = engine.read();
+            let rows = guard.query_doc(DocId(0), xpath).expect(name).len();
+            assert!(rows > 0, "{name} ({xpath}) returned no rows");
+        }
+    }
+    // Compile once per query, as the serving layer's plan cache would;
+    // with views on the optimizer folds each query onto its view.
+    let plans: Vec<QueryPlan> = SCAN_QUERIES
+        .iter()
+        .map(|(name, xpath)| {
+            let guard = engine.read();
+            let plan = guard.compile(xpath).expect(name);
+            guard.optimize_plan(plan, DocId(0)).expect(name).plan
+        })
+        .collect();
+    let before = engine.read().views().stats();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let queries = Arc::new(AtomicU64::new(0));
+    let rows = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..drivers.max(1) {
+            let engine = Arc::clone(&engine);
+            let stop = Arc::clone(&stop);
+            let queries = Arc::clone(&queries);
+            let rows = Arc::clone(&rows);
+            let plans = &plans;
+            scope.spawn(move || {
+                let mut buf = Vec::with_capacity(BATCH_SIZE);
+                let mut rng = 0x9e37_79b9_7f4a_7c15u64 ^ ((t as u64 + 1) << 17);
+                while !stop.load(Ordering::Relaxed) {
+                    let u = (xorshift(&mut rng) >> 11) as f64 / (1u64 << 53) as f64;
+                    let idx = cdf.iter().position(|&c| u < c).unwrap_or(cdf.len() - 1);
+                    let guard = engine.read();
+                    let mut stream = guard
+                        .stream_plan(plans[idx].clone(), DocId(0))
+                        .expect("stream");
+                    let mut n = 0u64;
+                    loop {
+                        buf.clear();
+                        let k = stream.next_batch(&mut buf, BATCH_SIZE).expect("batch");
+                        if k == 0 {
+                            break;
+                        }
+                        n += k as u64;
+                    }
+                    drop(guard);
+                    assert!(n > 0, "query produced no rows mid-bench");
+                    queries.fetch_add(1, Ordering::Relaxed);
+                    rows.fetch_add(n, Ordering::Relaxed);
+                }
+            });
+        }
+        std::thread::sleep(window);
+        stop.store(true, Ordering::Relaxed);
+    });
+    let after = engine.read().views().stats();
+    ViewsSample {
+        enabled,
+        queries: queries.load(Ordering::Relaxed),
+        rows: rows.load(Ordering::Relaxed),
+        elapsed: start.elapsed(),
+        view_hits: after.hits - before.hits,
+        view_misses: after.misses - before.misses,
+        view_views: after.views,
     }
 }
 

@@ -1,0 +1,109 @@
+//! Differential correctness of the semantic cache over the full XMark
+//! query suite: with views enabled, every run of every query — cold
+//! (materializing), warm (answered from a view), batched and scalar —
+//! must be byte-identical to a view-less engine and to the DOM oracle.
+//! Queries outside the containment fragment (reverse axes, positional
+//! predicates) must pass untouched.
+
+use vamana_baseline::XPathEngine;
+use vamana_bench::{VamanaBench, QUERIES, SCAN_QUERIES};
+use vamana_core::{DocId, Engine, MassStore, NodeEntry};
+use vamana_xmark::scale::config_for_megabytes;
+
+fn all_queries() -> impl Iterator<Item = (&'static str, &'static str)> {
+    QUERIES.iter().chain(SCAN_QUERIES).copied()
+}
+
+/// A views-enabled engine with immediate admission so the second run of
+/// any cacheable query is answered from a materialized view.
+fn views_engine(xml: &str, greedy: bool) -> Engine {
+    let mut store = MassStore::open_memory();
+    store.load_xml("auction.xml", xml).expect("load");
+    let mut engine = Engine::new(store);
+    let options = engine.options_mut();
+    options.views = true;
+    options.view_admit_after = 1;
+    options.view_greedy = greedy;
+    engine
+}
+
+fn identities(engine: &Engine, result: &[NodeEntry]) -> Vec<vamana_baseline::NodeIdentity> {
+    let names = engine.names_of(result).expect("names");
+    let values = engine.string_values(result).expect("values");
+    names
+        .into_iter()
+        .zip(values)
+        .map(|(name, value)| vamana_baseline::NodeIdentity { name, value })
+        .collect()
+}
+
+/// Cold, warm and hot runs all equal the uncached answer and the DOM
+/// oracle, in both execution modes, for every query of the suite.
+#[test]
+fn cached_results_equal_uncached_and_oracle() {
+    let xml = vamana_xmark::generate_string(&config_for_megabytes(0.4));
+    let dom = vamana_baseline::dom::DomEngine::from_xml(&xml).unwrap();
+    let mut uncached = VamanaBench::optimized(&xml);
+    let mut subject = views_engine(&xml, false);
+    for (name, xpath) in all_queries() {
+        let oracle = dom.identities(xpath).unwrap();
+        assert!(!oracle.is_empty(), "{name}: oracle returned nothing");
+        for batched in [false, true] {
+            uncached.engine_mut().options_mut().batched = batched;
+            subject.options_mut().batched = batched;
+            let reference = uncached.engine().query(xpath).unwrap();
+            assert_eq!(
+                identities(uncached.engine(), &reference),
+                oracle,
+                "{name}: uncached engine disagrees with DOM oracle"
+            );
+            // Run 1 materializes, runs 2-3 may be view-answered; all
+            // three must be byte-identical to the uncached result.
+            for run in 0..3 {
+                let got = subject.query_doc(DocId(0), xpath).unwrap();
+                assert_eq!(
+                    got, reference,
+                    "{name} run {run} (batched={batched}): cached != uncached"
+                );
+            }
+        }
+    }
+    // The suite must actually exercise the cache, not pass vacuously.
+    let stats = subject.views().stats();
+    assert!(stats.views >= 1, "no view was ever materialized: {stats:?}");
+    assert!(stats.hits >= 1, "no query was view-answered: {stats:?}");
+}
+
+/// Compensation correctness: materialize deliberately general views,
+/// then answer tighter queries through them (greedy acceptance forces
+/// the rewrite even when the cost model would keep the index plan) and
+/// compare against the DOM oracle.
+#[test]
+fn compensated_rewrites_agree_with_oracle() {
+    let xml = vamana_xmark::generate_string(&config_for_megabytes(0.4));
+    let dom = vamana_baseline::dom::DomEngine::from_xml(&xml).unwrap();
+    let mut subject = views_engine(&xml, true);
+    let doc = DocId(0);
+    for view in ["//person", "//item", "//person/address"] {
+        subject.query_doc(doc, view).unwrap(); // materialize
+    }
+    for (name, xpath) in [
+        ("specialized pred", "//person[address]"),
+        ("specialized nested pred", "//person[address/province]"),
+        ("exact view", "//person/address"),
+        ("item pred", "//item[mailbox]"),
+    ] {
+        for batched in [false, true] {
+            subject.options_mut().batched = batched;
+            let result = subject.query_doc(doc, xpath).unwrap();
+            let got = identities(&subject, &result);
+            let oracle = dom.identities(xpath).unwrap();
+            assert_eq!(
+                got, oracle,
+                "{name} (batched={batched}): rewrite disagrees with oracle"
+            );
+        }
+    }
+    let stats = subject.views().stats();
+    assert!(stats.hits >= 1, "no rewrite was ever applied: {stats:?}");
+}

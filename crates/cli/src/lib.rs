@@ -103,6 +103,7 @@ impl Session {
                 "stats" => Ok(self.cmd_stats()),
                 "docs" => Ok(self.cmd_docs()),
                 "optimizer" => self.cmd_optimizer(arg),
+                "views" => self.cmd_views(arg),
                 "xquery" => self.cmd_xquery(arg),
                 "insert" => self.cmd_insert(arg),
                 "delete" => self.cmd_delete(arg),
@@ -379,6 +380,45 @@ impl Session {
         }
     }
 
+    fn cmd_views(&mut self, arg: &str) -> Result<String, Box<dyn std::error::Error>> {
+        match arg {
+            "on" => {
+                self.engine.write().options_mut().views = true;
+                Ok("views on (semantic result caching)".to_string())
+            }
+            "off" => {
+                self.engine.write().options_mut().views = false;
+                Ok("views off".to_string())
+            }
+            "clear" => {
+                self.engine.read().views().clear();
+                Ok("view cache cleared".to_string())
+            }
+            "" => {
+                let engine = self.engine.read();
+                let enabled = engine.options().views;
+                let stats = engine.views().stats();
+                let mut out = format!(
+                    "views {} — {} materialized, {} bytes, hits {}, misses {}, evictions {}",
+                    if enabled { "on" } else { "off" },
+                    stats.views,
+                    stats.bytes,
+                    stats.hits,
+                    stats.misses,
+                    stats.evictions
+                );
+                for v in engine.views().list() {
+                    out.push_str(&format!(
+                        "\n  doc {} gen {} rows {} bytes {} hits {}  {}",
+                        v.doc, v.generation, v.rows, v.bytes, v.hits, v.xpath
+                    ));
+                }
+                Ok(out)
+            }
+            other => Err(format!("usage: .views [on|off|clear], got `{other}`").into()),
+        }
+    }
+
     /// Resolves a document argument — numeric id or document name.
     fn resolve_doc(&self, token: &str) -> Result<DocId, Box<dyn std::error::Error>> {
         let engine = self.engine.read();
@@ -596,6 +636,9 @@ commands:
   .serve <port|stop>  share this session's store over TCP
   .xquery <flwor>     run an XQuery-lite FLWOR expression
   .optimizer [on|off] toggle the cost-driven optimizer
+  .views [on|off|clear]
+                      semantic result caching: materialize hot query
+                      results and answer contained queries from them
   .stats              storage and buffer-pool statistics
   .docs               list loaded documents
   .insert <doc> <xpath> <fragment>
@@ -746,6 +789,23 @@ mod tests {
         assert!(s.execute(".optimizer off").unwrap().contains("off"));
         assert!(s.execute(".optimizer").unwrap().contains("off"));
         assert!(s.execute(".optimizer on").unwrap().contains("on"));
+    }
+
+    #[test]
+    fn views_toggle_materialize_and_clear() {
+        let mut s = loaded();
+        assert!(s.execute(".views").unwrap().contains("views off"));
+        assert!(s.execute(".views on").unwrap().contains("views on"));
+        // Second sighting crosses the default admission threshold.
+        s.execute("//name").unwrap();
+        s.execute("//name").unwrap();
+        let out = s.execute(".views").unwrap();
+        assert!(out.contains("1 materialized"), "{out}");
+        assert!(out.contains("//name"), "{out}");
+        assert!(s.execute(".views clear").unwrap().contains("cleared"));
+        assert!(s.execute(".views").unwrap().contains("0 materialized"));
+        assert!(s.execute(".views frob").unwrap().contains("error"));
+        assert!(s.execute(".views off").unwrap().contains("views off"));
     }
 
     #[test]

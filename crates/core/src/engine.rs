@@ -10,7 +10,7 @@ use crate::error::{EngineError, Result};
 use crate::exec::parallel::{ParallelHooks, ParallelScanStats, ScanPool};
 use crate::exec::{self, value::Value, Env};
 use crate::explain::Analysis;
-use crate::opt::{self, OptimizeOutcome, OptimizerOptions};
+use crate::opt::{self, OptEvent, OptimizeOutcome, OptimizerOptions};
 use crate::plan::{builder::build_plan, display, Operator, QueryPlan};
 use crate::shared::QueryProfile;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -55,6 +55,22 @@ pub struct EngineOptions {
     /// handles before giving up with
     /// [`vamana_mass::MassError::WriterConflict`].
     pub writer_drain_timeout: Duration,
+    /// Semantic result caching ([`crate::views`]): materialize the
+    /// results of hot fragment queries and answer later queries from
+    /// them when containment holds and the cost model agrees. Off by
+    /// default; requires `set_semantics` (views hold set-semantics
+    /// results).
+    pub views: bool,
+    /// Byte budget for materialized views; least-recently-used views are
+    /// evicted past it.
+    pub view_budget_bytes: u64,
+    /// How many times a fragment query must be seen before its result is
+    /// materialized.
+    pub view_admit_after: u32,
+    /// Accept every *sound* view rewrite regardless of estimated cost —
+    /// for differential testing and diagnostics, where the goal is to
+    /// exercise the rewrite path, not to win the cost race.
+    pub view_greedy: bool,
 }
 
 impl Default for EngineOptions {
@@ -69,6 +85,10 @@ impl Default for EngineOptions {
             parallel_threshold: 4096,
             parallel_min_morsel: 1024,
             writer_drain_timeout: Duration::from_secs(2),
+            views: false,
+            view_budget_bytes: 64 << 20,
+            view_admit_after: 2,
+            view_greedy: false,
         }
     }
 }
@@ -153,6 +173,13 @@ pub struct QueryStream<'s> {
 
 impl<'s> QueryStream<'s> {
     fn new(engine: &'s Engine, plan: QueryPlan, root_ctx: NodeEntry) -> Result<Self> {
+        if engine.options().views {
+            if crate::views::plan_view(&plan).is_some() {
+                engine.views().record_hit();
+            } else {
+                engine.views().record_miss();
+            }
+        }
         let plan = Box::new(plan);
         let top = match plan.op(plan.root()) {
             Operator::Root { child } => *child,
@@ -292,6 +319,8 @@ pub struct Engine {
     /// Cumulative microseconds writers spent at the epoch gate waiting
     /// for reader-held store clones to drain.
     writer_wait_us: AtomicU64,
+    /// Materialized-view cache (consulted only when `options.views`).
+    views: crate::views::ViewCache,
 }
 
 impl Engine {
@@ -307,7 +336,13 @@ impl Engine {
             options,
             scan_pool: Mutex::new(None),
             writer_wait_us: AtomicU64::new(0),
+            views: crate::views::ViewCache::new(),
         }
+    }
+
+    /// The materialized-view cache (counters, listing, manual clears).
+    pub fn views(&self) -> &crate::views::ViewCache {
+        &self.views
     }
 
     /// The underlying store.
@@ -362,6 +397,9 @@ impl Engine {
     pub fn replace_store(&mut self, store: MassStore) -> Result<()> {
         self.store_mut()?;
         self.store = Arc::new(store);
+        // The new store's generations restart at zero; every resident
+        // view is untrusted.
+        self.views.clear();
         Ok(())
     }
 
@@ -479,6 +517,10 @@ impl Engine {
         let inserted = store.stats().tuples.saturating_sub(tuples_before);
         let lsn = store.wal_stats().last_lsn;
         let doc_generation = store.doc_generation(doc);
+        // Eager invalidation on the primary's write path; replica replay
+        // bumps generations without coming through here and is covered by
+        // the lazy generation check in `ViewCache::candidates`.
+        self.views.invalidate_doc(doc.0);
         let buffer_after = self.store().buffer_pool().stats();
         let profile = QueryProfile {
             elapsed: start.elapsed(),
@@ -539,7 +581,19 @@ impl Engine {
             set_semantics: self.options.set_semantics,
             disabled_rules: Vec::new(),
         };
+        // The view probe is the *cleaned compiled* plan: optimizer rules
+        // (child push-down, parent inversion) introduce reverse-axis
+        // predicates that fall outside the containment fragment, so
+        // pattern extraction must see the plan before they run.
+        let probe = (self.options.views && self.options.set_semantics).then(|| {
+            let mut p = plan.clone();
+            opt::cleanup::cleanup(&mut p);
+            p
+        });
         let mut outcome = opt::optimize(plan, self.store(), &scope, &opts)?;
+        if let Some(probe) = probe {
+            self.apply_view_rewrite(&mut outcome, &probe, doc, &scope)?;
+        }
         outcome.plan.set_parallel(opt::parallel::decide(
             &outcome.plan,
             self.store(),
@@ -551,8 +605,171 @@ impl Engine {
         Ok(outcome)
     }
 
+    /// The semantic-cache rewrite stage: try to answer the query from a
+    /// materialized view. For each spine prefix of the query's tree
+    /// pattern (longest first) and each valid view of `doc`, a
+    /// homomorphism check decides containment; a sound rewrite replaces
+    /// the covered steps with a [`Operator::ViewScan`] (plus
+    /// compensation when the containment is strict) and is kept only
+    /// when re-estimation beats the optimizer's plan — unless
+    /// `view_greedy`. Every considered rewrite lands in the optimizer
+    /// trace, accepted or rejected.
+    fn apply_view_rewrite(
+        &self,
+        outcome: &mut OptimizeOutcome,
+        probe: &QueryPlan,
+        doc: DocId,
+        scope: &KeyRange,
+    ) -> Result<()> {
+        let base_total = outcome.costs.total();
+        let trace = &mut outcome.opt_trace.events;
+        let Some(pattern) = crate::views::extract(probe) else {
+            trace.push(OptEvent::ViewRewrite {
+                view: "-".to_string(),
+                total_before: base_total,
+                total_after: None,
+                applied: false,
+                reason: "query outside the containment fragment",
+            });
+            return Ok(());
+        };
+        let generation = self.store.doc_generation(doc);
+        let candidates = self.views.candidates(doc.0, generation);
+        if candidates.is_empty() {
+            trace.push(OptEvent::ViewRewrite {
+                view: "-".to_string(),
+                total_before: base_total,
+                total_after: None,
+                applied: false,
+                reason: "no valid views for this document",
+            });
+            return Ok(());
+        }
+        // (plan, costs, total, trace index, view key)
+        let mut best: Option<(QueryPlan, crate::cost::PlanCosts, u64, usize, String)> = None;
+        for j in (1..=pattern.spine.len()).rev() {
+            let prefix = pattern.prefix(j);
+            let full = j == pattern.spine.len();
+            for cand in &candidates {
+                if !crate::views::contains(&cand.pattern, &prefix) {
+                    if full {
+                        trace.push(OptEvent::ViewRewrite {
+                            view: cand.xpath.clone(),
+                            total_before: base_total,
+                            total_after: None,
+                            applied: false,
+                            reason: "containment not proven",
+                        });
+                    }
+                    continue;
+                }
+                let equivalent = crate::views::contains(&prefix, &cand.pattern);
+                if !equivalent && !prefix.descendant_rooted() {
+                    trace.push(OptEvent::ViewRewrite {
+                        view: cand.xpath.clone(),
+                        total_before: base_total,
+                        total_after: None,
+                        applied: false,
+                        reason: "absolute prefix requires an exact view",
+                    });
+                    continue;
+                }
+                let rewritten = crate::views::rewrite_with_view(
+                    probe,
+                    j,
+                    equivalent,
+                    &cand.xpath,
+                    &cand.entries,
+                );
+                let costs = estimate(&rewritten, self.store(), scope)?;
+                let total = costs.total();
+                let accept = self.options.view_greedy || total < base_total;
+                trace.push(OptEvent::ViewRewrite {
+                    view: cand.xpath.clone(),
+                    total_before: base_total,
+                    total_after: Some(total),
+                    applied: false,
+                    reason: if accept {
+                        if equivalent {
+                            "equivalent — answered from view"
+                        } else {
+                            "contained — view scan + compensation"
+                        }
+                    } else {
+                        "costlier than the optimized plan"
+                    },
+                });
+                if accept && best.as_ref().is_none_or(|(_, _, t, _, _)| total < *t) {
+                    let idx = trace.len() - 1;
+                    best = Some((rewritten, costs, total, idx, cand.key.clone()));
+                }
+            }
+            if best.is_some() {
+                break; // longest covered prefix wins
+            }
+        }
+        if let Some((mut plan, costs, total, idx, key)) = best {
+            if let OptEvent::ViewRewrite { applied, .. } = &mut outcome.opt_trace.events[idx] {
+                *applied = true;
+            }
+            plan.set_estimates(costs.cards(plan.len()));
+            self.views.touch(doc.0, &key);
+            outcome.plan = plan;
+            outcome.costs = costs;
+            outcome.final_cost = total;
+        }
+        Ok(())
+    }
+
+    /// Records a set-semantics query result with the view cache:
+    /// admission counting for fragment queries and materialization once
+    /// the frequency threshold is met. Returns `true` when this call
+    /// *newly* materialized a view — callers holding compiled-plan
+    /// caches should drop their entry for `xpath` so the next
+    /// compilation sees the view.
+    pub fn observe_result(&self, doc: DocId, xpath: &str, entries: &[NodeEntry]) -> bool {
+        if !self.options.views || !self.options.set_semantics {
+            return false;
+        }
+        let Ok(compiled) = self.compile(xpath) else {
+            return false;
+        };
+        let mut compiled = compiled;
+        opt::cleanup::cleanup(&mut compiled);
+        let Some(pattern) = crate::views::extract(&compiled) else {
+            return false;
+        };
+        let key = pattern.key();
+        let generation = self.store.doc_generation(doc);
+        if !self
+            .views
+            .observe(doc.0, generation, &key, self.options.view_admit_after)
+        {
+            return false;
+        }
+        let mut sorted = entries.to_vec();
+        sorted.sort_by(|a, b| a.key.cmp(&b.key));
+        sorted.dedup_by(|a, b| a.key == b.key);
+        self.views.admit(
+            doc.0,
+            generation,
+            key,
+            xpath.to_string(),
+            pattern,
+            Arc::new(sorted),
+            self.options.view_budget_bytes,
+        )
+    }
+
     /// Executes a plan against `doc`.
     pub fn execute_plan(&self, plan: &QueryPlan, doc: DocId) -> Result<Vec<NodeEntry>> {
+        if self.options.views {
+            if crate::views::plan_view(plan).is_some() {
+                self.views.record_hit();
+            } else {
+                self.views.record_miss();
+            }
+        }
         let root_ctx = self.doc_entry(doc)?;
         let env = Env {
             plan,
@@ -578,7 +795,9 @@ impl Engine {
         } else {
             plan
         };
-        self.execute_plan(&plan, doc)
+        let out = self.execute_plan(&plan, doc)?;
+        self.observe_result(doc, xpath, &out);
+        Ok(out)
     }
 
     /// Evaluates `xpath` with the context node set to `ctx` (relative
@@ -1011,6 +1230,136 @@ mod tests {
     fn no_documents_is_an_error() {
         let e = Engine::new(MassStore::open_memory());
         assert!(matches!(e.query("//a"), Err(EngineError::NoDocuments)));
+    }
+
+    #[test]
+    fn views_answer_repeated_queries_from_cache() {
+        let mut e = engine();
+        e.options_mut().views = true;
+        e.options_mut().view_admit_after = 2;
+        let doc = DocId(0);
+        let cold = e.query_doc(doc, "//name").unwrap();
+        let warm = e.query_doc(doc, "//name").unwrap(); // second sighting admits
+        assert_eq!(e.views().stats().views, 1);
+        let hot = e.query_doc(doc, "//name").unwrap();
+        assert_eq!(cold, warm);
+        assert_eq!(cold, hot);
+        let stats = e.views().stats();
+        assert!(stats.hits >= 1, "{stats:?}");
+        assert!(stats.misses >= 2, "{stats:?}");
+        let outcome = e.optimize_plan(e.compile("//name").unwrap(), doc).unwrap();
+        assert_eq!(crate::views::plan_view(&outcome.plan), Some("//name"));
+    }
+
+    #[test]
+    fn strict_containment_rewrites_match_direct_evaluation() {
+        let mut e = engine();
+        e.options_mut().views = true;
+        e.options_mut().view_admit_after = 1;
+        e.options_mut().view_greedy = true;
+        let doc = DocId(0);
+        // Materialize `//person`, then answer narrower queries from it.
+        assert_eq!(e.query_doc(doc, "//person").unwrap().len(), 3);
+        let direct = engine();
+        for q in [
+            "//person",
+            "//person[address]",
+            "//person[watches]",
+            "//person[address/province]",
+            "//person/name",
+        ] {
+            // Earlier queries in the loop self-materialize (admit_after
+            // is 1), so a later query may pick a tighter view than
+            // `//person` — any view is fine, correctness is the point.
+            let outcome = e.optimize_plan(e.compile(q).unwrap(), doc).unwrap();
+            assert!(
+                crate::views::plan_view(&outcome.plan).is_some(),
+                "no view rewrite for {q}"
+            );
+            assert_eq!(
+                e.query_doc(doc, q).unwrap(),
+                direct.query_doc(doc, q).unwrap(),
+                "view rewrite changed semantics of {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn update_invalidates_views() {
+        let mut e = engine();
+        e.options_mut().views = true;
+        e.options_mut().view_admit_after = 1;
+        let doc = DocId(0);
+        assert_eq!(e.query_doc(doc, "//name").unwrap().len(), 3);
+        assert_eq!(e.views().stats().views, 1);
+        e.apply_update(
+            doc,
+            &UpdateOp::Insert {
+                target: "//people".into(),
+                fragment: "<person id='p3'><name>Dee</name></person>".into(),
+            },
+        )
+        .unwrap();
+        let stats = e.views().stats();
+        assert_eq!(stats.views, 0, "{stats:?}");
+        assert!(stats.evictions >= 1, "{stats:?}");
+        assert_eq!(e.query_doc(doc, "//name").unwrap().len(), 4);
+    }
+
+    #[test]
+    fn analyze_marks_view_answered_queries() {
+        let mut e = engine();
+        e.options_mut().views = true;
+        e.options_mut().view_admit_after = 1;
+        let doc = DocId(0);
+        e.query_doc(doc, "//name").unwrap();
+        let a = e.analyze_doc(doc, "//name").unwrap();
+        assert_eq!(a.view(), Some("//name"));
+        assert_eq!(a.rows, 3);
+        assert!(
+            a.render().contains("answered from view: //name"),
+            "{}",
+            a.render()
+        );
+        assert!(a.render_json().contains("\"view\":\"//name\""));
+        assert!(a
+            .opt_trace
+            .events
+            .iter()
+            .any(|ev| matches!(ev, OptEvent::ViewRewrite { applied: true, .. })));
+    }
+
+    #[test]
+    fn view_trace_records_rejections() {
+        let mut e = engine();
+        e.options_mut().views = true;
+        e.options_mut().view_admit_after = 1;
+        let doc = DocId(0);
+        e.query_doc(doc, "//watch").unwrap();
+        // A fragment query no resident view contains.
+        let outcome = e
+            .optimize_plan(e.compile("//address").unwrap(), doc)
+            .unwrap();
+        assert!(outcome.opt_trace.events.iter().any(|ev| matches!(
+            ev,
+            OptEvent::ViewRewrite {
+                applied: false,
+                reason: "containment not proven",
+                ..
+            }
+        )));
+        // A query outside the decidable fragment is never rewritten.
+        let outcome = e
+            .optimize_plan(e.compile("//person[1]").unwrap(), doc)
+            .unwrap();
+        assert!(outcome.opt_trace.events.iter().any(|ev| matches!(
+            ev,
+            OptEvent::ViewRewrite {
+                applied: false,
+                reason: "query outside the containment fragment",
+                ..
+            }
+        )));
     }
 
     #[test]

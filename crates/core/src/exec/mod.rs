@@ -206,6 +206,17 @@ pub enum OpIter<'s> {
     /// Morsel-parallel scan with ordered merge (borrows nothing: workers
     /// hold `Arc` clones of the store).
     Parallel(Box<parallel::ParallelIter>),
+    /// Scan over a materialized view's cached result set (already in
+    /// document order, deduplicated). Carries its plan [`OpId`] and a
+    /// cursor position into the shared entry vector.
+    View {
+        /// The `ViewScan` operator this cursor executes.
+        op: OpId,
+        /// The view's materialized entries.
+        entries: std::sync::Arc<Vec<NodeEntry>>,
+        /// Next entry to yield.
+        pos: usize,
+    },
 }
 
 /// Builds the cursor tree for a node-set operator. `outer` is the tuple
@@ -320,6 +331,11 @@ pub fn build_iter<'s>(env: Env<'_, 's>, id: OpId, outer: Option<&NodeEntry>) -> 
             }
             Ok(OpIter::Join(out.into_iter()))
         }
+        Operator::ViewScan { entries, .. } => Ok(OpIter::View {
+            op: id,
+            entries: std::sync::Arc::clone(entries),
+            pos: 0,
+        }),
         other => Err(EngineError::Unsupported(format!(
             "operator {other:?} cannot produce a node-set stream"
         ))),
@@ -360,6 +376,19 @@ impl<'s> OpIter<'s> {
                     stats.add_invocation(p.op);
                     if t.is_some() {
                         stats.add_rows(p.op, 1);
+                    }
+                }
+                Ok(t)
+            }
+            OpIter::View { op, entries, pos } => {
+                let t = entries.get(*pos).cloned();
+                if t.is_some() {
+                    *pos += 1;
+                }
+                if let Some(stats) = env.stats {
+                    stats.add_invocation(*op);
+                    if t.is_some() {
+                        stats.add_rows(*op, 1);
                     }
                 }
                 Ok(t)
@@ -426,6 +455,22 @@ impl<'s> OpIter<'s> {
                     Ok(n)
                 }
             },
+            OpIter::View { op, entries, pos } => {
+                let t0 = env.stats.map(|_| std::time::Instant::now());
+                let end = (*pos + max).min(entries.len());
+                let n = end - *pos;
+                out.extend_from_slice(&entries[*pos..end]);
+                *pos = end;
+                if let Some(stats) = env.stats {
+                    stats.add_invocation(*op);
+                    stats.add_batch(*op);
+                    stats.add_rows(*op, n as u64);
+                    if let Some(t0) = t0 {
+                        stats.add_nanos(*op, t0.elapsed().as_nanos() as u64);
+                    }
+                }
+                Ok(n)
+            }
         }
     }
 }
@@ -955,7 +1000,8 @@ pub fn eval_expr(
         | Operator::RangeStep { .. }
         | Operator::Union { .. }
         | Operator::Filter { .. }
-        | Operator::Join { .. } => {
+        | Operator::Join { .. }
+        | Operator::ViewScan { .. } => {
             // A path in expression position: collect its node-set,
             // deduplicated in document order.
             let mut iter = build_iter(env, id, Some(ctx))?;

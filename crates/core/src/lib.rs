@@ -43,6 +43,7 @@ pub mod explain;
 pub mod opt;
 pub mod plan;
 pub mod shared;
+pub mod views;
 
 pub use cost::EstimateCard;
 pub use engine::{Engine, EngineOptions, Explain, QueryStream, UpdateOp, UpdateOutcome};
@@ -54,6 +55,7 @@ pub use explain::{qerror, Analysis, Misestimate};
 pub use opt::{OptEvent, OptTrace, OptimizeOutcome, OptimizerOptions, RuleDecision};
 pub use plan::{builder::build_plan, display::render, OpId, Operator, ParallelChoice, QueryPlan};
 pub use shared::{QueryProfile, SharedEngine};
+pub use views::{contains, pattern_for, plan_view, Pattern, ViewCache, ViewStatsSnapshot};
 
 // Re-export the storage entry points so `vamana_core` is usable alone.
 pub use vamana_mass::{DocId, MassStore, NodeEntry};

@@ -315,6 +315,20 @@ pub enum Operator {
         /// Right context child.
         right: OpId,
     },
+    /// Scan of a materialized view: streams the cached (sorted,
+    /// deduplicated) result set of a previously-answered query straight
+    /// from memory. Created only by the view-rewrite pass in
+    /// [`crate::views`] — the XPath compiler never emits it. The entries
+    /// are shared with the [`crate::views::ViewCache`] entry, so a plan
+    /// holding a `ViewScan` pins the snapshot it was planned against;
+    /// staleness is impossible because rewrites only consult views whose
+    /// generation matches the document's current generation.
+    ViewScan {
+        /// The source view's XPath text (for EXPLAIN / tracing).
+        view: Box<str>,
+        /// The materialized result set, in document order.
+        entries: std::sync::Arc<Vec<vamana_mass::NodeEntry>>,
+    },
 }
 
 /// The optimizer's parallel-scan decision, carried by the plan so cached
@@ -457,7 +471,9 @@ impl QueryPlan {
             Operator::ValueStep { context, .. } | Operator::RangeStep { context, .. } => {
                 context.iter().copied().collect()
             }
-            Operator::Literal { .. } | Operator::Number { .. } => Vec::new(),
+            Operator::Literal { .. } | Operator::Number { .. } | Operator::ViewScan { .. } => {
+                Vec::new()
+            }
             Operator::Exists { path } => vec![*path],
             Operator::Binary { left, right, .. }
             | Operator::Arith { left, right, .. }

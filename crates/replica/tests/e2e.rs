@@ -188,9 +188,16 @@ struct FollowerProc {
 
 /// Spawns the real `vamana-replica` binary and waits for its port file.
 fn spawn_follower_process(primary: SocketAddr, data: &Path) -> FollowerProc {
+    spawn_follower_with_env(primary, data, &[])
+}
+
+/// Like [`spawn_follower_process`], with extra environment variables for
+/// the child (e.g. `VAMANA_VIEWS=1` to enable the semantic cache).
+fn spawn_follower_with_env(primary: SocketAddr, data: &Path, env: &[(&str, &str)]) -> FollowerProc {
     let port_file = data.with_extension("port");
     let _ = std::fs::remove_file(&port_file);
-    let child = Command::new(env!("CARGO_BIN_EXE_vamana-replica"))
+    let mut command = Command::new(env!("CARGO_BIN_EXE_vamana-replica"));
+    command
         .args([
             "--primary",
             &primary.to_string(),
@@ -204,9 +211,11 @@ fn spawn_follower_process(primary: SocketAddr, data: &Path) -> FollowerProc {
             port_file.to_str().unwrap(),
         ])
         .stdout(Stdio::null())
-        .stderr(Stdio::null())
-        .spawn()
-        .expect("spawn vamana-replica");
+        .stderr(Stdio::null());
+    for (key, value) in env {
+        command.env(key, value);
+    }
+    let child = command.spawn().expect("spawn vamana-replica");
     let until = Instant::now() + DEADLINE;
     let addr = loop {
         if let Ok(text) = std::fs::read_to_string(&port_file) {
@@ -335,6 +344,60 @@ fn checkpoint_while_disconnected_does_not_strand_the_follower() {
     assert!(rows.last().unwrap().starts_with("OK 1 row(s)"), "{rows:?}");
 
     replica.stop();
+    handle.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn replayed_writes_invalidate_follower_views() {
+    let dir = temp_dir("views");
+    let handle = spawn_primary(&dir.join("primary.mass"), ServerConfig::default());
+    let mut primary = Client::connect(&handle);
+    let data = dir.join("follower.mass");
+
+    // A real follower process with the semantic cache enabled.
+    let mut proc1 = spawn_follower_with_env(handle.addr(), &data, &[("VAMANA_VIEWS", "1")]);
+    let mut follower = Client::connect_retry(proc1.addr, DEADLINE);
+    wait_applied(&mut follower, primary_last_lsn(&mut primary));
+    follower.round_trip("LIMIT 0");
+
+    // Two identical queries cross the admission threshold.
+    let before = follower.round_trip("QUERY //person/name");
+    assert!(
+        before.last().unwrap().starts_with("OK 1 row(s)"),
+        "{before:?}"
+    );
+    follower.round_trip("QUERY //person/name");
+    let stats = follower.round_trip("STATS");
+    assert!(
+        stat_value(&stats, "view_views") >= 1,
+        "follower never materialized a view: {stats:?}"
+    );
+
+    // A primary write replays on the follower through the WAL feed (no
+    // engine-level update call there); the generation bump must still
+    // drop the stale view before it can serve the next query.
+    let reply = primary.round_trip("INSERT auction //people <person><name>fresh</name></person>");
+    assert!(reply[0].starts_with("OK update"), "{reply:?}");
+    wait_applied(&mut follower, primary_last_lsn(&mut primary));
+
+    let after = follower.round_trip("QUERY //person/name");
+    assert!(
+        after.last().unwrap().starts_with("OK 2 row(s)"),
+        "stale view served after replicated write: {after:?}"
+    );
+    assert!(
+        after.iter().any(|l| l.contains("fresh")),
+        "replicated insert missing from follower result: {after:?}"
+    );
+    let stats = follower.round_trip("STATS");
+    assert!(
+        stat_value(&stats, "view_evictions") >= 1,
+        "stale view was never evicted: {stats:?}"
+    );
+
+    proc1.child.kill().expect("kill");
+    proc1.child.wait().expect("reap");
     handle.stop();
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -107,6 +107,25 @@ impl PlanCache {
         }
     }
 
+    /// Drops the entry for `(xpath, doc)` regardless of generation — the
+    /// write path for externally invalidated plans (e.g. a newly
+    /// materialized view supersedes the plan optimized before it
+    /// existed).
+    pub fn remove(&self, xpath: &str, doc: DocId) {
+        self.lock().map.remove(&(xpath.to_string(), doc.0));
+    }
+
+    /// Drops every entry for `doc` not compiled at `generation`. The
+    /// generation check on `get` already refuses stale hits, but only
+    /// for the key being probed — without this sweep a write-heavy
+    /// workload leaves one dead entry behind per (xpath, write)
+    /// until LRU pressure finds them.
+    pub fn purge_doc(&self, doc: DocId, generation: u64) {
+        self.lock()
+            .map
+            .retain(|(_, d), e| *d != doc.0 || e.generation == generation);
+    }
+
     /// Drops every entry. Loads already invalidate via the generation
     /// check; this additionally releases the memory of plans that will
     /// never validate again.
@@ -174,6 +193,39 @@ mod tests {
         assert_eq!(cache.len(), 2);
         assert!(cache.get("//a", doc, 1).is_some(), "recently used survives");
         assert!(cache.get("//b", doc, 1).is_none(), "LRU entry evicted");
+    }
+
+    #[test]
+    fn write_heavy_loop_cannot_grow_the_map() {
+        let e = engine();
+        let cache = PlanCache::new(256);
+        let doc = DocId(0);
+        // Each "write" bumps the generation; the workload re-plans two
+        // expressions per generation. Without purge_doc the map would
+        // hold one dead entry per (xpath, generation) pair.
+        for generation in 1..=100u64 {
+            for xpath in ["//a", "//b"] {
+                if cache.get(xpath, doc, generation).is_none() {
+                    cache.insert(xpath, doc, generation, plan_for(&e, xpath));
+                }
+            }
+            cache.purge_doc(doc, generation + 1); // the write lands here
+        }
+        assert!(
+            cache.len() <= 2,
+            "stale generations piled up: {} entries",
+            cache.len()
+        );
+    }
+
+    #[test]
+    fn remove_drops_entry_regardless_of_generation() {
+        let e = engine();
+        let cache = PlanCache::new(8);
+        let doc = DocId(0);
+        cache.insert("//a", doc, 1, plan_for(&e, "//a"));
+        cache.remove("//a", doc);
+        assert!(cache.get("//a", doc, 1).is_none());
     }
 
     #[test]

@@ -26,6 +26,8 @@
 //! CHECKPOINT           fold WAL into pages, truncate  → OK checkpoint …
 //! LIMIT <n>            per-connection row cap    → OK (0 = unlimited)
 //! STATS                metrics snapshot          → STAT… then OK
+//! CACHE [LIST]         materialized views        → VIEW… then OK
+//! CACHE CLEAR          drop views + cached plans → OK
 //! LAG                  replication gauges        → LAG… then OK
 //! REPLICATE <from_lsn> become a WAL frame feed   → handshake line, then
 //!                      binary frames (see `DESIGN.md`, "Replication")
@@ -404,6 +406,7 @@ fn run_query(
         // Batches land straight in the result buffer — no per-tuple
         // dispatch between the executor and the render path. The
         // deadline is checked once per batch (≤ BATCH_SIZE tuples).
+        let doc_start = all.len();
         while stream.next_batch(&mut all, BATCH_SIZE).map_err(query_err)? > 0 {
             if Instant::now() >= deadline {
                 return Err(ServerError::Timeout(shared.config.query_timeout));
@@ -411,6 +414,12 @@ fn run_query(
         }
         if Instant::now() >= deadline {
             return Err(ServerError::Timeout(shared.config.query_timeout));
+        }
+        // Feed this document's result to the view cache. A fresh
+        // admission supersedes the compiled plan cached above — drop it
+        // so the next compilation goes through the view-rewrite pass.
+        if engine.observe_result(doc, xpath, &all[doc_start..]) {
+            shared.cache.remove(xpath, doc);
         }
     }
     // XPath node-set semantics across documents: document order, no
@@ -575,6 +584,10 @@ fn run_update(
     };
     let start = Instant::now();
     let outcome = engine.apply_update(doc, op).map_err(query_err)?;
+    // Sweep the written document's superseded plans out of the cache;
+    // without this every (xpath, old-generation) pair would linger until
+    // individually probed or LRU-evicted.
+    shared.cache.purge_doc(doc, outcome.doc_generation);
     shared.metrics.updates.fetch_add(1, Ordering::Relaxed);
     shared.metrics.writer_wait_us.fetch_add(
         outcome.profile.writer_wait.as_micros() as u64,
@@ -687,6 +700,17 @@ impl Server {
             let mut guard = engine.write();
             if config.scan_workers > 0 {
                 guard.options_mut().parallel_workers = config.scan_workers;
+            }
+            // Semantic result caching is opt-in per process: the
+            // VAMANA_VIEWS environment variable enables it on servers
+            // whose embedder did not set `EngineOptions::views` itself
+            // (the replica e2e suite turns it on for spawned followers
+            // this way).
+            if matches!(
+                std::env::var("VAMANA_VIEWS").ok().as_deref(),
+                Some("1") | Some("on") | Some("true")
+            ) {
+                guard.options_mut().views = true;
             }
             // Durable stores get a replication ring at bind time so the
             // `REPLICATE` feed can serve committed frames; checkpoints
@@ -873,6 +897,32 @@ fn serve_connection(
                 }
                 writeln!(writer, "OK")?;
             }
+            // Materialized-view inspection. Allowed on replicas: the
+            // view cache is node-local derived state, not document data.
+            "CACHE" => match rest {
+                "" | "LIST" => {
+                    let views = shared.engine.read().views().list();
+                    for v in &views {
+                        writeln!(
+                            writer,
+                            "VIEW doc={} rows={} bytes={} generation={} hits={} {}",
+                            v.doc,
+                            v.rows,
+                            v.bytes,
+                            v.generation,
+                            v.hits,
+                            escape_line(&v.xpath)
+                        )?;
+                    }
+                    writeln!(writer, "OK {} view(s)", views.len())?;
+                }
+                "CLEAR" => {
+                    shared.engine.read().views().clear();
+                    shared.cache.clear();
+                    writeln!(writer, "OK cache cleared")?;
+                }
+                _ => writeln!(writer, "ERR proto CACHE takes LIST or CLEAR")?,
+            },
             "LAG" => {
                 for line in render_lag(shared) {
                     writeln!(writer, "{line}")?;
@@ -1135,6 +1185,12 @@ fn render_stats(shared: &Shared) -> Vec<String> {
     out.push(format!("STAT pool_buffer_misses {}", stats.buffer.misses));
     out.push(format!("STAT pool_batch_pins {}", stats.buffer.batch_pins));
     out.push(format!("STAT pool_pins_saved {}", stats.buffer.pins_saved));
+    let views = engine.views().stats();
+    out.push(format!("STAT view_hits {}", views.hits));
+    out.push(format!("STAT view_misses {}", views.misses));
+    out.push(format!("STAT view_evictions {}", views.evictions));
+    out.push(format!("STAT view_bytes {}", views.bytes));
+    out.push(format!("STAT view_views {}", views.views));
     let par = engine.parallel_stats();
     out.push(format!("STAT scan_workers {}", engine.effective_workers()));
     out.push(format!("STAT pool_par_morsels {}", par.morsels));

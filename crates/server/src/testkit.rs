@@ -96,3 +96,8 @@ pub fn stat_value(stats: &[String], key: &str) -> u64 {
 pub fn lag_value(lines: &[String], key: &str) -> u64 {
     kv_value(lines, "LAG", key)
 }
+
+/// Number of `VIEW …` rows in a `CACHE` response.
+pub fn view_count(lines: &[String]) -> usize {
+    lines.iter().filter(|l| l.starts_with("VIEW ")).count()
+}

@@ -1,0 +1,141 @@
+//! End-to-end semantic-cache tests: a real TCP server with views
+//! enabled, repeated queries admitted into the view cache, byte-equal
+//! responses cached vs uncached, `STATS` view counters, the `CACHE`
+//! verb, and invalidation through the write path.
+
+use vamana_core::{Engine, EngineOptions};
+use vamana_mass::MassStore;
+use vamana_server::testkit::{stat_value, view_count, Client};
+use vamana_server::{Server, ServerConfig, ServerHandle};
+use vamana_xmark::{generate_string, XmarkConfig};
+
+fn views_engine() -> Engine {
+    let xml = generate_string(&XmarkConfig::with_scale(0.003));
+    let mut store = MassStore::open_memory();
+    store.load_xml("auction", &xml).expect("load xmark");
+    let mut engine = Engine::new(store);
+    *engine.options_mut() = EngineOptions {
+        views: true,
+        view_admit_after: 2,
+        ..EngineOptions::default()
+    };
+    engine
+}
+
+fn spawn_views_server() -> ServerHandle {
+    Server::bind("127.0.0.1:0", views_engine(), ServerConfig::default())
+        .expect("bind")
+        .spawn()
+        .expect("spawn")
+}
+
+fn rows(response: &[String]) -> Vec<&String> {
+    response.iter().filter(|l| l.starts_with("ROW ")).collect()
+}
+
+#[test]
+fn repeated_queries_are_answered_from_a_view() {
+    let handle = spawn_views_server();
+    let mut client = Client::connect(&handle);
+    client.round_trip("LIMIT 0");
+
+    let cold = client.round_trip("QUERY //person/name");
+    let warm = client.round_trip("QUERY //person/name"); // admission point
+    let stats = client.round_trip("STATS");
+    assert!(stat_value(&stats, "view_views") >= 1, "{stats:?}");
+    assert!(stat_value(&stats, "view_bytes") > 0, "{stats:?}");
+
+    let hot = client.round_trip("QUERY //person/name");
+    let stats = client.round_trip("STATS");
+    assert!(stat_value(&stats, "view_hits") >= 1, "{stats:?}");
+
+    // Cached answers must be byte-identical to the uncached ones.
+    assert_eq!(rows(&cold), rows(&warm));
+    assert_eq!(rows(&cold), rows(&hot));
+
+    // The CACHE verb lists the materialized view.
+    let listing = client.round_trip("CACHE");
+    assert!(view_count(&listing) >= 1, "{listing:?}");
+    assert!(
+        listing.iter().any(|l| l.contains("//person/name")),
+        "{listing:?}"
+    );
+
+    handle.stop();
+}
+
+#[test]
+fn writes_invalidate_views_and_later_queries_see_new_data() {
+    let handle = spawn_views_server();
+    let mut client = Client::connect(&handle);
+    client.round_trip("LIMIT 0");
+
+    let before = client.round_trip("QUERY //person/name");
+    client.round_trip("QUERY //person/name");
+    let stats = client.round_trip("STATS");
+    assert!(stat_value(&stats, "view_views") >= 1, "{stats:?}");
+
+    let update =
+        client.round_trip("INSERT auction /site/people <person id='pX'><name>Zed</name></person>");
+    assert!(update[0].starts_with("OK update"), "{update:?}");
+
+    let stats = client.round_trip("STATS");
+    assert_eq!(stat_value(&stats, "view_views"), 0, "{stats:?}");
+    assert!(stat_value(&stats, "view_evictions") >= 1, "{stats:?}");
+
+    let after = client.round_trip("QUERY //person/name");
+    assert_eq!(rows(&after).len(), rows(&before).len() + 1, "{after:?}");
+    assert!(
+        after.iter().any(|l| l.contains("Zed")),
+        "inserted person missing: {after:?}"
+    );
+
+    handle.stop();
+}
+
+#[test]
+fn cache_clear_drops_views() {
+    let handle = spawn_views_server();
+    let mut client = Client::connect(&handle);
+    client.round_trip("QUERY //province");
+    client.round_trip("QUERY //province");
+    let stats = client.round_trip("STATS");
+    assert!(stat_value(&stats, "view_views") >= 1, "{stats:?}");
+
+    assert_eq!(client.round_trip("CACHE CLEAR"), vec!["OK cache cleared"]);
+    let listing = client.round_trip("CACHE LIST");
+    assert_eq!(view_count(&listing), 0, "{listing:?}");
+    let stats = client.round_trip("STATS");
+    assert_eq!(stat_value(&stats, "view_views"), 0, "{stats:?}");
+
+    let err = client.round_trip("CACHE FROB");
+    assert!(err[0].starts_with("ERR proto"), "{err:?}");
+
+    handle.stop();
+}
+
+#[test]
+fn analyze_marks_view_answered_queries() {
+    let handle = spawn_views_server();
+    let mut client = Client::connect(&handle);
+    client.round_trip("QUERY //person/name");
+    client.round_trip("QUERY //person/name");
+
+    let report = client.round_trip("ANALYZE //person/name");
+    assert!(
+        report
+            .iter()
+            .any(|l| l.contains("answered from view: //person/name")),
+        "{report:?}"
+    );
+    assert!(report.iter().any(|l| l.contains("ViewScan")), "{report:?}");
+
+    let json = client.round_trip("ANALYZE JSON //person/name");
+    assert!(
+        json[0].contains("\"view\":\"//person/name\""),
+        "{:?}",
+        &json[0][..json[0].len().min(300)]
+    );
+
+    handle.stop();
+}
