@@ -15,6 +15,11 @@
 //! suite, with the view cache enabled and/or disabled, and the report
 //! (`BENCH_7.json`) compares throughput across the two configurations.
 //!
+//! `--fused on|off|both` runs the fusion benchmark instead: driver
+//! threads replay the structural scan suite per query with whole-query
+//! fusion forced and/or disabled, and the report (`BENCH_8.json`)
+//! compares per-query throughput across the two configurations.
+//!
 //! `--mixed PCT` runs the read/write benchmark instead: reader threads
 //! measure per-query latency in two windows — alone, then sharing the
 //! engine with one writer duty-cycled to `PCT`% of operations — and the
@@ -74,6 +79,10 @@ struct Args {
     /// instead — Zipfian repeated traffic over the scan suite with the
     /// view cache enabled and/or disabled (`BENCH_7.json`).
     views: Option<String>,
+    /// `Some("on"|"off"|"both")`: run the fusion benchmark instead —
+    /// per-query scan-suite throughput with whole-query fusion forced
+    /// and/or disabled (`BENCH_8.json`).
+    fused: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -86,6 +95,7 @@ fn parse_args() -> Args {
         mixed: None,
         replicas: None,
         views: None,
+        fused: None,
     };
     let mut positional = 0usize;
     let mut it = std::env::args().skip(1);
@@ -126,6 +136,14 @@ fn parse_args() -> Args {
                     "--views takes on|off|both, got {which}"
                 );
                 args.views = Some(which);
+            }
+            "--fused" => {
+                let which = it.next().expect("--fused takes on|off|both");
+                assert!(
+                    matches!(which.as_str(), "on" | "off" | "both"),
+                    "--fused takes on|off|both, got {which}"
+                );
+                args.fused = Some(which);
             }
             other => {
                 if positional == 0 {
@@ -182,6 +200,10 @@ fn main() {
     }
     if let Some(which) = args.views.clone() {
         run_views(&args, &which);
+        return;
+    }
+    if let Some(which) = args.fused.clone() {
+        run_fused(&args, &which);
         return;
     }
     let max_workers = args.workers.iter().copied().max().unwrap_or(1);
@@ -751,6 +773,178 @@ fn run_views_phase(
         view_misses: after.misses - before.misses,
         view_views: after.views,
     }
+}
+
+// ---------------------------------------------------------------------
+// Whole-query fusion: `--fused on|off|both`.
+// ---------------------------------------------------------------------
+
+/// One per-query measurement window of the fusion benchmark.
+struct FusedSample {
+    name: &'static str,
+    xpath: &'static str,
+    enabled: bool,
+    queries: u64,
+    rows: u64,
+    elapsed: Duration,
+    /// Fused chains executed during the window — zero when the query's
+    /// chain has no scan-bound suffix (index-resolvable heads only).
+    fused_chains: u64,
+}
+
+impl FusedSample {
+    fn qps(&self) -> f64 {
+        self.queries as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+/// `--fused on|off|both`: per-query throughput over the structural scan
+/// suite with whole-query fusion forced (`on`) and/or disabled (`off`).
+/// Fusion is *forced* in the `on` phase so the benchmark measures the
+/// fused executor itself, not the cost gate's willingness to engage it;
+/// queries whose chain is entirely index-resolvable keep their unfused
+/// plans and report zero fused chains. Results go to `BENCH_8.json`
+/// (override with `--out`).
+fn run_fused(args: &Args, which: &str) {
+    let drivers = args.workers.first().copied().unwrap_or(4);
+    eprintln!("generating ~{} MB of XMark data…", args.megabytes);
+    let xml = vamana_bench::document(args.megabytes);
+    let phases: &[bool] = match which {
+        "on" => &[true],
+        "off" => &[false],
+        _ => &[false, true],
+    };
+    eprintln!("fusion benchmark: {drivers} driver(s), batched execution");
+
+    println!(
+        "{:>6} {:>6} {:>8} {:>12} {:>14} {:>8} {:>12}",
+        "fused", "query", "drivers", "queries", "queries/sec", "chains", "speedup"
+    );
+    let mut samples: Vec<FusedSample> = Vec::new();
+    for &enabled in phases {
+        let mut store = MassStore::open_memory();
+        store.load_xml("auction", &xml).expect("load xmark");
+        let mut base = Engine::new(store);
+        {
+            let opts = base.options_mut();
+            opts.batched = true;
+            opts.fuse = enabled;
+            opts.fuse_force = enabled;
+        }
+        let engine = Arc::new(SharedEngine::new(base));
+        for (name, xpath) in SCAN_QUERIES {
+            // Compile once (fusion is an optimize-time rewrite, as the
+            // serving layer's plan cache would see it) and warm the
+            // buffer pool.
+            let plan = {
+                let guard = engine.read();
+                let plan = guard.compile(xpath).expect(name);
+                let plan = guard.optimize_plan(plan, DocId(0)).expect(name).plan;
+                let rows = guard.execute_plan(&plan, DocId(0)).expect(name).len();
+                assert!(rows > 0, "{name} ({xpath}) returned no rows");
+                plan
+            };
+            let chains_before = engine.read().fused_stats().0;
+            let sample = {
+                let s = run_window(
+                    &engine,
+                    std::slice::from_ref(&plan),
+                    "scan",
+                    "batched",
+                    drivers,
+                    drivers,
+                    true,
+                    args.window,
+                );
+                FusedSample {
+                    name,
+                    xpath,
+                    enabled,
+                    queries: s.queries,
+                    rows: s.rows,
+                    elapsed: s.elapsed,
+                    fused_chains: engine.read().fused_stats().0 - chains_before,
+                }
+            };
+            let speedup = samples
+                .iter()
+                .find(|s| !s.enabled && s.name == *name)
+                .filter(|_| enabled)
+                .map(|off| format!("{:.2}x", sample.qps() / off.qps()))
+                .unwrap_or_else(|| "-".to_string());
+            println!(
+                "{:>6} {:>6} {:>8} {:>12} {:>14.1} {:>8} {:>12}",
+                if enabled { "on" } else { "off" },
+                name,
+                drivers,
+                sample.queries,
+                sample.qps(),
+                sample.fused_chains,
+                speedup
+            );
+            samples.push(sample);
+        }
+    }
+
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"throughput_fused_chains\",\n");
+    out.push_str(&format!(
+        "  \"host_cpus\": {},\n",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    ));
+    out.push_str(&format!("  \"doc_megabytes\": {},\n", args.megabytes));
+    out.push_str(&format!("  \"window_ms\": {},\n", args.window.as_millis()));
+    out.push_str(&format!("  \"drivers\": {drivers},\n"));
+    out.push_str("  \"results\": {\n");
+    for (i, &enabled) in phases.iter().enumerate() {
+        let key = if enabled { "fused_on" } else { "fused_off" };
+        out.push_str(&format!("    \"{key}\": [\n"));
+        let phase: Vec<&FusedSample> = samples.iter().filter(|s| s.enabled == enabled).collect();
+        for (j, s) in phase.iter().enumerate() {
+            out.push_str(&format!(
+                "      {{\"name\": \"{}\", \"xpath\": \"{}\", \"queries\": {}, \"rows\": {}, \"qps\": {:.1}, \"fused_chains\": {}}}{}\n",
+                s.name,
+                s.xpath,
+                s.queries,
+                s.rows,
+                s.qps(),
+                s.fused_chains,
+                if j + 1 < phase.len() { "," } else { "" }
+            ));
+        }
+        out.push_str(&format!(
+            "    ]{}\n",
+            if i + 1 < phases.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  }");
+    if phases.len() == 2 {
+        let mut pairs = Vec::new();
+        let mut best = 0.0f64;
+        for (name, _) in SCAN_QUERIES {
+            let on = samples.iter().find(|s| s.enabled && s.name == *name);
+            let off = samples.iter().find(|s| !s.enabled && s.name == *name);
+            if let (Some(on), Some(off)) = (on, off) {
+                let ratio = on.qps() / off.qps();
+                if on.fused_chains > 0 {
+                    best = best.max(ratio);
+                }
+                pairs.push(format!("\"{name}\": {ratio:.2}"));
+            }
+        }
+        out.push_str(",\n  \"speedup_fused_on_over_off\": {");
+        out.push_str(&pairs.join(", "));
+        out.push_str("},\n");
+        out.push_str(&format!("  \"best_fused_speedup\": {best:.2}\n"));
+    } else {
+        out.push('\n');
+    }
+    out.push_str("}\n");
+    let path = args.out.as_deref().unwrap_or("BENCH_8.json");
+    std::fs::write(path, &out).expect("write json");
+    eprintln!("wrote {path}");
 }
 
 /// Runs the suite's query mix from `drivers` threads for `window`.

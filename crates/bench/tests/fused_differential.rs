@@ -1,0 +1,90 @@
+//! Differential correctness of whole-query fusion over the full XMark
+//! query suite: with fusion *forced* (every extractable candidate
+//! accepted, bypassing the cost gate so the fused executor is actually
+//! exercised), every query — batched and scalar — must be
+//! byte-identical to a plain engine and agree with the DOM oracle.
+//! Queries outside the fusable fragment (reverse axes, sibling axes,
+//! value predicates) must pass through untouched.
+
+use vamana_baseline::XPathEngine;
+use vamana_bench::{VamanaBench, QUERIES, SCAN_QUERIES};
+use vamana_core::{DocId, Engine, MassStore, NodeEntry};
+use vamana_xmark::scale::config_for_megabytes;
+
+fn all_queries() -> impl Iterator<Item = (&'static str, &'static str)> {
+    QUERIES.iter().chain(SCAN_QUERIES).copied()
+}
+
+fn fused_engine(xml: &str) -> Engine {
+    let mut store = MassStore::open_memory();
+    store.load_xml("auction.xml", xml).expect("load");
+    let mut engine = Engine::new(store);
+    let options = engine.options_mut();
+    options.fuse = true;
+    options.fuse_force = true;
+    engine
+}
+
+fn identities(engine: &Engine, result: &[NodeEntry]) -> Vec<vamana_baseline::NodeIdentity> {
+    let names = engine.names_of(result).expect("names");
+    let values = engine.string_values(result).expect("values");
+    names
+        .into_iter()
+        .zip(values)
+        .map(|(name, value)| vamana_baseline::NodeIdentity { name, value })
+        .collect()
+}
+
+#[test]
+fn fused_results_equal_unfused_and_oracle() {
+    let xml = vamana_xmark::generate_string(&config_for_megabytes(0.4));
+    let dom = vamana_baseline::dom::DomEngine::from_xml(&xml).unwrap();
+    let mut unfused = VamanaBench::optimized(&xml);
+    let mut subject = fused_engine(&xml);
+    for (name, xpath) in all_queries() {
+        let oracle = dom.identities(xpath).unwrap();
+        assert!(!oracle.is_empty(), "{name}: oracle returned nothing");
+        for batched in [false, true] {
+            unfused.engine_mut().options_mut().batched = batched;
+            subject.options_mut().batched = batched;
+            let reference = unfused.engine().query(xpath).unwrap();
+            assert_eq!(
+                identities(unfused.engine(), &reference),
+                oracle,
+                "{name}: unfused engine disagrees with DOM oracle"
+            );
+            let got = subject.query_doc(DocId(0), xpath).unwrap();
+            assert_eq!(got, reference, "{name} (batched={batched}): fused != plain");
+        }
+    }
+    // The suite must actually exercise fused operators, not pass
+    // vacuously: the scan queries are all multi-step forward chains.
+    let (chains, steps) = subject.fused_stats();
+    assert!(
+        chains >= 4,
+        "only {chains} fused chains ran across the suite"
+    );
+    assert!(steps > chains, "fused chains collapsed no extra steps");
+}
+
+#[test]
+fn fusion_under_parallel_scans_is_order_preserving() {
+    let xml = vamana_xmark::generate_string(&config_for_megabytes(0.4));
+    let mut plain = VamanaBench::optimized(&xml);
+    let mut subject = fused_engine(&xml);
+    {
+        let options = subject.options_mut();
+        options.parallel = true;
+        options.parallel_threshold = 1;
+        options.parallel_min_morsel = 1;
+    }
+    for (name, xpath) in SCAN_QUERIES {
+        let reference = plain.engine_mut().query(xpath).unwrap();
+        let got = subject.query_doc(DocId(0), xpath).unwrap();
+        assert_eq!(got, reference, "{name}: fused+parallel != plain");
+        assert!(
+            got.windows(2).all(|w| w[0].key < w[1].key),
+            "{name}: fused+parallel output out of document order"
+        );
+    }
+}

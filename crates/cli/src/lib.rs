@@ -104,6 +104,7 @@ impl Session {
                 "docs" => Ok(self.cmd_docs()),
                 "optimizer" => self.cmd_optimizer(arg),
                 "views" => self.cmd_views(arg),
+                "fuse" => self.cmd_fuse(arg),
                 "xquery" => self.cmd_xquery(arg),
                 "insert" => self.cmd_insert(arg),
                 "delete" => self.cmd_delete(arg),
@@ -324,8 +325,9 @@ impl Session {
         let engine = self.engine.read();
         let s = engine.store().stats();
         let p = engine.parallel_stats();
+        let (fused_chains, fused_steps) = engine.fused_stats();
         format!(
-            "documents: {}\ntuples:    {}\npages:     {} ({:.1} tuples/page)\nnames:     {}\nvalues:    {}\nbuffer:    {} hits / {} misses / {} evictions ({:.1}% hit ratio)\nbatched:   {} batch pins / {} pins saved\nparallel:  {} workers / {} morsels / {} batches / {} merge stalls",
+            "documents: {}\ntuples:    {}\npages:     {} ({:.1} tuples/page)\nnames:     {}\nvalues:    {}\nbuffer:    {} hits / {} misses / {} evictions ({:.1}% hit ratio)\nbatched:   {} batch pins / {} pins saved\nparallel:  {} workers / {} morsels / {} batches / {} merge stalls\nfused:     {} chain(s) / {} steps collapsed",
             s.documents,
             s.tuples,
             s.pages,
@@ -341,7 +343,9 @@ impl Session {
             p.workers,
             p.morsels,
             p.worker_batches,
-            p.merge_stalls
+            p.merge_stalls,
+            fused_chains,
+            fused_steps
         )
     }
 
@@ -416,6 +420,31 @@ impl Session {
                 Ok(out)
             }
             other => Err(format!("usage: .views [on|off|clear], got `{other}`").into()),
+        }
+    }
+
+    fn cmd_fuse(&mut self, arg: &str) -> Result<String, Box<dyn std::error::Error>> {
+        match arg {
+            "on" => {
+                self.engine.write().options_mut().fuse = true;
+                Ok("fuse on (whole-query step-chain fusion)".to_string())
+            }
+            "off" => {
+                self.engine.write().options_mut().fuse = false;
+                Ok("fuse off".to_string())
+            }
+            "" => {
+                let engine = self.engine.read();
+                let enabled = engine.options().fuse;
+                let (chains, steps) = engine.fused_stats();
+                Ok(format!(
+                    "fuse {} — {} chain(s) executed, {} steps collapsed",
+                    if enabled { "on" } else { "off" },
+                    chains,
+                    steps
+                ))
+            }
+            other => Err(format!("usage: .fuse [on|off], got `{other}`").into()),
         }
     }
 
@@ -639,6 +668,8 @@ commands:
   .views [on|off|clear]
                       semantic result caching: materialize hot query
                       results and answer contained queries from them
+  .fuse [on|off]      whole-query fusion: collapse step chains into
+                      single page-pinned scans when the model agrees
   .stats              storage and buffer-pool statistics
   .docs               list loaded documents
   .insert <doc> <xpath> <fragment>

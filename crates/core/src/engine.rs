@@ -71,6 +71,16 @@ pub struct EngineOptions {
     /// for differential testing and diagnostics, where the goal is to
     /// exercise the rewrite path, not to win the cost race.
     pub view_greedy: bool,
+    /// Whole-query fusion ([`crate::opt::fuse`]): collapse the
+    /// scan-bound suffix of a step chain into a single page-pinned
+    /// [`Operator::FusedScan`] when the cost model agrees. Off by
+    /// default; requires `set_semantics` (a fused scan emits each
+    /// matching node exactly once).
+    pub fuse: bool,
+    /// Accept every extractable fusion candidate regardless of
+    /// estimated cost — for differential testing and benchmarking the
+    /// fused execution path itself.
+    pub fuse_force: bool,
 }
 
 impl Default for EngineOptions {
@@ -89,6 +99,8 @@ impl Default for EngineOptions {
             view_budget_bytes: 64 << 20,
             view_admit_after: 2,
             view_greedy: false,
+            fuse: false,
+            fuse_force: false,
         }
     }
 }
@@ -180,6 +192,7 @@ impl<'s> QueryStream<'s> {
                 engine.views().record_miss();
             }
         }
+        engine.record_fused(&plan);
         let plan = Box::new(plan);
         let top = match plan.op(plan.root()) {
             Operator::Root { child } => *child,
@@ -321,6 +334,10 @@ pub struct Engine {
     writer_wait_us: AtomicU64,
     /// Materialized-view cache (consulted only when `options.views`).
     views: crate::views::ViewCache,
+    /// Cumulative count of queries executed through a fused chain.
+    fused_chains: AtomicU64,
+    /// Cumulative count of location steps those chains collapsed.
+    fused_steps: AtomicU64,
 }
 
 impl Engine {
@@ -337,6 +354,8 @@ impl Engine {
             scan_pool: Mutex::new(None),
             writer_wait_us: AtomicU64::new(0),
             views: crate::views::ViewCache::new(),
+            fused_chains: AtomicU64::new(0),
+            fused_steps: AtomicU64::new(0),
         }
     }
 
@@ -581,18 +600,25 @@ impl Engine {
             set_semantics: self.options.set_semantics,
             disabled_rules: Vec::new(),
         };
-        // The view probe is the *cleaned compiled* plan: optimizer rules
-        // (child push-down, parent inversion) introduce reverse-axis
-        // predicates that fall outside the containment fragment, so
-        // pattern extraction must see the plan before they run.
-        let probe = (self.options.views && self.options.set_semantics).then(|| {
-            let mut p = plan.clone();
-            opt::cleanup::cleanup(&mut p);
-            p
-        });
+        // The view/fusion probe is the *cleaned compiled* plan:
+        // optimizer rules (child push-down, parent inversion) introduce
+        // reverse-axis predicates that fall outside both the
+        // containment fragment and the fusable fragment, so pattern
+        // extraction must see the plan before they run.
+        let probe =
+            ((self.options.views || self.options.fuse) && self.options.set_semantics).then(|| {
+                let mut p = plan.clone();
+                opt::cleanup::cleanup(&mut p);
+                p
+            });
         let mut outcome = opt::optimize(plan, self.store(), &scope, &opts)?;
-        if let Some(probe) = probe {
-            self.apply_view_rewrite(&mut outcome, &probe, doc, &scope)?;
+        if let Some(probe) = &probe {
+            if self.options.views {
+                self.apply_view_rewrite(&mut outcome, probe, doc, &scope)?;
+            }
+            if self.options.fuse {
+                self.apply_fuse(&mut outcome, probe, &scope)?;
+            }
         }
         outcome.plan.set_parallel(opt::parallel::decide(
             &outcome.plan,
@@ -721,6 +747,85 @@ impl Engine {
         Ok(())
     }
 
+    /// The whole-query fusion stage: collapse the plan's scan-bound
+    /// step-chain suffix into a single page-pinned
+    /// [`Operator::FusedScan`]. When a view rewrite was applied, the
+    /// fused chain is the residual on top of the `ViewScan`; otherwise
+    /// candidates come from the cleaned pre-rewrite probe. The
+    /// candidate is kept only when re-estimation beats the current plan
+    /// — unless `fuse_force` — and the decision lands in the optimizer
+    /// trace either way.
+    fn apply_fuse(
+        &self,
+        outcome: &mut OptimizeOutcome,
+        probe: &QueryPlan,
+        scope: &KeyRange,
+    ) -> Result<()> {
+        let base_total = outcome.costs.total();
+        let base = if crate::views::plan_view(&outcome.plan).is_some() {
+            &outcome.plan
+        } else {
+            probe
+        };
+        let cand = match opt::fuse::extract_candidate(base) {
+            Ok(c) => c,
+            Err(reason) => {
+                outcome.opt_trace.events.push(OptEvent::Fuse {
+                    label: "-".to_string(),
+                    steps: 0,
+                    total_before: base_total,
+                    total_after: None,
+                    applied: false,
+                    reason,
+                });
+                return Ok(());
+            }
+        };
+        let costs = estimate(&cand.plan, self.store(), scope)?;
+        let total = costs.total();
+        let accept = self.options.fuse_force || total < base_total;
+        outcome.opt_trace.events.push(OptEvent::Fuse {
+            label: cand.label,
+            steps: cand.steps,
+            total_before: base_total,
+            total_after: Some(total),
+            applied: accept,
+            reason: if self.options.fuse_force {
+                "forced"
+            } else if accept {
+                "fused scan beats the step pipeline"
+            } else {
+                "costlier than the step pipeline"
+            },
+        });
+        if accept {
+            let mut plan = cand.plan;
+            plan.set_estimates(costs.cards(plan.len()));
+            outcome.plan = plan;
+            outcome.costs = costs;
+            outcome.final_cost = total;
+        }
+        Ok(())
+    }
+
+    /// Cumulative fused-execution counters: queries answered through a
+    /// fused chain, and the location steps those chains collapsed.
+    pub fn fused_stats(&self) -> (u64, u64) {
+        (
+            self.fused_chains.load(Ordering::Relaxed),
+            self.fused_steps.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Bumps the cumulative fused counters for one execution of `plan`.
+    pub(crate) fn record_fused(&self, plan: &QueryPlan) {
+        let (chains, steps) = crate::plan::fused_in_plan(plan);
+        if chains > 0 {
+            self.fused_chains.fetch_add(chains, Ordering::Relaxed);
+            self.fused_steps.fetch_add(steps, Ordering::Relaxed);
+        }
+    }
+
     /// Records a set-semantics query result with the view cache:
     /// admission counting for fragment queries and materialization once
     /// the frequency threshold is met. Returns `true` when this call
@@ -770,6 +875,7 @@ impl Engine {
                 self.views.record_miss();
             }
         }
+        self.record_fused(plan);
         let root_ctx = self.doc_entry(doc)?;
         let env = Env {
             plan,
@@ -978,6 +1084,7 @@ impl Engine {
         let actuals = stats.snapshot();
         let buffer_after = self.store().buffer_pool().stats();
         let par = self.parallel_stats();
+        let (fused_chains, fused_steps) = crate::plan::fused_in_plan(&plan);
         let profile = QueryProfile {
             elapsed,
             buffer_hits: buffer_after.hits.saturating_sub(buffer_before.hits),
@@ -991,6 +1098,8 @@ impl Engine {
             morsels: par.morsels.saturating_sub(par_before.morsels),
             worker_batches: par.worker_batches.saturating_sub(par_before.worker_batches),
             merge_stalls: par.merge_stalls.saturating_sub(par_before.merge_stalls),
+            fused_chains,
+            fused_steps,
             rows: out.len() as u64,
             writer_wait: Duration::ZERO,
             operators: Some(actuals.clone()),
@@ -1360,6 +1469,131 @@ mod tests {
                 ..
             }
         )));
+    }
+
+    #[test]
+    fn fuse_trace_records_decisions() {
+        let mut e = engine();
+        e.options_mut().fuse = true;
+        let doc = DocId(0);
+        // `//person/address` resolves through the name index in two
+        // cheap probes; the fused scan must sweep the whole person
+        // envelope — the model prices both and declines.
+        let outcome = e
+            .optimize_plan(e.compile("//person/address").unwrap(), doc)
+            .unwrap();
+        assert!(
+            outcome.opt_trace.events.iter().any(|ev| matches!(
+                ev,
+                OptEvent::Fuse {
+                    applied: false,
+                    total_after: Some(_),
+                    ..
+                }
+            )),
+            "cost model should decline fusing an index-resolvable chain: {}",
+            outcome.opt_trace.render()
+        );
+        // Chains outside the fragment trace the extraction failure.
+        let outcome = e
+            .optimize_plan(e.compile("//person[1]/name").unwrap(), doc)
+            .unwrap();
+        assert!(outcome.opt_trace.events.iter().any(|ev| matches!(
+            ev,
+            OptEvent::Fuse {
+                applied: false,
+                total_after: None,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn forced_fusion_matches_unfused_results() {
+        let mut e = engine();
+        let doc = DocId(0);
+        let queries = [
+            "/site/*//*",
+            "//person/name",
+            "//people//*",
+            "//person[watches/watch]/name",
+            "/site/people/person//*",
+        ];
+        let plain: Vec<_> = queries
+            .iter()
+            .map(|q| e.query_doc(doc, q).unwrap())
+            .collect();
+        e.options_mut().fuse = true;
+        e.options_mut().fuse_force = true;
+        for (q, want) in queries.iter().zip(&plain) {
+            assert_eq!(
+                &e.query_doc(doc, q).unwrap(),
+                want,
+                "fusion changed semantics of {q}"
+            );
+        }
+        // The fused plan really ran fused operators, and the analysis
+        // surfaces them.
+        let a = e.analyze_doc(doc, "/site/*//*").unwrap();
+        assert!(a.profile.fused_chains >= 1, "{}", a.render());
+        assert!(a.render().contains("FusedScan"), "{}", a.render());
+        assert!(
+            a.render().contains("fused: 1 chain (2 steps collapsed)"),
+            "{}",
+            a.render()
+        );
+        assert!(a.render_json().contains("\"fused_chains\":1"));
+        let (chains, steps) = e.fused_stats();
+        assert!(chains >= 1 && steps >= 2);
+    }
+
+    #[test]
+    fn fusion_composes_with_view_rewrite() {
+        let plain = engine();
+        let doc = DocId(0);
+        let want = plain.query_doc(doc, "//person/*//*").unwrap();
+        let mut e = engine();
+        e.options_mut().views = true;
+        e.options_mut().view_admit_after = 1;
+        e.options_mut().view_greedy = true;
+        e.options_mut().fuse = true;
+        e.options_mut().fuse_force = true;
+        // Materialize `//person`, then answer a longer query from it:
+        // the residual chain past the view scan is scan-bound and fuses.
+        // (Analyze before re-querying — a second sighting would admit
+        // the long query's own result as an equivalent view.)
+        e.query_doc(doc, "//person").unwrap();
+        let a = e.analyze_doc(doc, "//person/*//*").unwrap();
+        assert_eq!(a.view(), Some("//person"), "{}", a.render());
+        assert!(a.profile.fused_chains >= 1, "{}", a.render());
+        assert_eq!(e.query_doc(doc, "//person/*//*").unwrap(), want);
+        // Scalar (unbatched) fused execution is the differential oracle.
+        e.options_mut().batched = false;
+        assert_eq!(e.query_doc(doc, "//person/*//*").unwrap(), want);
+    }
+
+    #[test]
+    fn fusion_composes_with_parallel_scans_in_document_order() {
+        let mut xml = String::from("<site><people>");
+        for i in 0..4000 {
+            xml.push_str(&format!(
+                "<person id=\"p{i}\"><name>n{i}</name><watches><watch/></watches></person>"
+            ));
+        }
+        xml.push_str("</people></site>");
+        let mut store = MassStore::open_memory();
+        store.load_xml("big", &xml).unwrap();
+        let mut e = Engine::new(store);
+        let doc = DocId(0);
+        let want = e.query_doc(doc, "//person//*").unwrap();
+        e.options_mut().parallel = true;
+        e.options_mut().parallel_threshold = 1;
+        e.options_mut().parallel_min_morsel = 1;
+        e.options_mut().fuse = true;
+        e.options_mut().fuse_force = true;
+        let got = e.query_doc(doc, "//person//*").unwrap();
+        assert_eq!(got, want);
+        assert!(got.windows(2).all(|w| w[0].key < w[1].key));
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! (paper §V-B): leaf steps with [`ContextSource::OuterTuple`] anchor at
 //! the tuple under test; absolute paths anchor back at the query root.
 
+pub mod fused;
 pub mod parallel;
 pub mod stats;
 pub mod value;
@@ -196,6 +197,9 @@ pub enum OpIter<'s> {
     Step(Box<StepIter<'s>>),
     /// A value-index step.
     ValueStep(Box<ValueStepIter<'s>>),
+    /// A fused step chain: the whole chain evaluated per record inside
+    /// one page-pinned clustered scan.
+    Fused(Box<fused::FusedIter<'s>>),
     /// Set union: left stream then right stream (dedup happens at the
     /// top under set semantics). Carries its plan [`OpId`] so analyze
     /// runs can attribute the merged output.
@@ -336,6 +340,9 @@ pub fn build_iter<'s>(env: Env<'_, 's>, id: OpId, outer: Option<&NodeEntry>) -> 
             entries: std::sync::Arc::clone(entries),
             pos: 0,
         }),
+        Operator::FusedScan { .. } => Ok(OpIter::Fused(Box::new(fused::FusedIter::build(
+            env, id, outer,
+        )?))),
         other => Err(EngineError::Unsupported(format!(
             "operator {other:?} cannot produce a node-set stream"
         ))),
@@ -356,6 +363,7 @@ impl<'s> OpIter<'s> {
             OpIter::Anchor(item) => Ok(item.take()),
             OpIter::Step(s) => s.next(env),
             OpIter::ValueStep(s) => s.next(env),
+            OpIter::Fused(f) => f.next(env),
             OpIter::Union(id, l, r) => {
                 let t = match l.next(env)? {
                     Some(t) => Some(t),
@@ -417,6 +425,7 @@ impl<'s> OpIter<'s> {
             }
             OpIter::Step(s) => s.next_batch(env, out, max),
             OpIter::ValueStep(s) => s.next_batch(env, out, max),
+            OpIter::Fused(f) => f.next_batch(env, out, max),
             OpIter::Union(id, l, r) => {
                 // Left stream first; a short left batch means the left
                 // side is exhausted, so top up from the right.
@@ -1001,7 +1010,8 @@ pub fn eval_expr(
         | Operator::Union { .. }
         | Operator::Filter { .. }
         | Operator::Join { .. }
-        | Operator::ViewScan { .. } => {
+        | Operator::ViewScan { .. }
+        | Operator::FusedScan { .. } => {
             // A path in expression position: collect its node-set,
             // deduplicated in document order.
             let mut iter = build_iter(env, id, Some(ctx))?;

@@ -107,7 +107,9 @@ pub(crate) fn replace_edges(plan: &mut QueryPlan, old: OpId, new: OpId) {
                     }
                 }
             }
-            Operator::ValueStep { context, .. } | Operator::RangeStep { context, .. } => {
+            Operator::ValueStep { context, .. }
+            | Operator::RangeStep { context, .. }
+            | Operator::FusedScan { context, .. } => {
                 if *context == Some(old) {
                     *context = Some(new);
                 }

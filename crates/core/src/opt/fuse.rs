@@ -1,0 +1,294 @@
+//! Whole-query fusion: collapsing a location-step chain suffix into a
+//! single page-pinned [`Operator::FusedScan`].
+//!
+//! The unfused pipeline materializes a node set per step — `k` steps
+//! mean `k` index scans over overlapping key ranges, each re-pinning
+//! the same pages. Fusion rewrites the *scan-bound suffix* of the chain
+//! (everything past the index-resolvable named head steps) into one
+//! operator that evaluates the combined structural condition per record
+//! inside one clustered scan (see [`crate::exec::fused`]).
+//!
+//! The fragment mirrors the one [`crate::views`] delimits, restricted to
+//! the forward downward axes:
+//!
+//! * spine steps: `child`/`descendant` with name, `*`, `text()` or
+//!   `node()` tests,
+//! * predicates: conjunctions of existential relative paths over
+//!   `child`/`descendant` edges with *name* tests only (the executor
+//!   verifies them with name-index probes).
+//!
+//! Extraction is shape-only; the engine prices the candidate with the
+//! Table I cost model and keeps it only when the estimated tuple volume
+//! drops ([`crate::engine::Engine::optimize_plan`]), recording the
+//! decision — accepted or rejected — in the optimizer trace.
+
+use crate::plan::{
+    fused_label, fused_steps, ContextSource, FusedNode, OpId, Operator, QueryPlan, TestSpec,
+};
+use vamana_flex::Axis;
+
+/// A priced fusion candidate: `plan` is a clone of the base plan whose
+/// chain suffix was replaced by a [`Operator::FusedScan`].
+pub struct FuseCandidate {
+    /// The rewritten plan.
+    pub plan: QueryPlan,
+    /// The [`Operator::FusedScan`] inside `plan`.
+    pub fused_op: OpId,
+    /// Rendered chain label (`a/b[c]//d`).
+    pub label: String,
+    /// Location steps collapsed into the operator (spine + predicates).
+    pub steps: usize,
+}
+
+/// Extracts the fusion candidate from `base` (a *cleaned* plan — the
+/// optimizer's push-down rules introduce reverse-axis predicates the
+/// fragment excludes). `Err` carries the reason no candidate exists.
+///
+/// The fused suffix starts after the longest head run of bare
+/// `child::name` steps: those are resolved by pure name-index lookups
+/// in the unfused pipeline and narrow the scan enormously when kept as
+/// the fused operator's context. The suffix must still span at least
+/// two steps — fusing a single step would reproduce the plain batched
+/// scan it replaces.
+pub fn extract_candidate(base: &QueryPlan) -> Result<FuseCandidate, &'static str> {
+    let path = base.context_path();
+    if path.is_empty() {
+        return Err("query has no location-step chain");
+    }
+    // Root side first.
+    let chain: Vec<OpId> = path.iter().rev().copied().collect();
+    let nodes: Vec<Option<FusedNode>> = chain.iter().map(|&id| fused_node_of(base, id)).collect();
+    let m = chain.len();
+    // Longest all-fusable suffix.
+    let mut start = m;
+    while start > 0 && nodes[start - 1].is_some() {
+        start -= 1;
+    }
+    // Skip index-friendly head steps.
+    let mut k = start;
+    while k < m {
+        let n = nodes[k].as_ref().expect("suffix is fusable");
+        let cheap =
+            !n.descendant && matches!(n.test, TestSpec::Named(_)) && n.predicates.is_empty();
+        if !cheap {
+            break;
+        }
+        k += 1;
+    }
+    if m - start < 2 {
+        return Err("no fusable suffix of at least two steps");
+    }
+    if m - k < 2 {
+        return Err("scan-bound suffix shorter than two steps");
+    }
+    let context = if k == 0 {
+        // Preserve the head step's own context edge (a `ViewScan`
+        // residual, for instance). With no context the fused operator
+        // anchors at the query root — a chain rooted at an outer tuple
+        // cannot fuse.
+        match base.op(chain[0]) {
+            Operator::Step {
+                context: Some(c), ..
+            } => Some(*c),
+            Operator::Step {
+                context: None,
+                source: ContextSource::QueryRoot,
+                ..
+            } => None,
+            _ => return Err("chain anchored at an outer tuple"),
+        }
+    } else {
+        Some(chain[k - 1])
+    };
+    let spine: Vec<FusedNode> = nodes
+        .into_iter()
+        .skip(k)
+        .map(|n| n.expect("suffix is fusable"))
+        .collect();
+    let label = fused_label(&spine);
+    let steps = fused_steps(&spine);
+    let mut plan = base.clone();
+    let fused_op = chain[m - 1];
+    *plan.op_mut(fused_op) = Operator::FusedScan { spine, context };
+    Ok(FuseCandidate {
+        plan,
+        fused_op,
+        label,
+        steps,
+    })
+}
+
+/// Converts one spine step into a [`FusedNode`], or `None` when the
+/// step falls outside the fusable fragment.
+fn fused_node_of(plan: &QueryPlan, id: OpId) -> Option<FusedNode> {
+    let Operator::Step {
+        axis,
+        test,
+        predicates,
+        ..
+    } = plan.op(id)
+    else {
+        return None;
+    };
+    let descendant = match axis {
+        Axis::Child => false,
+        Axis::Descendant => true,
+        _ => return None,
+    };
+    if !matches!(
+        test,
+        TestSpec::Named(_) | TestSpec::Wildcard | TestSpec::Text | TestSpec::AnyNode
+    ) {
+        return None;
+    }
+    let mut preds = Vec::new();
+    for &p in predicates {
+        collect_pred(plan, p, &mut preds)?;
+    }
+    Some(FusedNode {
+        descendant,
+        test: test.clone(),
+        predicates: preds,
+    })
+}
+
+/// Flattens a predicate operator into existential branches: `and`
+/// conjunctions split, bare paths and `Exists` wrappers become
+/// branches; anything else rejects the step.
+fn collect_pred(plan: &QueryPlan, p: OpId, out: &mut Vec<FusedNode>) -> Option<()> {
+    match plan.op(p) {
+        Operator::Binary {
+            op: crate::plan::BinOp::And,
+            left,
+            right,
+        } => {
+            collect_pred(plan, *left, out)?;
+            collect_pred(plan, *right, out)
+        }
+        Operator::Exists { path } => {
+            out.push(branch_of(plan, *path)?);
+            Some(())
+        }
+        Operator::Step { .. } => {
+            out.push(branch_of(plan, p)?);
+            Some(())
+        }
+        _ => None,
+    }
+}
+
+/// Converts a predicate path (output step `head` back to its leaf) into
+/// a nested [`FusedNode`] branch. Branch tests must be names — the
+/// executor verifies branches with name-index probes, which have no
+/// kind-test form.
+fn branch_of(plan: &QueryPlan, head: OpId) -> Option<FusedNode> {
+    // Collect output-side first, then fold so `b/c` nests as `b[c]`
+    // (the same existential).
+    let mut chain = Vec::new();
+    let mut cur = Some(head);
+    while let Some(id) = cur {
+        let Operator::Step {
+            axis,
+            test,
+            context,
+            source,
+            predicates,
+        } = plan.op(id)
+        else {
+            return None;
+        };
+        if context.is_none() && *source != ContextSource::OuterTuple {
+            return None;
+        }
+        let descendant = match axis {
+            Axis::Child => false,
+            Axis::Descendant => true,
+            _ => return None,
+        };
+        if !matches!(test, TestSpec::Named(_)) {
+            return None;
+        }
+        chain.push((descendant, test.clone(), predicates.clone()));
+        cur = *context;
+    }
+    let mut acc: Option<FusedNode> = None;
+    for (descendant, test, pred_ids) in chain {
+        let mut preds = Vec::new();
+        for p in pred_ids {
+            collect_pred(plan, p, &mut preds)?;
+        }
+        if let Some(inner) = acc.take() {
+            preds.push(inner);
+        }
+        acc = Some(FusedNode {
+            descendant,
+            test,
+            predicates: preds,
+        });
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::builder::build_plan;
+    use vamana_xpath::parse;
+
+    fn candidate(q: &str) -> Result<FuseCandidate, &'static str> {
+        let mut plan = build_plan(&parse(q).unwrap()).unwrap();
+        crate::opt::cleanup::cleanup(&mut plan);
+        extract_candidate(&plan)
+    }
+
+    #[test]
+    fn fuses_scan_bound_suffixes() {
+        let c = candidate("/site/*//*").unwrap();
+        // The bare child::name head stays as the context chain.
+        assert_eq!(c.label, "*//*");
+        assert_eq!(c.steps, 2);
+        let Operator::FusedScan { spine, context } = c.plan.op(c.fused_op) else {
+            panic!("not fused");
+        };
+        assert_eq!(spine.len(), 2);
+        assert!(context.is_some());
+    }
+
+    #[test]
+    fn index_resolvable_chains_are_not_fused() {
+        // Every step past the head run is a bare child::name lookup —
+        // there is no scan-bound suffix left to collapse.
+        assert!(candidate("/site/open_auctions/open_auction//*").is_err());
+    }
+
+    #[test]
+    fn fuses_whole_descendant_chains_from_the_root() {
+        let c = candidate("//person/address").unwrap();
+        assert_eq!(c.label, "//person/address");
+        let Operator::FusedScan { context, .. } = c.plan.op(c.fused_op) else {
+            panic!("not fused");
+        };
+        assert!(context.is_none());
+    }
+
+    #[test]
+    fn predicates_become_nested_branches() {
+        let c = candidate("//person[watches/watch]/name").unwrap();
+        assert_eq!(c.label, "//person[watches[watch]]/name");
+        assert_eq!(c.steps, 4);
+    }
+
+    #[test]
+    fn rejects_short_and_foreign_chains() {
+        assert!(candidate("//person").is_err());
+        assert!(candidate("/site/people//*").is_err(), "suffix is one step");
+        assert!(candidate("//name/parent::person").is_err());
+        assert!(candidate("//person[@id='p1']/name").is_err());
+        assert!(candidate("//person[1]/name").is_err());
+    }
+
+    #[test]
+    fn positional_and_value_predicates_reject_the_step() {
+        assert!(candidate("//open_auction[price>5]//*").is_err());
+    }
+}

@@ -43,6 +43,11 @@ pub struct QueryProfile {
     /// Times the ordered-merge consumer had to wait for the in-order
     /// morsel to produce a batch.
     pub merge_stalls: u64,
+    /// Fused step-chain operators executed by the query (zero when the
+    /// plan ran unfused).
+    pub fused_chains: u64,
+    /// Location steps those fused operators collapsed.
+    pub fused_steps: u64,
     /// Result cardinality.
     pub rows: u64,
     /// Time a writer spent parked at the epoch gate waiting for pinned
@@ -74,12 +79,14 @@ impl Engine {
     ) -> Result<(Vec<NodeEntry>, QueryProfile)> {
         let before = self.store().buffer_pool().stats();
         let par_before = self.parallel_stats();
+        let fused_before = self.fused_stats();
         let start = Instant::now();
         let rows = self.query_doc(doc, xpath)?;
         let elapsed = start.elapsed();
         let (buffer_hits, buffer_misses, batch_pins, pins_saved) =
             delta(before, self.store().buffer_pool().stats());
         let par = self.parallel_stats();
+        let fused = self.fused_stats();
         let profile = QueryProfile {
             elapsed,
             buffer_hits,
@@ -89,6 +96,8 @@ impl Engine {
             morsels: par.morsels.saturating_sub(par_before.morsels),
             worker_batches: par.worker_batches.saturating_sub(par_before.worker_batches),
             merge_stalls: par.merge_stalls.saturating_sub(par_before.merge_stalls),
+            fused_chains: fused.0.saturating_sub(fused_before.0),
+            fused_steps: fused.1.saturating_sub(fused_before.1),
             rows: rows.len() as u64,
             writer_wait: Duration::ZERO,
             operators: None,
@@ -106,12 +115,14 @@ impl Engine {
     ) -> Result<(Vec<NodeEntry>, QueryProfile)> {
         let before = self.store().buffer_pool().stats();
         let par_before = self.parallel_stats();
+        let fused_before = self.fused_stats();
         let start = Instant::now();
         let rows = self.execute_plan(plan, doc)?;
         let elapsed = start.elapsed();
         let (buffer_hits, buffer_misses, batch_pins, pins_saved) =
             delta(before, self.store().buffer_pool().stats());
         let par = self.parallel_stats();
+        let fused = self.fused_stats();
         let profile = QueryProfile {
             elapsed,
             buffer_hits,
@@ -121,6 +132,8 @@ impl Engine {
             morsels: par.morsels.saturating_sub(par_before.morsels),
             worker_batches: par.worker_batches.saturating_sub(par_before.worker_batches),
             merge_stalls: par.merge_stalls.saturating_sub(par_before.merge_stalls),
+            fused_chains: fused.0.saturating_sub(fused_before.0),
+            fused_steps: fused.1.saturating_sub(fused_before.1),
             rows: rows.len() as u64,
             writer_wait: Duration::ZERO,
             operators: None,

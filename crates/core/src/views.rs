@@ -861,7 +861,7 @@ mod tests {
 
     fn entry(n: u8) -> NodeEntry {
         NodeEntry {
-            key: vamana_flex::FlexKey::from_flat(vec![n]),
+            key: vamana_flex::FlexKey::from_flat(vec![n, 0]),
             kind: vamana_mass::RecordKind::Element,
             name: None,
         }

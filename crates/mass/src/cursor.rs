@@ -144,6 +144,23 @@ impl<'a> MassCursor<'a> {
         self.batch_scan(out, max, |_| true)
     }
 
+    /// Like [`MassCursor::next_batch`], but with a caller-supplied
+    /// stateful predicate deciding which records materialize an entry.
+    ///
+    /// This is the entry point for whole-query fused scans in
+    /// `vamana-core`: the closure threads a path-matching automaton over
+    /// the records of every pinned page, so an entire step chain is
+    /// evaluated under one page pin per page instead of one scan per
+    /// location step.
+    pub fn next_batch_where(
+        &mut self,
+        keep: impl FnMut(&NodeRecord) -> bool,
+        out: &mut Vec<crate::axes::NodeEntry>,
+        max: usize,
+    ) -> Result<usize> {
+        self.batch_scan(out, max, keep)
+    }
+
     /// Like [`MassCursor::next_batch`], but applies the axis-level record
     /// checks inline before materializing an entry — the backing of
     /// [`crate::axes::AxisStream::next_batch`] for clustered scans.
@@ -269,7 +286,7 @@ impl<'a> MassCursor<'a> {
         &mut self,
         out: &mut Vec<crate::axes::NodeEntry>,
         max: usize,
-        keep: impl Fn(&NodeRecord) -> bool,
+        mut keep: impl FnMut(&NodeRecord) -> bool,
     ) -> Result<usize> {
         let start = out.len();
         while out.len() - start < max {

@@ -712,6 +712,15 @@ impl Server {
             ) {
                 guard.options_mut().views = true;
             }
+            // Whole-query fusion gets the same opt-in: VAMANA_FUSE
+            // enables the cost-gated fusion pass on servers whose
+            // embedder left `EngineOptions::fuse` at its default.
+            if matches!(
+                std::env::var("VAMANA_FUSE").ok().as_deref(),
+                Some("1") | Some("on") | Some("true")
+            ) {
+                guard.options_mut().fuse = true;
+            }
             // Durable stores get a replication ring at bind time so the
             // `REPLICATE` feed can serve committed frames; checkpoints
             // truncate only the file log, never this ring.
@@ -1196,6 +1205,9 @@ fn render_stats(shared: &Shared) -> Vec<String> {
     out.push(format!("STAT pool_par_morsels {}", par.morsels));
     out.push(format!("STAT pool_par_batches {}", par.worker_batches));
     out.push(format!("STAT pool_par_merge_stalls {}", par.merge_stalls));
+    let (fused_chains, fused_steps) = engine.fused_stats();
+    out.push(format!("STAT fused_chains {fused_chains}"));
+    out.push(format!("STAT fused_steps {fused_steps}"));
     let wal = engine.store().wal_stats();
     out.push(format!(
         "STAT store_durable {}",
