@@ -20,6 +20,14 @@
 //! fusion forced and/or disabled, and the report (`BENCH_8.json`)
 //! compares per-query throughput across the two configurations.
 //!
+//! `--router SxR` runs the sharded front-tier benchmark instead: it
+//! stands up `S` shards × `R` streaming replicas behind a
+//! `vamana-router` front tier, compares aggregate QPS against one
+//! single-node server holding every document (both scatter-gather and
+//! doc-targeted traffic), then measures event-core vs. threaded-core
+//! connection scaling — hundreds of idle connections plus ≥64 active
+//! clients, with process thread counts recorded (`BENCH_9.json`).
+//!
 //! `--mixed PCT` runs the read/write benchmark instead: reader threads
 //! measure per-query latency in two windows — alone, then sharing the
 //! engine with one writer duty-cycled to `PCT`% of operations — and the
@@ -83,6 +91,12 @@ struct Args {
     /// per-query scan-suite throughput with whole-query fusion forced
     /// and/or disabled (`BENCH_8.json`).
     fused: Option<String>,
+    /// `Some((shards, replicas_per_shard))`: run the sharded front-tier
+    /// benchmark instead — aggregate QPS through a router over
+    /// `shards`×`replicas` backends vs. one single-node server holding
+    /// every document, plus the event-core vs. threaded-core connection
+    /// scaling comparison (`BENCH_9.json`).
+    router: Option<(usize, usize)>,
 }
 
 fn parse_args() -> Args {
@@ -96,6 +110,7 @@ fn parse_args() -> Args {
         replicas: None,
         views: None,
         fused: None,
+        router: None,
     };
     let mut positional = 0usize;
     let mut it = std::env::args().skip(1);
@@ -144,6 +159,17 @@ fn parse_args() -> Args {
                     "--fused takes on|off|both, got {which}"
                 );
                 args.fused = Some(which);
+            }
+            "--router" => {
+                let spec = it
+                    .next()
+                    .expect("--router takes <shards>x<replicas>, e.g. 2x1");
+                let (s, r) = spec
+                    .split_once('x')
+                    .and_then(|(s, r)| Some((s.parse().ok()?, r.parse().ok()?)))
+                    .unwrap_or_else(|| panic!("--router takes <shards>x<replicas>, got {spec}"));
+                assert!(s >= 1, "--router needs at least one shard");
+                args.router = Some((s, r));
             }
             other => {
                 if positional == 0 {
@@ -194,6 +220,10 @@ fn mode_setup(mode: &str, w: usize) -> (usize, bool, bool) {
 
 fn main() {
     let args = parse_args();
+    if let Some((shards, replicas)) = args.router {
+        run_router(&args, shards, replicas);
+        return;
+    }
     if let Some(n) = args.replicas {
         run_replicas(&args, n);
         return;
@@ -1336,6 +1366,407 @@ fn run_replicas(args: &Args, max_replicas: usize) {
     );
     out.push_str("}\n  }\n}\n");
     let path = args.out.as_deref().unwrap_or("BENCH_6.json");
+    std::fs::write(path, &out).expect("write json");
+    eprintln!("wrote {path}");
+}
+
+// ---------------------------------------------------------------------
+// Sharded front tier: `--router SxR`.
+// ---------------------------------------------------------------------
+
+/// Reader threads driving the router vs. single-node windows. Held
+/// constant across both tiers so the QPS delta isolates the topology.
+const ROUTER_READERS: usize = 8;
+
+/// Idle connections opened in the connection-scaling phase — far more
+/// than the threaded core can hold without one OS thread apiece.
+const IDLE_CONNS: usize = 256;
+
+/// Active clients during the connection-scaling measurement window.
+const ACTIVE_CLIENTS: usize = 64;
+
+/// One measurement window of the router benchmark.
+struct RouterWindow {
+    tier: &'static str,
+    traffic: &'static str,
+    reads: u64,
+    elapsed: Duration,
+}
+
+impl RouterWindow {
+    fn qps(&self) -> f64 {
+        self.reads as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+/// One core's connection-scaling result.
+struct ScalingSample {
+    core: &'static str,
+    threads_before: u64,
+    threads_after: u64,
+    reads: u64,
+    elapsed: Duration,
+}
+
+impl ScalingSample {
+    fn qps(&self) -> f64 {
+        self.reads as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+/// `Threads:` from `/proc/self/status` — every in-process server's
+/// connection and worker threads land in this count, so the delta
+/// across "open N idle connections" is exactly what the core spent.
+fn process_threads() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|status| {
+            status
+                .lines()
+                .find(|l| l.starts_with("Threads:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// Runs `readers` client threads against `addr` replaying `queries`
+/// round-robin for `window`, counting completed requests.
+fn wire_window(
+    addr: std::net::SocketAddr,
+    queries: &[String],
+    readers: usize,
+    window: Duration,
+) -> (u64, Duration) {
+    use vamana_server::testkit::Client;
+    let stop = Arc::new(AtomicBool::new(false));
+    let reads = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..readers.max(1) {
+            let stop = Arc::clone(&stop);
+            let reads = Arc::clone(&reads);
+            scope.spawn(move || {
+                let mut client = Client::connect_addr(addr);
+                client.round_trip("LIMIT 5");
+                let mut i = t; // offset so readers interleave the mix
+                while !stop.load(Ordering::Relaxed) {
+                    let reply = client.round_trip(&queries[i % queries.len()]);
+                    assert!(
+                        reply.last().is_some_and(|l| l.starts_with("OK")),
+                        "{reply:?}"
+                    );
+                    reads.fetch_add(1, Ordering::Relaxed);
+                    i += 1;
+                }
+            });
+        }
+        std::thread::sleep(window);
+        stop.store(true, Ordering::Relaxed);
+    });
+    (reads.load(Ordering::Relaxed), start.elapsed())
+}
+
+/// `--router SxR`: stand up `shards` durable primaries × `replicas`
+/// streaming replicas behind a router, load the same XMark document
+/// under `2×shards` names through the front tier, and compare aggregate
+/// QPS against a single-node server holding every document — once with
+/// scatter-gather traffic (`QUERY` with no `DOC`, fanned across every
+/// shard and merged) and once with doc-targeted traffic (`QUERY DOC`,
+/// routed to the owner and load-balanced over its fresh replicas).
+///
+/// A second phase measures what the event core is for: each core
+/// accepts [`IDLE_CONNS`] idle connections (recording the process
+/// thread-count delta — one thread apiece for the threaded core, none
+/// for the event core), then serves [`ACTIVE_CLIENTS`] concurrent
+/// query streams. Results go to `BENCH_9.json` (override with `--out`).
+fn run_router(args: &Args, shards: usize, replicas: usize) {
+    use vamana_mass::FsyncPolicy;
+    use vamana_replica::{Replica, ReplicaConfig};
+    use vamana_router::{Router, RouterConfig};
+    use vamana_server::testkit::{lag_value, Client};
+    use vamana_server::{CoreMode, Server, ServerConfig};
+
+    eprintln!("generating ~{} MB of XMark data…", args.megabytes);
+    let xml = vamana_bench::document(args.megabytes);
+    let dir = std::env::temp_dir().join(format!("vamana-bench-router-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("bench temp dir");
+    let xml_path = dir.join("xmark.xml");
+    std::fs::write(&xml_path, &xml).expect("write xml");
+
+    // Two documents per shard: enough that scatter-gather has real
+    // fan-out and the hash placement puts work on every shard.
+    let docs = (shards * 2).max(2);
+    let names: Vec<String> = (0..docs).map(|i| format!("xmark-{i}")).collect();
+
+    // Single node: every document on one process (the no-router tier).
+    let mut store = MassStore::open_memory();
+    for name in &names {
+        store.load_xml(name, &xml).expect("load single");
+    }
+    let single = Server::bind("127.0.0.1:0", Engine::new(store), ServerConfig::default())
+        .expect("bind single")
+        .spawn()
+        .expect("spawn single");
+
+    // Sharded tier: durable primaries (replication needs a WAL), then
+    // the replicas, then the router over all of them.
+    let primaries: Vec<_> = (0..shards)
+        .map(|s| {
+            let path = dir.join(format!("shard-{s}.mass"));
+            let store =
+                MassStore::create_durable(&path, 4096, FsyncPolicy::Never).expect("shard store");
+            Server::bind("127.0.0.1:0", Engine::new(store), ServerConfig::default())
+                .expect("bind shard")
+                .spawn()
+                .expect("spawn shard")
+        })
+        .collect();
+    let followers: Vec<_> = (0..shards)
+        .flat_map(|s| {
+            let primary = primaries[s].addr().to_string();
+            let dir = &dir;
+            (0..replicas).map(move |r| {
+                Replica::start(ReplicaConfig {
+                    primary: primary.clone(),
+                    data: dir.join(format!("replica-{s}-{r}.mass")),
+                    fsync: FsyncPolicy::Never,
+                    ..ReplicaConfig::default()
+                })
+                .expect("start replica")
+            })
+        })
+        .collect();
+    let router = Router::start(RouterConfig {
+        shards: (0..shards)
+            .map(|s| {
+                (
+                    primaries[s].addr().to_string(),
+                    followers[s * replicas..(s + 1) * replicas]
+                        .iter()
+                        .map(|f| f.addr().to_string())
+                        .collect(),
+                )
+            })
+            .collect(),
+        health_interval: Duration::from_millis(100),
+        ..RouterConfig::default()
+    })
+    .expect("start router");
+
+    // Load every document through the front tier so the registry holds
+    // the exact global order (and placement exercises the real ring).
+    let mut ctl = Client::connect_addr(router.addr());
+    for name in &names {
+        let reply = ctl.round_trip(&format!("LOAD {name} {}", xml_path.display()));
+        assert!(reply[0].starts_with("OK loaded"), "LOAD {name}: {reply:?}");
+    }
+
+    // Wait for every replica to apply the loads, then for the router's
+    // health monitor to observe the convergence (reads only balance to
+    // replicas the router has seen fresh).
+    for (s, primary) in primaries.iter().enumerate() {
+        let mut pc = Client::connect(primary);
+        let target = lag_value(&pc.round_trip("LAG"), "last_lsn");
+        for follower in &followers[s * replicas..(s + 1) * replicas] {
+            let mut fc = Client::connect_addr(follower.addr());
+            let deadline = Instant::now() + Duration::from_secs(30);
+            while lag_value(&fc.round_trip("LAG"), "applied_lsn") < target {
+                assert!(Instant::now() < deadline, "replica never caught up");
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+    if replicas > 0 {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let fresh = ctl
+                .round_trip("TOPOLOGY")
+                .iter()
+                .filter(|l| l.contains(" fresh=1"))
+                .count();
+            if fresh >= shards * replicas {
+                break;
+            }
+            assert!(Instant::now() < deadline, "router never saw replicas fresh");
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+
+    // Traffic mixes. Scatter: no DOC, the router fans across shards and
+    // merges; the single node walks its local registry. Targeted: DOC
+    // by name, round-robin over documents and queries.
+    let scatter: Vec<String> = SCAN_QUERIES
+        .iter()
+        .map(|(_, xpath)| format!("QUERY {xpath}"))
+        .collect();
+    let targeted: Vec<String> = names
+        .iter()
+        .flat_map(|name| {
+            SCAN_QUERIES
+                .iter()
+                .map(move |(_, xpath)| format!("QUERY DOC {name} {xpath}"))
+        })
+        .collect();
+
+    eprintln!(
+        "router benchmark: {shards} shard(s) × {replicas} replica(s), {docs} document(s), \
+         {ROUTER_READERS} reader(s)"
+    );
+    println!(
+        "{:>12} {:>10} {:>10} {:>13}",
+        "tier", "traffic", "reads", "reads/sec"
+    );
+    let mut windows: Vec<RouterWindow> = Vec::new();
+    for (tier, addr) in [("single_node", single.addr()), ("router", router.addr())] {
+        for (traffic, queries) in [("scatter", &scatter), ("targeted", &targeted)] {
+            let (reads, elapsed) = wire_window(addr, queries, ROUTER_READERS, args.window);
+            let w = RouterWindow {
+                tier,
+                traffic,
+                reads,
+                elapsed,
+            };
+            println!(
+                "{:>12} {:>10} {:>10} {:>13.1}",
+                w.tier,
+                w.traffic,
+                w.reads,
+                w.qps()
+            );
+            windows.push(w);
+        }
+    }
+    router.stop();
+    for follower in followers {
+        follower.stop();
+    }
+    for primary in primaries {
+        primary.stop();
+    }
+    single.stop();
+
+    // Connection scaling: the same protocol served by each core. Idle
+    // connections are opened (and proven live with a PING) before the
+    // thread count is sampled; the active window then runs with all of
+    // them still parked.
+    let light = format!("QUERY {}", SCAN_QUERIES[0].1);
+    println!(
+        "{:>10} {:>10} {:>14} {:>13} {:>10} {:>13}",
+        "core", "idle_conns", "threads_before", "threads_after", "active", "reads/sec"
+    );
+    let mut scaling: Vec<ScalingSample> = Vec::new();
+    for (core_name, core) in [("event", CoreMode::Event), ("threaded", CoreMode::Threaded)] {
+        let mut store = MassStore::open_memory();
+        store.load_xml("auction", &xml).expect("load scaling");
+        let config = ServerConfig {
+            core,
+            ..ServerConfig::default()
+        };
+        let server = Server::bind("127.0.0.1:0", Engine::new(store), config)
+            .expect("bind scaling")
+            .spawn()
+            .expect("spawn scaling");
+        let threads_before = process_threads();
+        let _idle: Vec<Client> = (0..IDLE_CONNS)
+            .map(|_| {
+                let mut client = Client::connect(&server);
+                let reply = client.round_trip("PING");
+                assert!(reply[0].starts_with("OK"), "{reply:?}");
+                client
+            })
+            .collect();
+        let threads_after = process_threads();
+        let (reads, elapsed) = wire_window(
+            server.addr(),
+            std::slice::from_ref(&light),
+            ACTIVE_CLIENTS,
+            args.window,
+        );
+        let sample = ScalingSample {
+            core: core_name,
+            threads_before,
+            threads_after,
+            reads,
+            elapsed,
+        };
+        println!(
+            "{:>10} {:>10} {:>14} {:>13} {:>10} {:>13.1}",
+            sample.core,
+            IDLE_CONNS,
+            sample.threads_before,
+            sample.threads_after,
+            ACTIVE_CLIENTS,
+            sample.qps()
+        );
+        scaling.push(sample);
+        drop(_idle);
+        server.stop();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let find = |tier: &str, traffic: &str| {
+        windows
+            .iter()
+            .find(|w| w.tier == tier && w.traffic == traffic)
+            .expect("window")
+    };
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"throughput_router_scatter_gather\",\n");
+    out.push_str(&format!(
+        "  \"host_cpus\": {},\n",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    ));
+    out.push_str(&format!("  \"doc_megabytes\": {},\n", args.megabytes));
+    out.push_str(&format!("  \"window_ms\": {},\n", args.window.as_millis()));
+    out.push_str(&format!("  \"readers\": {ROUTER_READERS},\n"));
+    out.push_str(&format!(
+        "  \"topology\": {{\"shards\": {shards}, \"replicas_per_shard\": {replicas}, \"documents\": {docs}}},\n"
+    ));
+    out.push_str("  \"results\": {\n");
+    for (i, tier) in ["single_node", "router"].iter().enumerate() {
+        let s = find(tier, "scatter");
+        let t = find(tier, "targeted");
+        out.push_str(&format!(
+            "    \"{tier}\": {{\"scatter_reads\": {}, \"scatter_qps\": {:.1}, \"targeted_reads\": {}, \"targeted_qps\": {:.1}}}{}\n",
+            s.reads,
+            s.qps(),
+            t.reads,
+            t.qps(),
+            if i == 0 { "," } else { "" }
+        ));
+    }
+    out.push_str("  },\n");
+    out.push_str(&format!(
+        "  \"scatter_ratio_router_over_single\": {:.2},\n",
+        find("router", "scatter").qps() / find("single_node", "scatter").qps()
+    ));
+    out.push_str(&format!(
+        "  \"targeted_ratio_router_over_single\": {:.2},\n",
+        find("router", "targeted").qps() / find("single_node", "targeted").qps()
+    ));
+    out.push_str("  \"connection_scaling\": {\n");
+    out.push_str(&format!(
+        "    \"idle_connections\": {IDLE_CONNS},\n    \"active_clients\": {ACTIVE_CLIENTS},\n"
+    ));
+    out.push_str("    \"cores\": {\n");
+    for (i, s) in scaling.iter().enumerate() {
+        out.push_str(&format!(
+            "      \"{}\": {{\"threads_before\": {}, \"threads_after\": {}, \"threads_added\": {}, \"reads\": {}, \"qps_at_active_clients\": {:.1}}}{}\n",
+            s.core,
+            s.threads_before,
+            s.threads_after,
+            s.threads_after.saturating_sub(s.threads_before),
+            s.reads,
+            s.qps(),
+            if i + 1 < scaling.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("    }\n  }\n}\n");
+    let path = args.out.as_deref().unwrap_or("BENCH_9.json");
     std::fs::write(path, &out).expect("write json");
     eprintln!("wrote {path}");
 }

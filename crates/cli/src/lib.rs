@@ -111,6 +111,8 @@ impl Session {
                 "checkpoint" => self.cmd_checkpoint(),
                 "wal" => Ok(self.cmd_wal()),
                 "replica" => self.cmd_replica(arg),
+                "topology" => self.cmd_topology(arg),
+                "router" => self.cmd_router(arg),
                 "save" => self.cmd_save(arg),
                 "open" => self.cmd_open(arg),
                 other => Err(format!("unknown command .{other}; try .help").into()),
@@ -557,30 +559,47 @@ impl Session {
         if arg.is_empty() {
             return Err(".replica needs a <host:port> to ask for LAG".into());
         }
-        use std::io::{BufRead, BufReader, Write};
-        let stream = std::net::TcpStream::connect(arg)?;
-        stream.set_read_timeout(Some(std::time::Duration::from_secs(5)))?;
-        let mut writer = stream.try_clone()?;
-        let mut reader = BufReader::new(stream);
-        writeln!(writer, "LAG")?;
-        writer.flush()?;
         let mut out = String::new();
-        loop {
-            let mut line = String::new();
-            if reader.read_line(&mut line)? == 0 {
-                return Err("server closed the connection mid-response".into());
-            }
-            let line = line.trim_end();
+        for line in wire_request(arg, "LAG")? {
             if line.starts_with("OK") {
                 break;
             }
-            if line.starts_with("ERR") {
-                return Err(line.to_string().into());
-            }
-            let _ = writeln!(out, "  {}", line.strip_prefix("LAG ").unwrap_or(line));
+            let _ = writeln!(out, "  {}", line.strip_prefix("LAG ").unwrap_or(&line));
         }
         out.pop();
         Ok(out)
+    }
+
+    /// Asks a `vamana-router` for its `TOPOLOGY` report: shard
+    /// primaries, replicas (lag and freshness as the router sees them),
+    /// and the document registry with each document's owning shard.
+    fn cmd_topology(&mut self, arg: &str) -> Result<String, Box<dyn std::error::Error>> {
+        if arg.is_empty() {
+            return Err(".topology needs a router <host:port>".into());
+        }
+        let mut out = String::new();
+        for line in wire_request(arg, "TOPOLOGY")? {
+            if line.starts_with("OK") {
+                let _ = write!(out, "{line}");
+            } else {
+                let _ = writeln!(out, "  {line}");
+            }
+        }
+        Ok(out)
+    }
+
+    /// Sends one raw protocol line to any wire endpoint (server or
+    /// router) and prints the reply verbatim — the ops escape hatch for
+    /// verbs without a dedicated dot-command (`STATS`, `CHECKPOINT`,
+    /// `CACHE LIST`, …).
+    fn cmd_router(&mut self, arg: &str) -> Result<String, Box<dyn std::error::Error>> {
+        let Some((addr, request)) = arg.split_once(char::is_whitespace) else {
+            return Err(
+                ".router needs: <host:port> <request line> (e.g. .router 127.0.0.1:4040 STATS)"
+                    .into(),
+            );
+        };
+        Ok(wire_request(addr, request.trim())?.join("\n"))
     }
 
     fn cmd_save(&mut self, path: &str) -> Result<String, Box<dyn std::error::Error>> {
@@ -638,6 +657,35 @@ impl Session {
     }
 }
 
+/// One request/reply round trip against a VAMANA wire endpoint (server
+/// or router): returns every reply line up to and including the
+/// terminating `OK …`, or `Err` carrying an `ERR …` reply.
+fn wire_request(addr: &str, request: &str) -> Result<Vec<String>, Box<dyn std::error::Error>> {
+    use std::io::{BufRead, BufReader, Write};
+    let stream = std::net::TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(5)))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    writeln!(writer, "{request}")?;
+    writer.flush()?;
+    let mut lines = Vec::new();
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err("server closed the connection mid-response".into());
+        }
+        let line = line.trim_end().to_string();
+        if line.starts_with("ERR") {
+            return Err(line.into());
+        }
+        let done = line.starts_with("OK");
+        lines.push(line);
+        if done {
+            return Ok(lines);
+        }
+    }
+}
+
 /// Round-trips a stored document back to XML text, used by `.save` to
 /// copy between pagers.
 fn reserialize(engine: &Engine, doc: DocId) -> Result<String, Box<dyn std::error::Error>> {
@@ -680,6 +728,12 @@ commands:
   .wal                write-ahead log depth, LSN range, and fsync policy
   .replica <host:port>
                       ask a server for its replication LAG report
+  .topology <host:port>
+                      ask a vamana-router for its shard/replica/document
+                      topology (health, lag bounds, placement)
+  .router <host:port> <request>
+                      send one raw protocol line to a server or router
+                      and print the reply (e.g. .router :4040 STATS)
   .save <file>        persist the store to disk with a WAL (switches to it)
   .open <file>        open a persisted store (recovers from its WAL)
   .help               this text
@@ -985,5 +1039,29 @@ mod tests {
         let out = s.execute(".count //person").unwrap();
         let n: f64 = out.split_whitespace().next().unwrap().parse().unwrap();
         assert!(n > 10.0, "{out}");
+    }
+
+    #[test]
+    fn router_and_topology_commands_speak_the_wire() {
+        let mut s = loaded();
+        s.execute(".serve 0").unwrap();
+        let addr = s.serving_addr().expect("serving").to_string();
+
+        // .router sends any raw verb; a plain server answers STATS.
+        let out = s.execute(&format!(".router {addr} STATS")).unwrap();
+        assert!(out.contains("STAT queries_total"), "{out}");
+        assert!(out.lines().last().unwrap().starts_with("OK"), "{out}");
+
+        // .topology needs a router behind the address; a plain server
+        // rejects the verb, and the error reply surfaces as the error.
+        let out = s.execute(&format!(".topology {addr}")).unwrap();
+        assert!(out.starts_with("error: ERR"), "{out}");
+
+        // Argument validation.
+        let out = s.execute(".router onlyoneword").unwrap();
+        assert!(out.contains("error"), "{out}");
+        let out = s.execute(".topology").unwrap();
+        assert!(out.contains("error"), "{out}");
+        s.execute(".serve stop").unwrap();
     }
 }

@@ -17,7 +17,7 @@
 //!   page is touched beyond the single clustered scan;
 //! * existential predicate branches (`[b[c]]`) are verified per
 //!   matching record through the name index
-//!   ([`verify_pred`]), the same index-only probe
+//!   (`verify_pred`), the same index-only probe
 //!   `exists_fast_path` uses for pushed-down predicates.
 //!
 //! The record feed itself goes through

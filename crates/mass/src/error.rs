@@ -8,7 +8,12 @@ pub enum MassError {
     /// Underlying file I/O failed.
     Io(std::io::Error),
     /// A page id was out of range or a page image was malformed.
-    CorruptPage { page: u32, reason: String },
+    CorruptPage {
+        /// The offending page id.
+        page: u32,
+        /// What was wrong with it.
+        reason: String,
+    },
     /// A record did not decode.
     CorruptRecord(String),
     /// The requested key does not exist in the store.

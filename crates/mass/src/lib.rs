@@ -40,6 +40,8 @@
 //! assert!(stream.next().unwrap().is_some());
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod axes;
 pub mod buffer;
 pub mod catalog;

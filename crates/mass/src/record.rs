@@ -45,7 +45,12 @@ pub enum ValueRef {
     /// Short value stored inline in the record.
     Inline(Box<str>),
     /// Long value stored in the overflow blob heap: (offset, byte length).
-    Overflow { offset: u64, len: u32 },
+    Overflow {
+        /// Byte offset of the blob in the overflow heap.
+        offset: u64,
+        /// Byte length of the blob.
+        len: u32,
+    },
 }
 
 /// One stored node.

@@ -1,0 +1,181 @@
+//! One routed-to server process: its address, health gauges, and a
+//! small pool of idle protocol connections.
+//!
+//! Router workers check a connection out, run one request, and check it
+//! back in; connections are created on demand and discarded on any I/O
+//! error (the next checkout dials fresh). Every pooled connection sends
+//! `LIMIT 0` once at dial time: backends stream *all* rows and the
+//! router applies the client's own limit after merging — a per-shard
+//! limit would under-fill cross-shard results.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// How long a backend dial may take before the attempt counts as a
+/// failure (keeps a dead backend from stalling a scatter).
+const DIAL_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// Per-request I/O budget on a backend connection.
+const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Health gauges the monitor thread maintains and routing reads.
+#[derive(Debug, Default)]
+pub struct Health {
+    /// Whether the last probe (or last routed request) succeeded.
+    pub up: AtomicBool,
+    /// Primaries: last committed LSN. Replicas: last applied LSN.
+    pub lsn: AtomicU64,
+    /// Consecutive failed probes (resets on success).
+    pub failures: AtomicU64,
+    /// Total successful probes.
+    pub probes: AtomicU64,
+}
+
+/// A checked-out protocol connection to one backend.
+pub struct Conn {
+    reader: BufReader<TcpStream>,
+}
+
+impl Conn {
+    fn dial(addr: &str) -> std::io::Result<Conn> {
+        let sockaddr = addr
+            .parse()
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, format!("{e}")))?;
+        let stream = TcpStream::connect_timeout(&sockaddr, DIAL_TIMEOUT)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(IO_TIMEOUT))?;
+        stream.set_write_timeout(Some(IO_TIMEOUT))?;
+        let mut conn = Conn {
+            reader: BufReader::new(stream),
+        };
+        // Uncap the backend's row limit for the lifetime of this
+        // connection; the router enforces the client's limit itself.
+        let reply = conn.round_trip("LIMIT 0")?;
+        if reply.last().map(|l| l.starts_with("OK")) != Some(true) {
+            return Err(std::io::Error::other(format!(
+                "backend {addr} rejected LIMIT 0: {reply:?}"
+            )));
+        }
+        Ok(conn)
+    }
+
+    /// Sends one request line and reads response lines through the
+    /// `OK`/`ERR` terminator.
+    pub fn round_trip(&mut self, request: &str) -> std::io::Result<Vec<String>> {
+        let stream = self.reader.get_ref();
+        let mut writer = stream.try_clone()?;
+        writer.write_all(request.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        let mut lines = Vec::new();
+        loop {
+            let mut line = String::new();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    format!("backend closed mid-response to {request:?}"),
+                ));
+            }
+            let line = line.trim_end_matches(['\n', '\r']).to_string();
+            let done = line.starts_with("OK") || line.starts_with("ERR");
+            lines.push(line);
+            if done {
+                return Ok(lines);
+            }
+        }
+    }
+}
+
+/// One backend process: address, health, and idle connections.
+pub struct Backend {
+    /// The address requests are dialed to.
+    pub addr: String,
+    /// Health gauges (see [`Health`]).
+    pub health: Health,
+    idle: Mutex<Vec<Conn>>,
+}
+
+impl Backend {
+    /// A backend for `addr`, initially presumed up (the first probe or
+    /// request corrects this within one health interval).
+    pub fn new(addr: String) -> Backend {
+        let health = Health::default();
+        health.up.store(true, Ordering::Relaxed);
+        Backend {
+            addr,
+            health,
+            idle: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn idle_pool(&self) -> std::sync::MutexGuard<'_, Vec<Conn>> {
+        self.idle.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Checks out an idle connection or dials a new one.
+    pub fn checkout(&self) -> std::io::Result<Conn> {
+        if let Some(conn) = self.idle_pool().pop() {
+            return Ok(conn);
+        }
+        Conn::dial(&self.addr)
+    }
+
+    /// Returns a healthy connection to the pool (error-path connections
+    /// are simply dropped).
+    pub fn checkin(&self, conn: Conn) {
+        let mut pool = self.idle_pool();
+        if pool.len() < 16 {
+            pool.push(conn);
+        }
+    }
+
+    /// Runs one request with connection reuse; any I/O error marks the
+    /// backend down (the health monitor brings it back) and discards
+    /// the connection.
+    pub fn request(&self, line: &str) -> std::io::Result<Vec<String>> {
+        let attempt = self
+            .checkout()
+            .and_then(|mut conn| conn.round_trip(line).map(|reply| (conn, reply)));
+        match attempt {
+            Ok((conn, reply)) => {
+                self.checkin(conn);
+                self.health.up.store(true, Ordering::Relaxed);
+                Ok(reply)
+            }
+            Err(e) => {
+                self.health.up.store(false, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    /// Whether routing should currently consider this backend.
+    pub fn is_up(&self) -> bool {
+        self.health.up.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn down_backend_reports_dial_error() {
+        // A port from the ephemeral range with nothing bound: connect
+        // must fail fast, not hang.
+        let backend = Backend::new("127.0.0.1:1".into());
+        let err = backend.request("PING").unwrap_err();
+        assert!(
+            matches!(
+                err.kind(),
+                std::io::ErrorKind::ConnectionRefused
+                    | std::io::ErrorKind::TimedOut
+                    | std::io::ErrorKind::PermissionDenied
+            ),
+            "{err:?}"
+        );
+    }
+}

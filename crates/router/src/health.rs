@@ -1,0 +1,63 @@
+//! Background health monitoring.
+//!
+//! One thread probes every backend with `LAG` on a fixed interval and
+//! writes the results into each backend's [`Health`] gauges. Routing
+//! never trusts a replica's *own* view of its lag: a replica cut off
+//! from its primary keeps reporting `behind 0` while silently going
+//! stale, so freshness is computed router-side as
+//! `primary.last_lsn − replica.applied_lsn` using the two most recent
+//! probes. A backend whose probe fails is marked down immediately and
+//! comes back on the first successful probe — so failover and recovery
+//! both happen within one health interval.
+//!
+//! [`Health`]: crate::backend::Health
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::topology::Topology;
+
+/// Parses `LAG <key> <value>` out of a probe response.
+fn lag_value(lines: &[String], key: &str) -> Option<u64> {
+    let want = format!("LAG {key} ");
+    lines
+        .iter()
+        .find_map(|l| l.strip_prefix(&want))
+        .and_then(|v| v.parse().ok())
+}
+
+/// Probes one backend and updates its gauges; `key` names the LSN
+/// gauge that matters for its role (`last_lsn` on primaries,
+/// `applied_lsn` on replicas).
+fn probe(backend: &crate::backend::Backend, key: &str) {
+    match backend.request("LAG") {
+        Ok(reply) => {
+            if let Some(lsn) = lag_value(&reply, key) {
+                backend.health.lsn.store(lsn, Ordering::Relaxed);
+            }
+            backend.health.up.store(true, Ordering::Relaxed);
+            backend.health.failures.store(0, Ordering::Relaxed);
+            backend.health.probes.fetch_add(1, Ordering::Relaxed);
+        }
+        Err(_) => {
+            backend.health.up.store(false, Ordering::Relaxed);
+            backend.health.failures.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Runs the monitor until `stop` returns true. Spawned by
+/// [`Router::start`](crate::Router::start); the interval comes from
+/// [`RouterConfig::health_interval`](crate::RouterConfig).
+pub fn run_monitor(topology: Arc<Topology>, interval: Duration, stop: impl Fn() -> bool) {
+    while !stop() {
+        for shard in &topology.shards {
+            probe(&shard.primary, "last_lsn");
+            for replica in &shard.replicas {
+                probe(replica, "applied_lsn");
+            }
+        }
+        std::thread::sleep(interval);
+    }
+}

@@ -1,0 +1,90 @@
+//! `vamana-router` — the sharded front-tier process.
+//!
+//! ```text
+//! vamana-router --listen 127.0.0.1:4040 \
+//!               --shard 127.0.0.1:4050,127.0.0.1:4051,127.0.0.1:4052 \
+//!               --shard 127.0.0.1:4060,127.0.0.1:4061 \
+//!               [--max-lag N] [--health-interval MS] [--retries N]
+//!               [--workers N] [--port-file PATH]
+//! ```
+//!
+//! Each `--shard` is a comma-separated list: the primary's address
+//! first, then any read replicas. Clients speak the ordinary VAMANA
+//! line protocol to `--listen`; see `DESIGN.md` ("Wire protocol") for
+//! the router-specific verbs (`TOPOLOGY`) and routing semantics. With
+//! `--port-file`, the actually bound address is written there
+//! write-then-rename once serving (useful with port 0).
+
+use std::time::Duration;
+
+use vamana_router::{Router, RouterConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: vamana-router --listen <addr> --shard <primary>[,<replica>...]... \
+         [--max-lag N] [--health-interval MS] [--retries N] [--workers N] \
+         [--port-file PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut config = RouterConfig::default();
+    let mut port_file: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--listen" => config.listen = value(),
+            "--shard" => {
+                let spec = value();
+                let mut parts = spec.split(',').map(str::to_string);
+                let Some(primary) = parts.next().filter(|p| !p.is_empty()) else {
+                    usage();
+                };
+                config.shards.push((primary, parts.collect()));
+            }
+            "--max-lag" => match value().parse() {
+                Ok(n) => config.max_lag = n,
+                Err(_) => usage(),
+            },
+            "--health-interval" => match value().parse() {
+                Ok(ms) => config.health_interval = Duration::from_millis(ms),
+                Err(_) => usage(),
+            },
+            "--retries" => match value().parse() {
+                Ok(n) => config.retries = n,
+                Err(_) => usage(),
+            },
+            "--workers" => match value().parse() {
+                Ok(n) => config.workers = n,
+                Err(_) => usage(),
+            },
+            "--port-file" => port_file = Some(value()),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    let handle = match Router::start(config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("vamana-router: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!("vamana-router serving on {}", handle.addr());
+    if let Some(path) = port_file {
+        // Write-then-rename so a watcher never reads a half-written file.
+        let tmp = format!("{path}.tmp");
+        if std::fs::write(&tmp, handle.addr().to_string())
+            .and_then(|()| std::fs::rename(&tmp, &path))
+            .is_err()
+        {
+            eprintln!("vamana-router: cannot write port file {path}");
+            std::process::exit(1);
+        }
+    }
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}

@@ -1,0 +1,208 @@
+//! The routed-to cluster: shards, their replicas, and the global
+//! document registry.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::RwLock;
+
+use crate::backend::Backend;
+use crate::ring::Ring;
+
+/// One shard: a write primary plus any number of read replicas.
+pub struct Shard {
+    /// The primary — owns writes and is the read fallback.
+    pub primary: Backend,
+    /// Read replicas following the primary's WAL feed.
+    pub replicas: Vec<Backend>,
+    /// Round-robin cursor for replica selection.
+    rr: AtomicUsize,
+}
+
+impl Shard {
+    /// Builds a shard from addresses.
+    pub fn new(primary: String, replicas: Vec<String>) -> Shard {
+        Shard {
+            primary: Backend::new(primary),
+            replicas: replicas.into_iter().map(Backend::new).collect(),
+            rr: AtomicUsize::new(0),
+        }
+    }
+
+    /// How far `replica` trails this shard's primary, from the health
+    /// monitor's last probes. Computed router-side — a replica cut off
+    /// from its primary self-reports `behind 0` while going stale, so
+    /// its own view is never trusted.
+    pub fn behind(&self, replica: &Backend) -> u64 {
+        self.primary
+            .health
+            .lsn
+            .load(Ordering::Relaxed)
+            .saturating_sub(replica.health.lsn.load(Ordering::Relaxed))
+    }
+
+    /// The ordered candidate list for a read: fresh replicas first
+    /// (round-robin rotated), then the primary, then stale or down
+    /// replicas as a last resort. Also returns how many up-but-stale
+    /// replicas were demoted past the primary (the LAG-bound
+    /// rejections, counted by the router's metrics).
+    pub fn read_plan(&self, max_lag: u64) -> (Vec<&Backend>, u64) {
+        let n = self.replicas.len();
+        let start = if n > 0 {
+            self.rr.fetch_add(1, Ordering::Relaxed) % n
+        } else {
+            0
+        };
+        let mut fresh = Vec::new();
+        let mut rest = Vec::new();
+        let mut stale = 0;
+        for k in 0..n {
+            let replica = &self.replicas[(start + k) % n];
+            if replica.is_up() && self.behind(replica) <= max_lag {
+                fresh.push(replica);
+            } else {
+                if replica.is_up() {
+                    stale += 1;
+                }
+                rest.push(replica);
+            }
+        }
+        let mut plan = fresh;
+        plan.push(&self.primary);
+        plan.extend(rest);
+        (plan, stale)
+    }
+}
+
+/// The full cluster: shard list plus the consistent-hash ring that
+/// places documents on it.
+pub struct Topology {
+    /// The shards, in configuration order.
+    pub shards: Vec<Shard>,
+    /// Document-name → shard placement.
+    pub ring: Ring,
+}
+
+impl Topology {
+    /// Builds the topology from `(primary, replicas)` address pairs.
+    pub fn new(shards: Vec<(String, Vec<String>)>) -> Topology {
+        let ring = Ring::new(shards.len().max(1));
+        Topology {
+            shards: shards.into_iter().map(|(p, r)| Shard::new(p, r)).collect(),
+            ring,
+        }
+    }
+
+    /// Every backend, primaries first (used by broadcast verbs and the
+    /// health monitor).
+    pub fn all_backends(&self) -> impl Iterator<Item = &Backend> {
+        self.shards
+            .iter()
+            .map(|s| &s.primary)
+            .chain(self.shards.iter().flat_map(|s| s.replicas.iter()))
+    }
+}
+
+/// One registered document: its name and owning shard.
+#[derive(Debug, Clone)]
+pub struct DocEntry {
+    /// The document name (the routing key).
+    pub name: String,
+    /// Index of the owning shard.
+    pub shard: usize,
+}
+
+/// The global document registry, in global load order.
+///
+/// Ordinal position here is what makes scatter-gather merging correct:
+/// FLEX keys order by load ordinal, and each shard's local load order
+/// is a subsequence of this global order, so concatenating per-document
+/// results by registry ordinal reproduces single-store document order
+/// exactly.
+#[derive(Default)]
+pub struct Registry {
+    docs: RwLock<Vec<DocEntry>>,
+}
+
+impl Registry {
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, Vec<DocEntry>> {
+        self.docs.read().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Registers `name` on `shard` (idempotent); returns its ordinal.
+    pub fn register(&self, name: &str, shard: usize) -> usize {
+        let mut docs = self.docs.write().unwrap_or_else(|p| p.into_inner());
+        if let Some(i) = docs.iter().position(|d| d.name == name) {
+            return i;
+        }
+        docs.push(DocEntry {
+            name: name.to_string(),
+            shard,
+        });
+        docs.len() - 1
+    }
+
+    /// A point-in-time copy, in global load order.
+    pub fn snapshot(&self) -> Vec<DocEntry> {
+        self.read().clone()
+    }
+
+    /// Registered document count.
+    pub fn len(&self) -> usize {
+        self.read().len()
+    }
+
+    /// Whether no documents are registered yet.
+    pub fn is_empty(&self) -> bool {
+        self.read().is_empty()
+    }
+
+    /// Resolves a protocol document token — a global ordinal or a name
+    /// — to `(ordinal, entry)`, mirroring the server's own resolution.
+    pub fn resolve(&self, token: &str) -> Option<(usize, DocEntry)> {
+        let docs = self.read();
+        if let Ok(i) = token.parse::<usize>() {
+            if i < docs.len() {
+                return Some((i, docs[i].clone()));
+            }
+        }
+        docs.iter()
+            .position(|d| d.name == token)
+            .map(|i| (i, docs[i].clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_preserves_load_order_and_dedups() {
+        let reg = Registry::default();
+        assert_eq!(reg.register("a", 0), 0);
+        assert_eq!(reg.register("b", 1), 1);
+        assert_eq!(reg.register("a", 0), 0);
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.resolve("1").unwrap().1.name, "b");
+        assert_eq!(reg.resolve("b").unwrap().0, 1);
+        assert!(reg.resolve("missing").is_none());
+    }
+
+    #[test]
+    fn read_plan_prefers_fresh_replicas_then_primary() {
+        let shard = Shard::new("p".into(), vec!["r0".into(), "r1".into()]);
+        shard.primary.health.lsn.store(10, Ordering::Relaxed);
+        shard.replicas[0].health.lsn.store(10, Ordering::Relaxed); // fresh
+        shard.replicas[1].health.lsn.store(2, Ordering::Relaxed); // stale
+        let (plan, stale) = shard.read_plan(3);
+        assert_eq!(stale, 1);
+        let addrs: Vec<&str> = plan.iter().map(|b| b.addr.as_str()).collect();
+        assert_eq!(addrs, ["r0", "p", "r1"]);
+    }
+
+    #[test]
+    fn read_plan_rotates_fresh_replicas() {
+        let shard = Shard::new("p".into(), vec!["r0".into(), "r1".into()]);
+        let first = shard.read_plan(0).0[0].addr.clone();
+        let second = shard.read_plan(0).0[0].addr.clone();
+        assert_ne!(first, second, "round-robin must alternate");
+    }
+}

@@ -1,0 +1,661 @@
+//! Router end-to-end tests: real TCP servers behind a real router,
+//! covering the front-tier acceptance criteria — consistent routing
+//! (the same document always lands on the same shard), scatter-gather
+//! results byte-equal to a single-node engine holding every document,
+//! LAG-bounded read rejection falling back to the primary, replica
+//! failover within the health-check window (`kill -9` of a real
+//! follower process), and clean degradation when a primary dies
+//! mid-stream.
+
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use vamana_core::Engine;
+use vamana_mass::{FsyncPolicy, MassStore};
+use vamana_router::{Router, RouterConfig, RouterHandle};
+use vamana_server::testkit::{lag_value, stat_value, Client};
+use vamana_server::{ReplicaRole, ReplicaStatus, Server, ServerConfig, ServerHandle};
+
+const DEADLINE: Duration = Duration::from_secs(20);
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("vamana-router-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn memory_server() -> ServerHandle {
+    Server::bind(
+        "127.0.0.1:0",
+        Engine::new(MassStore::open_memory()),
+        ServerConfig::default(),
+    )
+    .expect("bind")
+    .spawn()
+    .expect("spawn")
+}
+
+fn start_router(shards: Vec<(String, Vec<String>)>, config: RouterConfig) -> RouterHandle {
+    Router::start(RouterConfig { shards, ..config }).expect("start router")
+}
+
+/// The comparison baseline: ROW lines plus the stable `OK <n> row(s)`
+/// prefix (plan/latency details differ between a router and a single
+/// node by construction).
+fn stable_rows(mut reply: Vec<String>) -> Vec<String> {
+    let ok = reply.pop().expect("terminator");
+    assert!(ok.starts_with("OK"), "{ok}");
+    let stable = if ok.starts_with("OK scalar") {
+        "OK scalar".to_string()
+    } else {
+        ok.split(" plan=")
+            .next()
+            .unwrap_or(&ok)
+            .trim_end()
+            .to_string()
+    };
+    reply.push(stable);
+    reply
+}
+
+const DOCS: [(&str, &str); 4] = [
+    (
+        "east",
+        "<site><people><person><name>Ada</name></person><person><name>Alan</name></person></people></site>",
+    ),
+    (
+        "west",
+        "<site><people><person><name>Grace</name></person></people></site>",
+    ),
+    (
+        "north",
+        "<site><people><person><name>Edsger</name></person><person><name>Barbara</name></person></people></site>",
+    ),
+    (
+        "south",
+        "<site><people><person><name>Donald</name></person></people></site>",
+    ),
+];
+
+#[test]
+fn consistent_routing_and_scatter_gather_match_single_node() {
+    // Two shards, no replicas; the same four documents loaded through
+    // the router and into one single-node engine, in the same order.
+    let shard0 = memory_server();
+    let shard1 = memory_server();
+    let router = start_router(
+        vec![
+            (shard0.addr().to_string(), vec![]),
+            (shard1.addr().to_string(), vec![]),
+        ],
+        RouterConfig::default(),
+    );
+    let single = memory_server();
+
+    let mut via_router = Client::connect_addr(router.addr());
+    let mut via_single = Client::connect_addr(single.addr());
+    for (name, xml) in DOCS {
+        let reply = via_router.round_trip(&format!("LOADXML {name} {xml}"));
+        assert!(reply[0].starts_with("OK loaded"), "{reply:?}");
+        let reply = via_single.round_trip(&format!("LOADXML {name} {xml}"));
+        assert!(reply[0].starts_with("OK loaded"), "{reply:?}");
+    }
+
+    // Both shards got documents (the ring spreads four names), and the
+    // registry knows all four in load order.
+    let topology = via_router.round_trip("TOPOLOGY");
+    let placed: Vec<&String> = topology.iter().filter(|l| l.starts_with("DOC ")).collect();
+    assert_eq!(placed.len(), 4, "{topology:?}");
+    for (ordinal, (name, _)) in DOCS.iter().enumerate() {
+        assert!(
+            placed[ordinal].starts_with(&format!("DOC {ordinal} {name} ")),
+            "registry out of load order: {placed:?}"
+        );
+    }
+
+    // Scatter-gather equals the single node, row for row, across
+    // limits, for node-set queries of different shapes.
+    for limit in [0, 2, 20] {
+        via_router.round_trip(&format!("LIMIT {limit}"));
+        via_single.round_trip(&format!("LIMIT {limit}"));
+        for q in [
+            "QUERY //person/name",
+            "QUERY //people",
+            "QUERY //person[name='Grace']",
+            "QUERY //nothing",
+        ] {
+            assert_eq!(
+                stable_rows(via_router.round_trip(q)),
+                stable_rows(via_single.round_trip(q)),
+                "router and single node diverge on {q} at LIMIT {limit}"
+            );
+        }
+    }
+
+    // Doc-scoped reads and document-0 semantics survive routing.
+    via_router.round_trip("LIMIT 0");
+    via_single.round_trip("LIMIT 0");
+    for q in [
+        "QUERY DOC west //person/name",
+        "QUERY DOC 2 //name",
+        "EVAL count(//person)", // doc 0 = globally-first = "east"
+        "EVAL DOC south count(//person)",
+    ] {
+        assert_eq!(
+            stable_rows(via_router.round_trip(q)),
+            stable_rows(via_single.round_trip(q)),
+            "diverge on {q}"
+        );
+    }
+
+    // Consistent routing: re-resolving every document hits the same
+    // shard every time (the TOPOLOGY placement is stable).
+    for _ in 0..3 {
+        assert_eq!(
+            via_router
+                .round_trip("TOPOLOGY")
+                .iter()
+                .filter(|l| l.starts_with("DOC "))
+                .collect::<Vec<_>>(),
+            placed,
+            "placement drifted between requests"
+        );
+    }
+
+    // A routed write lands on the owning shard and is visible to the
+    // next scatter — equal to the single node applying the same write.
+    for target in [&mut via_router, &mut via_single] {
+        let reply = target.round_trip("INSERT north //people <person><name>Tony</name></person>");
+        assert!(reply[0].starts_with("OK update"), "{reply:?}");
+    }
+    assert_eq!(
+        stable_rows(via_router.round_trip("QUERY //person/name")),
+        stable_rows(via_single.round_trip("QUERY //person/name")),
+        "post-write scatter diverges"
+    );
+
+    // EXPLAIN routes and returns a plan report.
+    let plan = via_router.round_trip("EXPLAIN DOC east //person/name");
+    assert!(plan.iter().any(|l| l.starts_with("PLAN ")), "{plan:?}");
+
+    // Aggregated stats see both shards' engines.
+    let stats = via_router.round_trip("STATS");
+    assert_eq!(stat_value(&stats, "router_shards"), 2, "{stats:?}");
+    assert_eq!(stat_value(&stats, "router_docs"), 4, "{stats:?}");
+    assert_eq!(stat_value(&stats, "router_primaries_reporting"), 2);
+    assert_eq!(stat_value(&stats, "documents"), 4, "summed over shards");
+    assert!(stat_value(&stats, "router_scatters") >= 4, "{stats:?}");
+
+    router.stop();
+    shard0.stop();
+    shard1.stop();
+    single.stop();
+}
+
+#[test]
+fn a_new_router_bootstraps_the_registry_from_running_shards() {
+    let shard0 = memory_server();
+    let shard1 = memory_server();
+    let shards = vec![
+        (shard0.addr().to_string(), vec![]),
+        (shard1.addr().to_string(), vec![]),
+    ];
+    let first = start_router(shards.clone(), RouterConfig::default());
+    let mut client = Client::connect_addr(first.addr());
+    // These names alternate shards on the 2-ring (west/auction → one
+    // shard, east/north → the other), so a bootstrapping router can
+    // reconstruct the global load order exactly by interleaving the
+    // shards' local orders — the property this test pins down.
+    for (name, xml) in [
+        ("west", DOCS[1].1),
+        ("east", DOCS[0].1),
+        ("auction", DOCS[3].1),
+        ("north", DOCS[2].1),
+    ] {
+        client.round_trip(&format!("LOADXML {name} {xml}"));
+    }
+    let reference = stable_rows(client.round_trip("QUERY //person/name"));
+    first.stop();
+
+    // A second, stateless router instance over the same shards learns
+    // the documents from DOCS and answers identically.
+    let second = start_router(shards, RouterConfig::default());
+    let mut client = Client::connect_addr(second.addr());
+    let docs = client.round_trip("DOCS");
+    assert!(
+        docs.last().unwrap().starts_with("OK 4 document(s)"),
+        "{docs:?}"
+    );
+    assert_eq!(
+        stable_rows(client.round_trip("QUERY //person/name")),
+        reference,
+        "bootstrapped router diverges from the loading router"
+    );
+    second.stop();
+    shard0.stop();
+    shard1.stop();
+}
+
+#[test]
+fn unknown_documents_route_to_a_clean_error() {
+    let shard = memory_server();
+    let router = start_router(
+        vec![(shard.addr().to_string(), vec![])],
+        RouterConfig::default(),
+    );
+    let mut client = Client::connect_addr(router.addr());
+    client.round_trip("LOADXML known <r><a>1</a></r>");
+
+    // A named unknown document is forwarded to its ring owner, which
+    // answers exactly like a single node would.
+    let err = client.round_trip("QUERY DOC missing //a");
+    assert!(err[0].starts_with("ERR query no such document"), "{err:?}");
+    // A numeric ordinal beyond the registry cannot be ring-placed and
+    // is rejected at the router.
+    let err = client.round_trip("EVAL DOC 7 count(//a)");
+    assert!(err[0].starts_with("ERR query no such document"), "{err:?}");
+    let err = client.round_trip("INSERT 99 //a <b/>");
+    assert!(err[0].starts_with("ERR query no such document"), "{err:?}");
+    // The connection survives every error.
+    assert_eq!(client.round_trip("PING"), vec!["OK pong"]);
+    router.stop();
+    shard.stop();
+}
+
+/// A read-only "replica" whose LAG gauges the test controls directly:
+/// a server with a replica role over an independent engine. The router
+/// never trusts a replica's self-reported lag, but it does read its
+/// `applied_lsn` — which this harness pins wherever the test wants.
+fn fake_replica(
+    primary: SocketAddr,
+    xml_docs: &[(&str, &str)],
+) -> (ServerHandle, Arc<ReplicaStatus>) {
+    let mut store = MassStore::open_memory();
+    for (name, xml) in xml_docs {
+        store.load_xml(name, xml).unwrap();
+    }
+    let status = Arc::new(ReplicaStatus::default());
+    status.connected.store(true, Ordering::Relaxed);
+    let handle = Server::bind(
+        "127.0.0.1:0",
+        Engine::new(store),
+        ServerConfig {
+            replica: Some(ReplicaRole {
+                primary: primary.to_string(),
+                status: Arc::clone(&status),
+            }),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind")
+    .spawn()
+    .expect("spawn");
+    (handle, status)
+}
+
+#[test]
+fn stale_replica_is_rejected_by_the_lag_bound_and_reads_fall_back_to_primary() {
+    let dir = temp_dir("lagbound");
+    // A durable primary so writes advance a real LSN.
+    let mut store =
+        MassStore::create_durable(dir.join("primary.mass"), 512, FsyncPolicy::Never).unwrap();
+    store
+        .load_xml(
+            "auction",
+            "<site><people><person><name>Ada</name></person></people></site>",
+        )
+        .unwrap();
+    let primary = Server::bind("127.0.0.1:0", Engine::new(store), ServerConfig::default())
+        .expect("bind")
+        .spawn()
+        .expect("spawn");
+
+    // The "replica" holds only the pre-write data and reports a pinned
+    // applied LSN of 0.
+    let (replica, _status) = fake_replica(
+        primary.addr(),
+        &[(
+            "auction",
+            "<site><people><person><name>Ada</name></person></people></site>",
+        )],
+    );
+
+    let router = start_router(
+        vec![(primary.addr().to_string(), vec![replica.addr().to_string()])],
+        RouterConfig {
+            max_lag: 1_000_000, // effectively unbounded for now
+            health_interval: Duration::from_millis(50),
+            ..RouterConfig::default()
+        },
+    );
+    let mut client = Client::connect_addr(router.addr());
+
+    // Write through the router: the primary's LSN advances; the fake
+    // replica stays at applied_lsn 0 and still has the old data.
+    let reply = client.round_trip("INSERT auction //people <person><name>New</name></person>");
+    assert!(reply[0].starts_with("OK update"), "{reply:?}");
+
+    // Give the health monitor a probe cycle to see the new LSNs.
+    let until = Instant::now() + DEADLINE;
+    loop {
+        let lag = client.round_trip("LAG");
+        if lag_value(&lag, "shard0_last_lsn") >= 2 && lag_value(&lag, "shard0_replica0_behind") >= 1
+        {
+            break;
+        }
+        assert!(Instant::now() < until, "health never converged: {lag:?}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // With the bound wide open, the replica serves reads — and its
+    // answer is visibly stale (1 person, not 2). This proves the
+    // replica really is in the read path.
+    let stale = client.round_trip("EVAL count(//person)");
+    assert_eq!(stale[0], "VAL 1", "expected the stale replica: {stale:?}");
+
+    router.stop();
+
+    // Same topology with max_lag 0: the stale replica is demoted and
+    // every read falls back to the primary's fresh answer.
+    let strict = start_router(
+        vec![(primary.addr().to_string(), vec![replica.addr().to_string()])],
+        RouterConfig {
+            max_lag: 0,
+            health_interval: Duration::from_millis(50),
+            ..RouterConfig::default()
+        },
+    );
+    let mut client = Client::connect_addr(strict.addr());
+    let until = Instant::now() + DEADLINE;
+    loop {
+        let lag = client.round_trip("LAG");
+        if lag_value(&lag, "shard0_replica0_behind") >= 1 {
+            break;
+        }
+        assert!(Instant::now() < until, "health never converged: {lag:?}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    for _ in 0..4 {
+        let fresh = client.round_trip("EVAL count(//person)");
+        assert_eq!(
+            fresh[0], "VAL 2",
+            "stale replica served under max_lag=0: {fresh:?}"
+        );
+    }
+    let stats = client.round_trip("STATS");
+    assert!(
+        stat_value(&stats, "router_lag_rejections") >= 4,
+        "{stats:?}"
+    );
+    let topo = client.round_trip("TOPOLOGY");
+    assert!(
+        topo.iter()
+            .any(|l| l.starts_with("REPLICA 0.0") && l.ends_with("fresh=0")),
+        "{topo:?}"
+    );
+
+    strict.stop();
+    replica.stop();
+    primary.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+struct FollowerProc {
+    child: Child,
+    addr: SocketAddr,
+}
+
+/// The `vamana-replica` binary: next to this test binary if the
+/// workspace was built, otherwise built on demand (tests of one crate
+/// do not build another crate's binaries by default).
+fn replica_bin() -> PathBuf {
+    let mut dir = std::env::current_exe().expect("test binary path");
+    dir.pop(); // deps/
+    dir.pop(); // debug/ or release/
+    let candidate = dir.join("vamana-replica");
+    if !candidate.exists() {
+        let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+        let status = Command::new(cargo)
+            .args(["build", "-p", "vamana-replica", "--bin", "vamana-replica"])
+            .status()
+            .expect("run cargo build");
+        assert!(status.success(), "building vamana-replica failed");
+    }
+    candidate
+}
+
+/// Spawns the real `vamana-replica` binary and waits for its port file.
+fn spawn_follower_process(primary: SocketAddr, data: &Path) -> FollowerProc {
+    let port_file = data.with_extension("port");
+    let _ = std::fs::remove_file(&port_file);
+    let child = Command::new(replica_bin())
+        .args([
+            "--primary",
+            &primary.to_string(),
+            "--listen",
+            "127.0.0.1:0",
+            "--data",
+            data.to_str().unwrap(),
+            "--fsync",
+            "never",
+            "--port-file",
+            port_file.to_str().unwrap(),
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn vamana-replica");
+    let until = Instant::now() + DEADLINE;
+    let addr = loop {
+        if let Ok(text) = std::fs::read_to_string(&port_file) {
+            if let Ok(addr) = text.trim().parse() {
+                break addr;
+            }
+        }
+        assert!(Instant::now() < until, "follower never wrote {port_file:?}");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    FollowerProc { child, addr }
+}
+
+#[test]
+fn killed_replica_fails_over_within_the_health_window() {
+    let dir = temp_dir("failover");
+    let mut store =
+        MassStore::create_durable(dir.join("primary.mass"), 512, FsyncPolicy::Never).unwrap();
+    store
+        .load_xml(
+            "auction",
+            "<site><people><person><name>Ada</name></person></people></site>",
+        )
+        .unwrap();
+    let primary = Server::bind("127.0.0.1:0", Engine::new(store), ServerConfig::default())
+        .expect("bind")
+        .spawn()
+        .expect("spawn");
+
+    // Two real follower processes streaming the primary's WAL.
+    let mut f1 = spawn_follower_process(primary.addr(), &dir.join("r1.mass"));
+    let mut f2 = spawn_follower_process(primary.addr(), &dir.join("r2.mass"));
+    for proc in [&f1, &f2] {
+        let mut c = Client::connect_retry(proc.addr, DEADLINE);
+        let until = Instant::now() + DEADLINE;
+        loop {
+            let lag = c.round_trip("LAG");
+            if lag_value(&lag, "behind") == 0 && lag_value(&lag, "applied_lsn") >= 1 {
+                break;
+            }
+            assert!(Instant::now() < until, "follower never converged: {lag:?}");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    let health_interval = Duration::from_millis(50);
+    let router = start_router(
+        vec![(
+            primary.addr().to_string(),
+            vec![f1.addr.to_string(), f2.addr.to_string()],
+        )],
+        RouterConfig {
+            max_lag: 0,
+            health_interval,
+            ..RouterConfig::default()
+        },
+    );
+    let mut client = Client::connect_addr(router.addr());
+    for _ in 0..4 {
+        let reply = client.round_trip("EVAL count(//person)");
+        assert_eq!(reply[0], "VAL 1", "{reply:?}");
+    }
+
+    // kill -9 one replica mid-service: every subsequent read must still
+    // be answered (failover to the sibling replica or the primary), and
+    // within the health window TOPOLOGY marks the corpse down.
+    f1.child.kill().expect("kill -9");
+    f1.child.wait().expect("reap");
+    for _ in 0..10 {
+        let reply = client.round_trip("EVAL count(//person)");
+        assert_eq!(reply[0], "VAL 1", "read failed during failover: {reply:?}");
+    }
+    let until = Instant::now() + DEADLINE;
+    loop {
+        let topo = client.round_trip("TOPOLOGY");
+        if topo
+            .iter()
+            .any(|l| l.starts_with("REPLICA 0.0") && l.contains(" up=0 "))
+        {
+            break;
+        }
+        assert!(
+            Instant::now() < until,
+            "dead replica never marked down: {topo:?}"
+        );
+        std::thread::sleep(health_interval);
+    }
+    // And reads still flow after the mark-down.
+    let reply = client.round_trip("EVAL count(//person)");
+    assert_eq!(reply[0], "VAL 1", "{reply:?}");
+
+    router.stop();
+    f2.child.kill().ok();
+    primary.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn dead_primary_errors_writes_cleanly_while_reads_keep_serving() {
+    let dir = temp_dir("deadprimary");
+    let mut store =
+        MassStore::create_durable(dir.join("primary.mass"), 512, FsyncPolicy::Never).unwrap();
+    store
+        .load_xml(
+            "auction",
+            "<site><people><person><name>Ada</name></person></people></site>",
+        )
+        .unwrap();
+    let primary = Server::bind("127.0.0.1:0", Engine::new(store), ServerConfig::default())
+        .expect("bind")
+        .spawn()
+        .expect("spawn");
+    let (replica, status) = fake_replica(
+        primary.addr(),
+        &[(
+            "auction",
+            "<site><people><person><name>Ada</name></person></people></site>",
+        )],
+    );
+    // The replica is fully caught up as far as the router knows.
+    status.applied_lsn.store(1, Ordering::Relaxed);
+
+    let router = start_router(
+        vec![(primary.addr().to_string(), vec![replica.addr().to_string()])],
+        RouterConfig {
+            max_lag: 1_000_000,
+            health_interval: Duration::from_millis(50),
+            retries: 0,
+            ..RouterConfig::default()
+        },
+    );
+    let mut client = Client::connect_addr(router.addr());
+    let reply = client.round_trip("QUERY //person/name");
+    assert!(
+        reply.last().unwrap().starts_with("OK 1 row(s)"),
+        "{reply:?}"
+    );
+
+    // Stop the primary. Writes must fail with a backend error — not
+    // hang, not land on the read-only replica — while reads keep being
+    // served by the replica, and the client connection stays usable.
+    primary.stop();
+    let err = client.round_trip("INSERT auction //people <person/>");
+    assert!(err[0].starts_with("ERR backend"), "{err:?}");
+    for _ in 0..5 {
+        let reply = client.round_trip("EVAL count(//person)");
+        assert_eq!(
+            reply[0], "VAL 1",
+            "read lost after primary death: {reply:?}"
+        );
+    }
+    assert_eq!(client.round_trip("PING"), vec!["OK pong"]);
+
+    router.stop();
+    replica.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn backend_death_mid_scatter_is_a_protocol_error_not_a_hang() {
+    // Two single-primary shards; one dies between scatters. The
+    // scatter that needs it must come back as one clean ERR line and
+    // the client connection must survive.
+    let shard0 = memory_server();
+    let shard1 = memory_server();
+    let router = start_router(
+        vec![
+            (shard0.addr().to_string(), vec![]),
+            (shard1.addr().to_string(), vec![]),
+        ],
+        RouterConfig {
+            retries: 0,
+            ..RouterConfig::default()
+        },
+    );
+    let mut client = Client::connect_addr(router.addr());
+    for (name, xml) in DOCS {
+        client.round_trip(&format!("LOADXML {name} {xml}"));
+    }
+    let healthy = client.round_trip("QUERY //person/name");
+    assert!(
+        healthy.last().unwrap().starts_with("OK 6 row(s)"),
+        "{healthy:?}"
+    );
+
+    // Find a document on shard 1 so we can prove per-shard behavior.
+    let topology = client.round_trip("TOPOLOGY");
+    let on_shard0 = topology
+        .iter()
+        .filter_map(|l| l.strip_prefix("DOC "))
+        .find(|l| l.ends_with("shard=0"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .expect("a document on shard 0")
+        .to_string();
+
+    shard1.stop();
+    // The cross-document scatter needs the dead shard: clean error.
+    let err = client.round_trip("QUERY //person/name");
+    assert!(err[0].starts_with("ERR backend"), "{err:?}");
+    assert_eq!(err.len(), 1, "one clean error line: {err:?}");
+    // A doc-scoped read on the surviving shard still works.
+    let ok = client.round_trip(&format!("QUERY DOC {on_shard0} //person/name"));
+    assert!(ok.last().unwrap().starts_with("OK"), "{ok:?}");
+    // The client connection survives the failure.
+    assert_eq!(client.round_trip("PING"), vec!["OK pong"]);
+
+    router.stop();
+    shard0.stop();
+}

@@ -1,81 +1,81 @@
 //! # vamana-server
 //!
 //! A concurrent query service over one shared VAMANA engine: a TCP
-//! line protocol served by a worker thread pool, with a compiled-plan
-//! cache, bounded-queue admission control, per-query deadlines, and a
-//! metrics registry (see `DESIGN.md`, "Serving layer").
+//! line protocol multiplexed by a nonblocking event core (or a
+//! thread-per-connection core, see [`CoreMode`]), executed by a worker
+//! thread pool, with a compiled-plan cache, bounded-queue admission
+//! control, per-query deadlines, and a metrics registry.
 //!
 //! ## Protocol
 //!
-//! One request per line, UTF-8; every request produces one or more
-//! response lines ending with `OK …` or a single `ERR <kind> <message>`:
+//! The authoritative wire grammar lives in `DESIGN.md` ("Wire
+//! protocol"). One request per line, UTF-8; every request produces one
+//! or more response lines ending with `OK …` or a single
+//! `ERR <kind> <message>`. The verbs:
 //!
 //! ```text
-//! QUERY <xpath>        rows over all documents   → ROW… then OK
-//! EVAL <xpath>         scalar on document 0      → VAL then OK (rows if node-set)
-//! EXPLAIN [JSON] <xpath>
-//!                      plans + optimizer trace   → PLAN… then OK
-//! ANALYZE [JSON] <xpath>
-//!                      instrumented run on doc 0 → PLAN… then OK
-//! LOADXML <name> <xml> load inline XML           → OK
-//! LOAD <name> <path>   load an XML file          → OK
+//! QUERY [DOC <doc>] <xpath>   rows over all (or one) document(s)
+//! EVAL [DOC <doc>] <xpath>    full XPath on document 0 (or <doc>)
+//! EXPLAIN [JSON] [DOC <doc>] <xpath>   plans + optimizer trace
+//! ANALYZE [JSON] [DOC <doc>] <xpath>   instrumented run
+//! LOADXML <name> <xml>        load inline XML
+//! LOAD <name> <path>          load an XML file
 //! INSERT <doc> <target-xpath> <fragment>
-//!                      append fragment to first match → OK update …
 //! DELETE <doc> <target-xpath>
-//!                      delete every match's subtree   → OK update …
-//! CHECKPOINT           fold WAL into pages, truncate  → OK checkpoint …
-//! LIMIT <n>            per-connection row cap    → OK (0 = unlimited)
-//! STATS                metrics snapshot          → STAT… then OK
-//! CACHE [LIST]         materialized views        → VIEW… then OK
-//! CACHE CLEAR          drop views + cached plans → OK
-//! LAG                  replication gauges        → LAG… then OK
-//! REPLICATE <from_lsn> become a WAL frame feed   → handshake line, then
-//!                      binary frames (see `DESIGN.md`, "Replication")
-//! PING                                           → OK pong
-//! QUIT                                           → OK bye, closes
+//! CHECKPOINT                  fold WAL into pages, truncate
+//! LIMIT <n>                   per-connection row cap (0 = unlimited)
+//! STATS                       metrics snapshot
+//! DOCS                        loaded documents, in load order
+//! CACHE [LIST] | CACHE CLEAR  materialized views
+//! LAG                         replication gauges
+//! REPLICATE <from_lsn>        become a WAL frame feed
+//! PING / QUIT
 //! ```
 //!
 //! On a server configured as a replica ([`ServerConfig::replica`]),
-//! every mutating verb answers `ERR readonly` naming the primary.
-//!
-//! `INSERT`/`DELETE` take a document (by name or numeric id) and a
-//! target XPath; `INSERT` additionally takes an XML fragment, split from
-//! the target at the first ` <`. Updates run through the worker pool
-//! under the usual deadline, serialized on a single-writer lane, and
-//! each bumps the target document's generation — which invalidates
-//! exactly that document's cached plans.
-//!
-//! `EXPLAIN` shows the default and optimized plan with estimate cards
-//! and the optimizer's pass-by-pass trace; `ANALYZE` additionally
-//! executes the query on document 0 (like `EVAL`) and annotates every
-//! operator with actual row counts and q-errors. With `JSON` the whole
-//! report is one `PLAN` line holding a JSON object — the same rendering
-//! the CLI's `.analyze json` produces. Both run through the worker pool
-//! under the usual deadline and `ERR busy` admission control.
+//! every mutating verb answers `ERR readonly` naming the primary. The
+//! `DOC`-scoped read forms exist for front tiers: `vamana-router`
+//! scatters a cross-document `QUERY` as per-document `QUERY DOC` calls
+//! to the shards that own each document and concatenates the results in
+//! global load order (which is exactly single-store document order,
+//! because FLEX keys order by load ordinal).
 //!
 //! ## Threading model
 //!
-//! One accept thread; one (detached) thread per connection parsing
-//! requests; a fixed worker pool executing `QUERY`/`EVAL` jobs against
-//! the shared engine under its read lock. Loads run on the connection
-//! thread under the write lock and clear the plan cache. The queue
-//! between connections and workers is bounded: a full queue rejects at
-//! admission with `ERR busy` rather than queueing unboundedly, and every
-//! job carries a deadline that is checked when dequeued and between
-//! result-tuple pulls while executing.
+//! Two connection cores share everything below the parser:
+//!
+//! - [`CoreMode::Event`] (default): one event-loop thread owns every
+//!   connection socket nonblockingly (see [`event`]); requests are
+//!   parsed pipelined and idle connections cost no threads.
+//! - [`CoreMode::Threaded`]: one (detached) thread per connection, kept
+//!   as the pre-PR-9 baseline for comparison benchmarks.
+//!
+//! Under either core, a fixed worker pool executes jobs against the
+//! shared engine. The queue between parser and workers is bounded:
+//! a full queue rejects at admission with `ERR busy` rather than
+//! queueing unboundedly, and every job carries a deadline checked when
+//! dequeued and between result batches. Control-plane verbs (`STATS`,
+//! `LAG`, `CACHE`, `DOCS`) bypass the capacity check so monitoring and
+//! router health probes stay answerable under saturation. Updates and
+//! checkpoints additionally serialize on a single-writer lane.
 
+#![deny(missing_docs)]
+
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::mpsc::SyncSender;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use vamana_core::{exec::BATCH_SIZE, DocId, Engine, SharedEngine, UpdateOp, Value};
 
 pub mod cache;
+pub mod event;
 mod feed;
 pub mod metrics;
+pub mod poll;
 pub mod pool;
 pub mod render;
 pub mod testkit;
@@ -84,8 +84,22 @@ pub use cache::PlanCache;
 pub use metrics::Metrics;
 pub use render::{render_rows, RenderOptions, Rendered};
 
+use event::{Completions, ConnId, Dispatch, LineService};
 use metrics::ActiveGuard;
 use pool::WorkerPool;
+
+/// Which connection core the server runs (the worker pool underneath is
+/// the same either way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreMode {
+    /// Nonblocking event loop: one thread for all connection I/O,
+    /// pipelined request parsing, idle connections cost no threads.
+    /// Requires epoll (Linux).
+    Event,
+    /// One thread per connection — the PR 1 design, kept for baseline
+    /// benchmarks and as a portability fallback.
+    Threaded,
+}
 
 /// Server tunables.
 #[derive(Debug, Clone)]
@@ -118,6 +132,8 @@ pub struct ServerConfig {
     /// return a redirect error naming the primary, and `LAG`/`STATS`
     /// report the sync status the replica runtime keeps here.
     pub replica: Option<ReplicaRole>,
+    /// Connection core; see [`CoreMode`].
+    pub core: CoreMode,
 }
 
 impl Default for ServerConfig {
@@ -133,6 +149,7 @@ impl Default for ServerConfig {
             repl_retain: vamana_mass::DEFAULT_RETAIN_FRAMES,
             feed_heartbeat: Duration::from_millis(200),
             replica: None,
+            core: CoreMode::Event,
         }
     }
 }
@@ -223,15 +240,91 @@ impl Shared {
     }
 }
 
-/// What a `QUERY`, `EVAL`, `EXPLAIN`, `ANALYZE`, `INSERT`, `DELETE` or
-/// `CHECKPOINT` asks for.
+/// Where a `LOAD`/`LOADXML` payload comes from.
+enum LoadSource {
+    /// Inline XML on the request line.
+    Inline(String),
+    /// A path readable by the server process.
+    File(String),
+}
+
+/// What one pooled job asks for.
 enum Request {
-    Query { xpath: String },
-    Eval { xpath: String },
-    Explain { xpath: String, json: bool },
-    Analyze { xpath: String, json: bool },
-    Update { doc: String, op: UpdateOp },
+    Query {
+        xpath: String,
+        doc: Option<String>,
+    },
+    Eval {
+        xpath: String,
+        doc: Option<String>,
+    },
+    Explain {
+        xpath: String,
+        json: bool,
+        doc: Option<String>,
+    },
+    Analyze {
+        xpath: String,
+        json: bool,
+        doc: Option<String>,
+    },
+    Update {
+        doc: String,
+        op: UpdateOp,
+    },
     Checkpoint,
+    Load {
+        name: String,
+        source: LoadSource,
+    },
+    Stats,
+    Docs,
+    CacheList,
+    CacheClear,
+    Lag,
+}
+
+impl Request {
+    /// Control-plane requests skip the query metrics (and are submitted
+    /// on the control lane, bypassing admission capacity).
+    fn is_control(&self) -> bool {
+        matches!(
+            self,
+            Request::Stats
+                | Request::Docs
+                | Request::CacheList
+                | Request::CacheClear
+                | Request::Lag
+        )
+    }
+}
+
+/// Where a job's response goes.
+pub(crate) enum ReplyTo {
+    /// Threaded core: the connection thread blocks on this channel.
+    Sync(SyncSender<Result<Outcome, ServerError>>),
+    /// Event core: serialized bytes are delivered to the loop.
+    Event {
+        completions: Completions,
+        conn: ConnId,
+        seq: u64,
+    },
+}
+
+impl ReplyTo {
+    fn deliver(self, result: Result<Outcome, ServerError>) {
+        match self {
+            // A send error means the client hung up; nothing to do.
+            ReplyTo::Sync(tx) => {
+                let _ = tx.send(result);
+            }
+            ReplyTo::Event {
+                completions,
+                conn,
+                seq,
+            } => completions.complete(conn, seq, reply_bytes(&result)),
+        }
+    }
 }
 
 /// One unit of work handed to the pool.
@@ -239,7 +332,7 @@ pub struct Job {
     request: Request,
     limit: usize,
     deadline: Instant,
-    reply: SyncSender<Result<Outcome, ServerError>>,
+    reply: ReplyTo,
 }
 
 /// A successful job result, ready to serialize.
@@ -278,6 +371,17 @@ enum Outcome {
         last_lsn: u64,
         elapsed: Duration,
     },
+    /// A completed `LOAD`/`LOADXML`.
+    Loaded {
+        id: u32,
+        generation: u64,
+    },
+    /// Pre-formatted protocol lines plus the terminator (`STATS`,
+    /// `DOCS`, `CACHE`, `LAG`).
+    Lines {
+        lines: Vec<String>,
+        ok: String,
+    },
 }
 
 fn query_err(e: impl std::fmt::Display) -> ServerError {
@@ -288,23 +392,68 @@ fn query_err(e: impl std::fmt::Display) -> ServerError {
 pub(crate) fn execute_job(shared: &Shared, job: Job) {
     let _active = ActiveGuard::enter(&shared.metrics);
     let now = Instant::now();
-    if now >= job.deadline {
+    // Control verbs are not deadline-bound: STATS/LAG must answer even
+    // under an aggressive query-timeout policy.
+    if now >= job.deadline && !job.request.is_control() {
         shared.metrics.timeouts.fetch_add(1, Ordering::Relaxed);
-        let _ = job
-            .reply
-            .send(Err(ServerError::Timeout(shared.config.query_timeout)));
+        job.reply
+            .deliver(Err(ServerError::Timeout(shared.config.query_timeout)));
         return;
     }
     let result = match &job.request {
-        Request::Query { xpath } => run_query(shared, xpath, job.limit, job.deadline),
-        Request::Eval { xpath } => run_eval(shared, xpath, job.limit),
-        Request::Explain { xpath, json } => run_explain(shared, xpath, *json),
-        Request::Analyze { xpath, json } => run_analyze(shared, xpath, *json),
+        Request::Query { xpath, doc } => {
+            run_query(shared, xpath, doc.as_deref(), job.limit, job.deadline)
+        }
+        Request::Eval { xpath, doc } => run_eval(shared, xpath, doc.as_deref(), job.limit),
+        Request::Explain { xpath, json, doc } => run_explain(shared, xpath, *json, doc.as_deref()),
+        Request::Analyze { xpath, json, doc } => run_analyze(shared, xpath, *json, doc.as_deref()),
         Request::Update { doc, op } => run_update(shared, doc, op, job.deadline),
         Request::Checkpoint => run_checkpoint(shared, job.deadline),
+        Request::Load { name, source } => run_load(shared, name, source),
+        Request::Stats => Ok(Outcome::Lines {
+            lines: render_stats(shared),
+            ok: "OK".into(),
+        }),
+        Request::Docs => run_docs(shared),
+        Request::CacheList => {
+            let views = shared.engine.read().views().list();
+            let lines = views
+                .iter()
+                .map(|v| {
+                    format!(
+                        "VIEW doc={} rows={} bytes={} generation={} hits={} {}",
+                        v.doc,
+                        v.rows,
+                        v.bytes,
+                        v.generation,
+                        v.hits,
+                        escape_line(&v.xpath)
+                    )
+                })
+                .collect::<Vec<_>>();
+            Ok(Outcome::Lines {
+                ok: format!("OK {} view(s)", lines.len()),
+                lines,
+            })
+        }
+        Request::CacheClear => {
+            shared.engine.read().views().clear();
+            shared.cache.clear();
+            Ok(Outcome::Lines {
+                lines: Vec::new(),
+                ok: "OK cache cleared".into(),
+            })
+        }
+        Request::Lag => Ok(Outcome::Lines {
+            lines: render_lag(shared),
+            ok: "OK lag".into(),
+        }),
     };
+    // Control verbs and loads are not queries: keep the latency
+    // histogram and error counters meaningful for query traffic.
+    let is_query = !job.request.is_control() && !matches!(job.request, Request::Load { .. });
     match &result {
-        Ok(outcome) => {
+        Ok(outcome) if is_query => {
             shared.metrics.queries.fetch_add(1, Ordering::Relaxed);
             let (elapsed, rows, hits, misses, pins, saved) = match outcome {
                 Outcome::Rows {
@@ -327,6 +476,7 @@ pub(crate) fn execute_job(shared: &Shared, job: Job) {
                 | Outcome::Report { elapsed, .. }
                 | Outcome::Updated { elapsed, .. }
                 | Outcome::Checkpointed { elapsed, .. } => (*elapsed, 0, 0, 0, 0, 0),
+                Outcome::Loaded { .. } | Outcome::Lines { .. } => (Duration::ZERO, 0, 0, 0, 0, 0),
             };
             shared.metrics.latency.record(elapsed);
             shared
@@ -347,23 +497,26 @@ pub(crate) fn execute_job(shared: &Shared, job: Job) {
                 .pins_saved
                 .fetch_add(saved, Ordering::Relaxed);
         }
+        Ok(_) => {}
         Err(ServerError::Timeout(_)) => {
             shared.metrics.timeouts.fetch_add(1, Ordering::Relaxed);
         }
-        Err(_) => {
+        Err(_) if is_query => {
             shared.metrics.queries.fetch_add(1, Ordering::Relaxed);
             shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
         }
+        Err(_) => {}
     }
-    // A send error means the client hung up; nothing to do.
-    let _ = job.reply.send(result);
+    job.reply.deliver(result);
 }
 
-/// Executes `xpath` over every document via the plan cache, enforcing
-/// `deadline` between result batches, and renders up to `limit` rows.
+/// Executes `xpath` over every document (or just `doc`) via the plan
+/// cache, enforcing `deadline` between result batches, and renders up
+/// to `limit` rows.
 fn run_query(
     shared: &Shared,
     xpath: &str,
+    doc: Option<&str>,
     limit: usize,
     deadline: Instant,
 ) -> Result<Outcome, ServerError> {
@@ -373,12 +526,18 @@ fn run_query(
             "no documents loaded (use LOADXML or LOAD)".into(),
         ));
     }
+    let docs: Vec<DocId> = match doc {
+        Some(token) => vec![resolve_doc(&engine, token)
+            .ok_or_else(|| ServerError::Query(format!("no such document {token}")))?],
+        None => (0..engine.store().documents().len() as u32)
+            .map(DocId)
+            .collect(),
+    };
     let start = Instant::now();
     let before = engine.store().buffer_pool().stats();
     let mut all = Vec::new();
     let mut all_cached = true;
-    for i in 0..engine.store().documents().len() {
-        let doc = DocId(i as u32);
+    for doc in docs {
         // Plans validate against the *per-document* generation: an
         // update to one document invalidates exactly that document's
         // cached plans, and loads/updates elsewhere leave them warm.
@@ -424,6 +583,9 @@ fn run_query(
     }
     // XPath node-set semantics across documents: document order, no
     // duplicates (streams yield pipeline order within one document).
+    // Keys order by load ordinal across documents, so this is also the
+    // global order a front tier reproduces by concatenating per-document
+    // results in load order.
     all.sort_by(|a, b| a.key.cmp(&b.key));
     all.dedup_by(|a, b| a.key == b.key);
     let rendered = render_rows(
@@ -449,18 +611,34 @@ fn run_query(
     })
 }
 
-/// Evaluates `xpath` as a full XPath expression on document 0 — scalars
-/// come back as `VAL`, node-sets as rows.
-fn run_eval(shared: &Shared, xpath: &str, limit: usize) -> Result<Outcome, ServerError> {
-    let engine = shared.engine.read();
+/// Resolves the target document of an `EVAL`/`EXPLAIN`/`ANALYZE`:
+/// the `DOC` operand if given, document 0 otherwise.
+fn resolve_read_doc(engine: &Engine, doc: Option<&str>) -> Result<DocId, ServerError> {
     if engine.store().documents().is_empty() {
         return Err(ServerError::Query(
             "no documents loaded (use LOADXML or LOAD)".into(),
         ));
     }
+    match doc {
+        Some(token) => resolve_doc(engine, token)
+            .ok_or_else(|| ServerError::Query(format!("no such document {token}"))),
+        None => Ok(DocId(0)),
+    }
+}
+
+/// Evaluates `xpath` as a full XPath expression — scalars come back as
+/// `VAL`, node-sets as rows.
+fn run_eval(
+    shared: &Shared,
+    xpath: &str,
+    doc: Option<&str>,
+    limit: usize,
+) -> Result<Outcome, ServerError> {
+    let engine = shared.engine.read();
+    let doc = resolve_read_doc(&engine, doc)?;
     let start = Instant::now();
     let before = engine.store().buffer_pool().stats();
-    let value = engine.evaluate(DocId(0), xpath).map_err(query_err)?;
+    let value = engine.evaluate(doc, xpath).map_err(query_err)?;
     let elapsed = start.elapsed();
     match value {
         Value::Nodes(nodes) => {
@@ -496,17 +674,18 @@ fn run_eval(shared: &Shared, xpath: &str, limit: usize) -> Result<Outcome, Serve
     }
 }
 
-/// Produces the `EXPLAIN` report for `xpath` on document 0: both plans
-/// with estimate cards plus the optimizer's pass log.
-fn run_explain(shared: &Shared, xpath: &str, json: bool) -> Result<Outcome, ServerError> {
+/// Produces the `EXPLAIN` report for `xpath`: both plans with estimate
+/// cards plus the optimizer's pass log.
+fn run_explain(
+    shared: &Shared,
+    xpath: &str,
+    json: bool,
+    doc: Option<&str>,
+) -> Result<Outcome, ServerError> {
     let engine = shared.engine.read();
-    if engine.store().documents().is_empty() {
-        return Err(ServerError::Query(
-            "no documents loaded (use LOADXML or LOAD)".into(),
-        ));
-    }
+    let doc = resolve_read_doc(&engine, doc)?;
     let start = Instant::now();
-    let ex = engine.explain(DocId(0), xpath).map_err(query_err)?;
+    let ex = engine.explain(doc, xpath).map_err(query_err)?;
     let elapsed = start.elapsed();
     let lines = if json {
         vec![explain_json(xpath, &ex)]
@@ -528,16 +707,17 @@ fn run_explain(shared: &Shared, xpath: &str, json: bool) -> Result<Outcome, Serv
     Ok(Outcome::Report { lines, elapsed })
 }
 
-/// Runs `xpath` on document 0 with per-operator instrumentation and
-/// reports estimated-vs-actual cardinalities (`EXPLAIN ANALYZE`).
-fn run_analyze(shared: &Shared, xpath: &str, json: bool) -> Result<Outcome, ServerError> {
+/// Runs `xpath` with per-operator instrumentation and reports
+/// estimated-vs-actual cardinalities (`EXPLAIN ANALYZE`).
+fn run_analyze(
+    shared: &Shared,
+    xpath: &str,
+    json: bool,
+    doc: Option<&str>,
+) -> Result<Outcome, ServerError> {
     let engine = shared.engine.read();
-    if engine.store().documents().is_empty() {
-        return Err(ServerError::Query(
-            "no documents loaded (use LOADXML or LOAD)".into(),
-        ));
-    }
-    let analysis = engine.analyze_doc(DocId(0), xpath).map_err(query_err)?;
+    let doc = resolve_read_doc(&engine, doc)?;
+    let analysis = engine.analyze_doc(doc, xpath).map_err(query_err)?;
     let elapsed = analysis.profile.elapsed;
     let lines = if json {
         vec![analysis.render_json()]
@@ -620,6 +800,47 @@ fn run_checkpoint(shared: &Shared, deadline: Instant) -> Result<Outcome, ServerE
     })
 }
 
+/// Handles `LOAD`/`LOADXML` on a worker (engine write lock).
+fn run_load(shared: &Shared, name: &str, source: &LoadSource) -> Result<Outcome, ServerError> {
+    let xml = match source {
+        LoadSource::Inline(xml) => xml.clone(),
+        LoadSource::File(path) => std::fs::read_to_string(path)
+            .map_err(|e| ServerError::Query(format!("cannot read {path}: {e}")))?,
+    };
+    // No cache clear: plans validate per document, and a load never
+    // changes an existing document's generation — other documents'
+    // cached plans stay warm.
+    let id = shared.engine.load_xml(name, &xml).map_err(query_err)?;
+    Ok(Outcome::Loaded {
+        id: id.0,
+        generation: shared.engine.generation(),
+    })
+}
+
+/// Lists loaded documents in load order (`DOCS`) — front tiers use this
+/// to bootstrap their document registry from running shards.
+fn run_docs(shared: &Shared) -> Result<Outcome, ServerError> {
+    let engine = shared.engine.read();
+    let lines: Vec<String> = engine
+        .store()
+        .documents()
+        .iter()
+        .enumerate()
+        .map(|(i, d)| {
+            format!(
+                "DOC {} {} generation={}",
+                i,
+                d.name,
+                engine.store().doc_generation(DocId(i as u32))
+            )
+        })
+        .collect();
+    Ok(Outcome::Lines {
+        ok: format!("OK {} document(s)", lines.len()),
+        lines,
+    })
+}
+
 /// Hand-rolled JSON for `EXPLAIN JSON` (ANALYZE reuses
 /// [`vamana_core::Analysis::render_json`]).
 fn explain_json(xpath: &str, ex: &vamana_core::Explain) -> String {
@@ -673,7 +894,7 @@ fn escape_line(s: &str) -> String {
 pub struct Server {
     listener: TcpListener,
     shared: Arc<Shared>,
-    pool: Arc<WorkerPool>,
+    pool: Arc<WorkerPool<Job>>,
 }
 
 impl Server {
@@ -743,11 +964,15 @@ impl Server {
             writer_lane: Mutex::new(()),
             feeds: AtomicU64::new(0),
         });
-        let pool = Arc::new(WorkerPool::new(
-            config.workers,
-            config.queue_depth,
-            Arc::clone(&shared),
-        ));
+        let pool = {
+            let shared = Arc::clone(&shared);
+            Arc::new(WorkerPool::new(
+                config.workers,
+                config.queue_depth,
+                "vamana-worker",
+                move |job| execute_job(&shared, job),
+            ))
+        };
         Ok(Server {
             listener,
             shared,
@@ -766,9 +991,33 @@ impl Server {
     }
 
     /// Serves until [`ServerHandle::stop`] flips the stop flag (or
-    /// forever when run directly). Accepted connections get their own
-    /// thread; the accept loop itself never does protocol work.
+    /// forever when run directly), on the configured [`CoreMode`].
     pub fn run(self) -> std::io::Result<()> {
+        match self.shared.config.core {
+            CoreMode::Event => self.run_event(),
+            CoreMode::Threaded => self.run_threaded(),
+        }
+    }
+
+    /// The nonblocking core: one event-loop thread for every
+    /// connection (see [`event`]).
+    fn run_event(self) -> std::io::Result<()> {
+        let completions = Completions::new()?;
+        let service = Arc::new(EventService {
+            shared: Arc::clone(&self.shared),
+            pool: Arc::clone(&self.pool),
+            completions: completions.clone(),
+            limits: Mutex::new(HashMap::new()),
+        });
+        let shared = Arc::clone(&self.shared);
+        event::run_event_loop(self.listener, service, completions, move || {
+            shared.stopping.load(Ordering::SeqCst)
+        })
+    }
+
+    /// The PR 1 core: accepted connections get their own thread; the
+    /// accept loop itself never does protocol work.
+    fn run_threaded(self) -> std::io::Result<()> {
         for stream in self.listener.incoming() {
             if self.shared.stopping.load(Ordering::SeqCst) {
                 break;
@@ -790,8 +1039,8 @@ impl Server {
         Ok(())
     }
 
-    /// Runs the accept loop on a background thread, returning a handle
-    /// to stop it (used by tests and the REPL's `.serve`).
+    /// Runs the connection core on a background thread, returning a
+    /// handle to stop it (used by tests and the REPL's `.serve`).
     pub fn spawn(self) -> std::io::Result<ServerHandle> {
         let addr = self.local_addr()?;
         let shared = Arc::clone(&self.shared);
@@ -824,7 +1073,7 @@ impl ServerHandle {
         &self.shared
     }
 
-    /// Stops accepting and joins the accept thread. Existing
+    /// Stops accepting and joins the connection core. Existing
     /// connections finish their in-flight request and then fail on the
     /// next read.
     pub fn stop(mut self) {
@@ -836,7 +1085,8 @@ impl ServerHandle {
             return;
         };
         self.shared.stopping.store(true, Ordering::SeqCst);
-        // Wake the accept loop with a no-op connection.
+        // Wake the core with a no-op connection (works for both the
+        // blocking accept loop and the poller).
         let _ = TcpStream::connect(self.addr);
         let _ = thread.join();
     }
@@ -848,11 +1098,212 @@ impl Drop for ServerHandle {
     }
 }
 
-/// Parses and answers requests from one client until QUIT/EOF.
+/// What the shared request parser decided about one line.
+enum Parsed {
+    /// Answer immediately with this one line (no trailing newline).
+    Inline(String),
+    /// Submit on the admission-controlled lane.
+    Job(Request),
+    /// Submit on the control lane (no capacity rejection).
+    Control(Request),
+    /// Set the per-connection row cap.
+    Limit(usize),
+    /// `QUIT`.
+    Quit,
+    /// `REPLICATE <from>`: the connection becomes a WAL frame feed.
+    Feed(u64),
+}
+
+/// Parses one request line into a [`Parsed`] action. Shared verbatim by
+/// both connection cores so the grammar cannot drift between them.
+fn parse_line(config: &ServerConfig, request: &str) -> Parsed {
+    let (verb, rest) = match request.split_once(' ') {
+        Some((v, r)) => (v, r.trim()),
+        None => (request, ""),
+    };
+    // A replica is read-only: every mutating verb is redirected to
+    // the primary (queries, stats and lag checks proceed normally).
+    if let Some(role) = &config.replica {
+        if matches!(
+            verb,
+            "LOADXML" | "LOAD" | "INSERT" | "DELETE" | "CHECKPOINT"
+        ) {
+            return Parsed::Inline(format!(
+                "ERR readonly replica; send writes to the primary at {}",
+                role.primary
+            ));
+        }
+    }
+    match verb {
+        "PING" => Parsed::Inline("OK pong".into()),
+        "QUIT" => Parsed::Quit,
+        "LIMIT" => match rest.parse::<usize>() {
+            Ok(n) => Parsed::Limit(n),
+            Err(_) => Parsed::Inline("ERR proto LIMIT needs a non-negative integer".into()),
+        },
+        "STATS" => Parsed::Control(Request::Stats),
+        "DOCS" => Parsed::Control(Request::Docs),
+        // Materialized-view inspection. Allowed on replicas: the
+        // view cache is node-local derived state, not document data.
+        "CACHE" => match rest {
+            "" | "LIST" => Parsed::Control(Request::CacheList),
+            "CLEAR" => Parsed::Control(Request::CacheClear),
+            _ => Parsed::Inline("ERR proto CACHE takes LIST or CLEAR".into()),
+        },
+        "LAG" => Parsed::Control(Request::Lag),
+        "REPLICATE" => match rest.parse::<u64>() {
+            Ok(from) => Parsed::Feed(from),
+            Err(_) => Parsed::Inline("ERR proto REPLICATE needs a starting LSN".into()),
+        },
+        "LOADXML" | "LOAD" => {
+            let Some((name, payload)) = rest.split_once(' ').map(|(n, p)| (n, p.trim())) else {
+                return Parsed::Inline(format!("ERR proto {verb} needs a name and a payload"));
+            };
+            let source = if verb == "LOAD" {
+                LoadSource::File(payload.to_string())
+            } else {
+                LoadSource::Inline(payload.to_string())
+            };
+            Parsed::Job(Request::Load {
+                name: name.to_string(),
+                source,
+            })
+        }
+        "INSERT" | "DELETE" | "CHECKPOINT" => match parse_update(verb, rest) {
+            Ok(request) => Parsed::Job(request),
+            Err(msg) => Parsed::Inline(format!("ERR proto {msg}")),
+        },
+        "QUERY" | "EVAL" | "EXPLAIN" | "ANALYZE" => {
+            // EXPLAIN/ANALYZE take an optional JSON modifier, and every
+            // read verb an optional DOC scope, before the expression:
+            // `EXPLAIN JSON DOC auction //a/b`.
+            let (json, rest) = match rest.strip_prefix("JSON") {
+                Some(r) if r.starts_with(' ') && matches!(verb, "EXPLAIN" | "ANALYZE") => {
+                    (true, r.trim())
+                }
+                _ => (false, rest),
+            };
+            let (doc, xpath) = match rest.strip_prefix("DOC ") {
+                Some(r) => match r.trim_start().split_once(' ') {
+                    Some((d, x)) => (Some(d.to_string()), x.trim()),
+                    None => {
+                        return Parsed::Inline(format!(
+                            "ERR proto {verb} DOC needs a document and an XPath expression"
+                        ))
+                    }
+                },
+                None => (None, rest),
+            };
+            if xpath.is_empty() {
+                return Parsed::Inline(format!("ERR proto {verb} needs an XPath expression"));
+            }
+            let xpath = xpath.to_string();
+            Parsed::Job(match verb {
+                "QUERY" => Request::Query { xpath, doc },
+                "EVAL" => Request::Eval { xpath, doc },
+                "EXPLAIN" => Request::Explain { xpath, json, doc },
+                _ => Request::Analyze { xpath, json, doc },
+            })
+        }
+        _ => Parsed::Inline(format!("ERR proto unknown request {verb}")),
+    }
+}
+
+/// The [`LineService`] adapter running the VAMANA protocol on the
+/// nonblocking core: cheap verbs answer inline on the loop, everything
+/// touching the engine dispatches to the worker pool and completes
+/// asynchronously.
+struct EventService {
+    shared: Arc<Shared>,
+    pool: Arc<WorkerPool<Job>>,
+    completions: Completions,
+    /// Per-connection `LIMIT` overrides.
+    limits: Mutex<HashMap<ConnId, usize>>,
+}
+
+impl EventService {
+    fn limit_for(&self, conn: ConnId) -> usize {
+        *self
+            .limits
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .get(&conn)
+            .unwrap_or(&self.shared.config.default_limit)
+    }
+
+    fn submit(&self, conn: ConnId, seq: u64, request: Request, control: bool) -> Dispatch {
+        let job = Job {
+            limit: self.limit_for(conn),
+            deadline: Instant::now() + self.shared.config.query_timeout,
+            reply: ReplyTo::Event {
+                completions: self.completions.clone(),
+                conn,
+                seq,
+            },
+            request,
+        };
+        let submitted = if control {
+            self.pool.submit(job)
+        } else {
+            self.pool.try_submit(job)
+        };
+        match submitted {
+            Ok(()) => Dispatch::Pending,
+            Err(_) => {
+                self.shared
+                    .metrics
+                    .busy_rejections
+                    .fetch_add(1, Ordering::Relaxed);
+                Dispatch::Reply(format!("ERR {}\n", ServerError::Busy).into_bytes())
+            }
+        }
+    }
+}
+
+impl LineService for EventService {
+    fn handle(&self, conn: ConnId, seq: u64, line: &str) -> Dispatch {
+        match parse_line(&self.shared.config, line) {
+            Parsed::Inline(reply) => Dispatch::Reply(format!("{reply}\n").into_bytes()),
+            Parsed::Limit(n) => {
+                self.limits
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .insert(conn, n);
+                Dispatch::Reply(format!("OK limit {n}\n").into_bytes())
+            }
+            Parsed::Quit => Dispatch::ReplyClose(b"OK bye\n".to_vec()),
+            Parsed::Feed(from) => {
+                let shared = Arc::clone(&self.shared);
+                Dispatch::Handoff(Box::new(move |stream| {
+                    let _ = feed::serve_feed(stream, &shared, from);
+                }))
+            }
+            Parsed::Job(request) => self.submit(conn, seq, request, false),
+            Parsed::Control(request) => self.submit(conn, seq, request, true),
+        }
+    }
+
+    fn on_open(&self, _conn: ConnId) {
+        self.shared
+            .metrics
+            .connections
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn on_close(&self, conn: ConnId) {
+        self.limits
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .remove(&conn);
+    }
+}
+
+/// Parses and answers requests from one client until QUIT/EOF
+/// (threaded core).
 fn serve_connection(
     stream: TcpStream,
     shared: &Arc<Shared>,
-    pool: &Arc<WorkerPool>,
+    pool: &Arc<WorkerPool<Job>>,
 ) -> std::io::Result<()> {
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
@@ -867,216 +1318,94 @@ fn serve_connection(
         if request.is_empty() {
             continue;
         }
-        let (verb, rest) = match request.split_once(' ') {
-            Some((v, r)) => (v, r.trim()),
-            None => (request, ""),
-        };
-        // A replica is read-only: every mutating verb is redirected to
-        // the primary (queries, stats and lag checks proceed normally).
-        if let Some(role) = &shared.config.replica {
-            if matches!(
-                verb,
-                "LOADXML" | "LOAD" | "INSERT" | "DELETE" | "CHECKPOINT"
-            ) {
-                writeln!(
-                    writer,
-                    "ERR readonly replica; send writes to the primary at {}",
-                    role.primary
-                )?;
-                writer.flush()?;
-                continue;
+        match parse_line(&shared.config, request) {
+            Parsed::Inline(reply) => writeln!(writer, "{reply}")?,
+            Parsed::Limit(n) => {
+                limit = n;
+                writeln!(writer, "OK limit {n}")?;
             }
-        }
-        match verb {
-            "PING" => writeln!(writer, "OK pong")?,
-            "QUIT" => {
+            Parsed::Quit => {
                 writeln!(writer, "OK bye")?;
                 return Ok(());
             }
-            "LIMIT" => match rest.parse::<usize>() {
-                Ok(n) => {
-                    limit = n;
-                    writeln!(writer, "OK limit {n}")?;
-                }
-                Err(_) => writeln!(writer, "ERR proto LIMIT needs a non-negative integer")?,
-            },
-            "STATS" => {
-                for stat in render_stats(shared) {
-                    writeln!(writer, "{stat}")?;
-                }
-                writeln!(writer, "OK")?;
-            }
-            // Materialized-view inspection. Allowed on replicas: the
-            // view cache is node-local derived state, not document data.
-            "CACHE" => match rest {
-                "" | "LIST" => {
-                    let views = shared.engine.read().views().list();
-                    for v in &views {
-                        writeln!(
-                            writer,
-                            "VIEW doc={} rows={} bytes={} generation={} hits={} {}",
-                            v.doc,
-                            v.rows,
-                            v.bytes,
-                            v.generation,
-                            v.hits,
-                            escape_line(&v.xpath)
-                        )?;
-                    }
-                    writeln!(writer, "OK {} view(s)", views.len())?;
-                }
-                "CLEAR" => {
-                    shared.engine.read().views().clear();
-                    shared.cache.clear();
-                    writeln!(writer, "OK cache cleared")?;
-                }
-                _ => writeln!(writer, "ERR proto CACHE takes LIST or CLEAR")?,
-            },
-            "LAG" => {
-                for line in render_lag(shared) {
-                    writeln!(writer, "{line}")?;
-                }
-                writeln!(writer, "OK lag")?;
-            }
-            "REPLICATE" => {
-                let Ok(from) = rest.parse::<u64>() else {
-                    writeln!(writer, "ERR proto REPLICATE needs a starting LSN")?;
-                    writer.flush()?;
-                    continue;
-                };
+            Parsed::Feed(from) => {
                 // The connection becomes a one-way frame feed; it never
                 // returns to the line protocol.
                 return feed::serve_feed(writer, shared, from);
             }
-            "LOADXML" | "LOAD" => {
-                let response = handle_load(shared, verb, rest);
-                writeln!(writer, "{response}")?;
-            }
-            "INSERT" | "DELETE" | "CHECKPOINT" => {
-                let request = match parse_update(verb, rest) {
-                    Ok(r) => r,
-                    Err(msg) => {
-                        writeln!(writer, "ERR proto {msg}")?;
-                        writer.flush()?;
-                        continue;
-                    }
-                };
+            Parsed::Job(request) | Parsed::Control(request) => {
+                let control = request.is_control();
                 let (tx, rx) = std::sync::mpsc::sync_channel(1);
                 let job = Job {
                     request,
                     limit,
                     deadline: Instant::now() + shared.config.query_timeout,
-                    reply: tx,
+                    reply: ReplyTo::Sync(tx),
                 };
-                if pool.try_submit(job).is_err() {
+                let submitted = if control {
+                    pool.submit(job)
+                } else {
+                    pool.try_submit(job)
+                };
+                if submitted.is_err() {
                     shared
                         .metrics
                         .busy_rejections
                         .fetch_add(1, Ordering::Relaxed);
                     writeln!(writer, "ERR {}", ServerError::Busy)?;
-                    continue;
-                }
-                write_reply(&mut writer, &rx)?;
-            }
-            "QUERY" | "EVAL" | "EXPLAIN" | "ANALYZE" if rest.is_empty() => {
-                writeln!(writer, "ERR proto {verb} needs an XPath expression")?;
-            }
-            "QUERY" | "EVAL" | "EXPLAIN" | "ANALYZE" => {
-                // EXPLAIN/ANALYZE take an optional JSON modifier before
-                // the expression: `EXPLAIN JSON //a/b`.
-                let (json, xpath) = match rest.strip_prefix("JSON") {
-                    Some(r) if r.starts_with(' ') && matches!(verb, "EXPLAIN" | "ANALYZE") => {
-                        (true, r.trim())
-                    }
-                    _ => (false, rest),
-                };
-                if xpath.is_empty() {
-                    writeln!(writer, "ERR proto {verb} needs an XPath expression")?;
                     writer.flush()?;
                     continue;
                 }
-                let (tx, rx) = std::sync::mpsc::sync_channel(1);
-                let request = match verb {
-                    "QUERY" => Request::Query {
-                        xpath: xpath.to_string(),
-                    },
-                    "EVAL" => Request::Eval {
-                        xpath: xpath.to_string(),
-                    },
-                    "EXPLAIN" => Request::Explain {
-                        xpath: xpath.to_string(),
-                        json,
-                    },
-                    _ => Request::Analyze {
-                        xpath: xpath.to_string(),
-                        json,
-                    },
+                let result = match rx.recv() {
+                    Ok(result) => result,
+                    // Worker pool shut down before replying.
+                    Err(_) => Err(ServerError::Query("busy server shutting down".into())),
                 };
-                let job = Job {
-                    request,
-                    limit,
-                    deadline: Instant::now() + shared.config.query_timeout,
-                    reply: tx,
-                };
-                if pool.try_submit(job).is_err() {
-                    shared
-                        .metrics
-                        .busy_rejections
-                        .fetch_add(1, Ordering::Relaxed);
-                    writeln!(writer, "ERR {}", ServerError::Busy)?;
-                    continue;
-                }
-                write_reply(&mut writer, &rx)?;
+                writer.write_all(&reply_bytes(&result))?;
             }
-            _ => writeln!(writer, "ERR proto unknown request {verb}")?,
         }
         writer.flush()?;
     }
 }
 
-/// Waits for the worker's reply and serializes it.
-fn write_reply(
-    writer: &mut TcpStream,
-    rx: &Receiver<Result<Outcome, ServerError>>,
-) -> std::io::Result<()> {
-    match rx.recv() {
-        Ok(Ok(Outcome::Rows {
+/// Serializes a job result into protocol bytes — the single rendering
+/// path both cores share.
+fn reply_bytes(result: &Result<Outcome, ServerError>) -> Vec<u8> {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    match result {
+        Ok(Outcome::Rows {
             rendered,
             cached,
             elapsed,
             buffer_hits,
             buffer_misses,
             ..
-        })) => {
+        }) => {
             for row in &rendered.lines {
-                writeln!(writer, "ROW {}", escape_line(row))?;
+                let _ = writeln!(out, "ROW {}", escape_line(row));
             }
-            writeln!(
-                writer,
+            let _ = writeln!(
+                out,
                 "OK {} row(s) plan={} {}us hits={} misses={}",
                 rendered.total,
-                if cached { "cached" } else { "compiled" },
+                if *cached { "cached" } else { "compiled" },
                 elapsed.as_micros(),
                 buffer_hits,
                 buffer_misses
-            )
+            );
         }
-        Ok(Ok(Outcome::Scalar { text, elapsed })) => {
-            writeln!(writer, "VAL {}", escape_line(&text))?;
-            writeln!(writer, "OK scalar {}us", elapsed.as_micros())
+        Ok(Outcome::Scalar { text, elapsed }) => {
+            let _ = writeln!(out, "VAL {}", escape_line(text));
+            let _ = writeln!(out, "OK scalar {}us", elapsed.as_micros());
         }
-        Ok(Ok(Outcome::Report { lines, elapsed })) => {
-            for line in &lines {
-                writeln!(writer, "PLAN {}", escape_line(line))?;
+        Ok(Outcome::Report { lines, elapsed }) => {
+            for line in lines {
+                let _ = writeln!(out, "PLAN {}", escape_line(line));
             }
-            writeln!(
-                writer,
-                "OK {} line(s) {}us",
-                lines.len(),
-                elapsed.as_micros()
-            )
+            let _ = writeln!(out, "OK {} line(s) {}us", lines.len(), elapsed.as_micros());
         }
-        Ok(Ok(Outcome::Updated {
+        Ok(Outcome::Updated {
             matched,
             inserted,
             deleted,
@@ -1084,26 +1413,40 @@ fn write_reply(
             generation,
             writer_wait,
             elapsed,
-        })) => writeln!(
-            writer,
-            "OK update matched={matched} inserted={inserted} deleted={deleted} \
-             lsn={lsn} generation={generation} writer_wait={}us {}us",
-            writer_wait.as_micros(),
-            elapsed.as_micros()
-        ),
-        Ok(Ok(Outcome::Checkpointed {
+        }) => {
+            let _ = writeln!(
+                out,
+                "OK update matched={matched} inserted={inserted} deleted={deleted} \
+                 lsn={lsn} generation={generation} writer_wait={}us {}us",
+                writer_wait.as_micros(),
+                elapsed.as_micros()
+            );
+        }
+        Ok(Outcome::Checkpointed {
             records,
             last_lsn,
             elapsed,
-        })) => writeln!(
-            writer,
-            "OK checkpoint records={records} lsn={last_lsn} {}us",
-            elapsed.as_micros()
-        ),
-        Ok(Err(e)) => writeln!(writer, "ERR {e}"),
-        // Worker pool shut down before replying.
-        Err(_) => writeln!(writer, "ERR busy server shutting down"),
+        }) => {
+            let _ = writeln!(
+                out,
+                "OK checkpoint records={records} lsn={last_lsn} {}us",
+                elapsed.as_micros()
+            );
+        }
+        Ok(Outcome::Loaded { id, generation }) => {
+            let _ = writeln!(out, "OK loaded document {id} generation {generation}");
+        }
+        Ok(Outcome::Lines { lines, ok }) => {
+            for line in lines {
+                let _ = writeln!(out, "{line}");
+            }
+            let _ = writeln!(out, "{ok}");
+        }
+        Err(e) => {
+            let _ = writeln!(out, "ERR {e}");
+        }
     }
+    out.into_bytes()
 }
 
 /// Parses `INSERT <doc> <target> <fragment>`, `DELETE <doc> <target>`
@@ -1142,32 +1485,6 @@ fn parse_update(verb: &str, rest: &str) -> Result<Request, String> {
                 target: tail.to_string(),
             },
         }),
-    }
-}
-
-/// Handles `LOAD`/`LOADXML` on the connection thread (write lock).
-fn handle_load(shared: &Shared, verb: &str, rest: &str) -> String {
-    let Some((name, payload)) = rest.split_once(' ').map(|(n, p)| (n, p.trim())) else {
-        return format!("ERR proto {verb} needs a name and a payload");
-    };
-    let xml = if verb == "LOAD" {
-        match std::fs::read_to_string(payload) {
-            Ok(xml) => xml,
-            Err(e) => return format!("ERR query cannot read {payload}: {e}"),
-        }
-    } else {
-        payload.to_string()
-    };
-    match shared.engine.load_xml(name, &xml) {
-        // No cache clear: plans validate per document, and a load never
-        // changes an existing document's generation — other documents'
-        // cached plans stay warm.
-        Ok(id) => format!(
-            "OK loaded document {} generation {}",
-            id.0,
-            shared.engine.generation()
-        ),
-        Err(e) => format!("ERR query {e}"),
     }
 }
 
@@ -1327,5 +1644,67 @@ mod tests {
         assert!(c.workers >= 1);
         assert!(c.queue_depth >= c.workers);
         assert!(c.query_timeout > Duration::ZERO);
+        assert_eq!(c.core, CoreMode::Event);
+    }
+
+    #[test]
+    fn parse_line_covers_the_grammar() {
+        let config = ServerConfig::default();
+        assert!(matches!(
+            parse_line(&config, "PING"),
+            Parsed::Inline(s) if s == "OK pong"
+        ));
+        assert!(matches!(parse_line(&config, "QUIT"), Parsed::Quit));
+        assert!(matches!(parse_line(&config, "LIMIT 5"), Parsed::Limit(5)));
+        assert!(matches!(
+            parse_line(&config, "QUERY //a"),
+            Parsed::Job(Request::Query { doc: None, .. })
+        ));
+        assert!(matches!(
+            parse_line(&config, "QUERY DOC auction //a"),
+            Parsed::Job(Request::Query { doc: Some(d), .. }) if d == "auction"
+        ));
+        assert!(matches!(
+            parse_line(&config, "ANALYZE JSON DOC auction //a"),
+            Parsed::Job(Request::Analyze {
+                doc: Some(_),
+                json: true,
+                ..
+            })
+        ));
+        assert!(matches!(
+            parse_line(&config, "STATS"),
+            Parsed::Control(Request::Stats)
+        ));
+        assert!(matches!(
+            parse_line(&config, "DOCS"),
+            Parsed::Control(Request::Docs)
+        ));
+        assert!(matches!(
+            parse_line(&config, "REPLICATE 7"),
+            Parsed::Feed(7)
+        ));
+        assert!(matches!(
+            parse_line(&config, "NONSENSE"),
+            Parsed::Inline(s) if s.starts_with("ERR proto unknown")
+        ));
+    }
+
+    #[test]
+    fn replica_config_rejects_writes_at_parse() {
+        let config = ServerConfig {
+            replica: Some(ReplicaRole {
+                primary: "1.2.3.4:5".into(),
+                status: Arc::new(ReplicaStatus::default()),
+            }),
+            ..ServerConfig::default()
+        };
+        for verb in ["LOADXML d <a/>", "INSERT d //a <b/>", "CHECKPOINT"] {
+            assert!(matches!(
+                parse_line(&config, verb),
+                Parsed::Inline(s) if s.starts_with("ERR readonly")
+            ));
+        }
+        assert!(matches!(parse_line(&config, "QUERY //a"), Parsed::Job(_)));
     }
 }

@@ -323,3 +323,146 @@ fn fused_queries_report_counters_and_plans_over_the_wire() {
     assert_eq!(stat_value(&stats, "fused_steps"), steps, "{stats:?}");
     handle.stop();
 }
+
+#[test]
+fn doc_scoped_verbs_and_docs_listing() {
+    let handle = spawn_server(ServerConfig::default());
+    let mut client = Client::connect(&handle);
+    client.round_trip("LIMIT 0");
+    client.round_trip("LOADXML extra <r><province>Eden</province></r>");
+
+    // DOCS lists both documents in load order with generations.
+    let docs = client.round_trip("DOCS");
+    assert!(docs[0].starts_with("DOC 0 auction generation="), "{docs:?}");
+    assert!(docs[1].starts_with("DOC 1 extra generation="), "{docs:?}");
+    assert!(
+        docs.last().unwrap().starts_with("OK 2 document(s)"),
+        "{docs:?}"
+    );
+
+    // A DOC-scoped QUERY sees only its document; the unscoped one sees
+    // both. Name and ordinal resolve to the same document.
+    let all = client.round_trip("QUERY //province");
+    let scoped = client.round_trip("QUERY DOC extra //province");
+    assert!(scoped.iter().any(|l| l.contains("Eden")), "{scoped:?}");
+    assert!(scoped.len() < all.len(), "scoped must be a strict subset");
+    let stable = |lines: Vec<String>| -> Vec<String> {
+        lines
+            .into_iter()
+            .map(|l| l.split(" plan=").next().unwrap().to_string())
+            .collect()
+    };
+    assert_eq!(
+        stable(client.round_trip("QUERY DOC 1 //province")),
+        stable(scoped.clone()),
+        "ordinal and name scoping must agree"
+    );
+
+    // EVAL/EXPLAIN/ANALYZE accept the same scope.
+    let count = client.round_trip("EVAL DOC extra count(//province)");
+    assert_eq!(count[0], "VAL 1", "{count:?}");
+    let plan = client.round_trip("EXPLAIN JSON DOC extra //province");
+    assert!(plan[0].starts_with("PLAN {"), "{plan:?}");
+    let analyzed = client.round_trip("ANALYZE DOC extra //province");
+    assert!(
+        analyzed.iter().any(|l| l.starts_with("PLAN ")),
+        "{analyzed:?}"
+    );
+
+    // Unknown documents are a query error, not a protocol error.
+    for q in [
+        "QUERY DOC nosuch //province",
+        "EVAL DOC 9 count(//province)",
+    ] {
+        let err = client.round_trip(q);
+        assert!(err[0].starts_with("ERR query no such document"), "{err:?}");
+    }
+    handle.stop();
+}
+
+#[test]
+fn pipelined_requests_answer_in_order_on_one_connection() {
+    use std::io::{BufRead, BufReader, Write};
+    let handle = spawn_server(ServerConfig::default());
+    // Raw socket: write a burst of requests in one syscall, then read
+    // every response. The event core parses them pipelined; replies
+    // must come back complete and in request order.
+    let stream = std::net::TcpStream::connect(handle.addr()).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    writer
+        .write_all(b"PING\nEVAL count(//province)\nPING\nLIMIT 3\nEVAL count(//province)\nQUIT\n")
+        .expect("write burst");
+    writer.flush().expect("flush");
+    let mut lines = Vec::new();
+    for line in BufReader::new(stream).lines() {
+        lines.push(line.expect("read"));
+    }
+    let expected_count = lines[1].clone();
+    assert_eq!(lines[0], "OK pong");
+    assert!(lines[1].starts_with("VAL "), "{lines:?}");
+    assert!(lines[2].starts_with("OK scalar"), "{lines:?}");
+    assert_eq!(lines[3], "OK pong");
+    assert_eq!(lines[4], "OK limit 3");
+    assert_eq!(lines[5], expected_count, "same query, same answer");
+    assert!(lines[6].starts_with("OK scalar"), "{lines:?}");
+    assert_eq!(lines[7], "OK bye");
+    assert_eq!(lines.len(), 8, "{lines:?}");
+}
+
+#[test]
+fn threaded_core_still_serves_the_full_protocol() {
+    let handle = spawn_server(ServerConfig {
+        core: vamana_server::CoreMode::Threaded,
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(&handle);
+    assert_eq!(client.round_trip("PING"), vec!["OK pong"]);
+    let rows = client.round_trip("QUERY //province");
+    assert!(rows.last().unwrap().starts_with("OK "), "{rows:?}");
+    let docs = client.round_trip("DOCS");
+    assert!(
+        docs.last().unwrap().starts_with("OK 1 document(s)"),
+        "{docs:?}"
+    );
+    let stats = client.round_trip("STATS");
+    assert!(stat_value(&stats, "queries_total") >= 1, "{stats:?}");
+    assert_eq!(client.round_trip("QUIT"), vec!["OK bye"]);
+    handle.stop();
+}
+
+#[test]
+fn many_idle_connections_do_not_occupy_threads() {
+    let handle = spawn_server(ServerConfig::default());
+    // Park a crowd of idle connections on the event core...
+    let idle: Vec<_> = (0..128)
+        .map(|_| std::net::TcpStream::connect(handle.addr()).expect("connect"))
+        .collect();
+    std::thread::sleep(Duration::from_millis(100));
+    // ...and the process thread count stays far below one-per-socket
+    // (loop + workers + test harness, not 128 connection threads).
+    let threads = std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("Threads:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|n| n.parse::<usize>().ok())
+        })
+        .expect("read thread count");
+    assert!(
+        threads < 64,
+        "{threads} threads for 128 idle connections — thread-per-connection?"
+    );
+    // The connections are all live: each answers a request.
+    for stream in &idle {
+        use std::io::{BufRead, BufReader, Write};
+        let mut w = stream.try_clone().expect("clone");
+        w.write_all(b"PING\n").expect("write");
+        let mut line = String::new();
+        BufReader::new(stream.try_clone().expect("clone"))
+            .read_line(&mut line)
+            .expect("read");
+        assert_eq!(line.trim_end(), "OK pong");
+    }
+    handle.stop();
+}
