@@ -36,14 +36,21 @@ pub const SCAN_QUERIES: &[(&str, &str)] = &[
     ("S5", "//person//*"),
 ];
 
-/// Generates an XMark document of roughly `megabytes` MB.
+/// Generates an XMark document of roughly `megabytes` MB (streamed —
+/// no DOM arena is materialized).
 pub fn document(megabytes: f64) -> String {
-    vamana_xmark::generate_string(&config_for_megabytes(megabytes))
+    let mut buf = Vec::new();
+    vamana_xmark::generate_to(&config_for_megabytes(megabytes), &mut buf).expect("vec write");
+    String::from_utf8(buf).expect("generator emits UTF-8")
 }
 
 /// Builds a MASS-backed VAMANA engine over `xml`.
 pub fn vamana_engine(xml: &str, optimize: bool) -> Engine {
+    // `VAMANA_FORMAT=v2` benches the compressed tier.
     let mut store = MassStore::open_memory();
+    store
+        .set_format(vamana_mass::StoreFormat::from_env())
+        .expect("empty store accepts any format");
     store.load_xml("auction.xml", xml).expect("load");
     let mut engine = Engine::new(store);
     engine.options_mut().optimize = optimize;

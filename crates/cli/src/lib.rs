@@ -25,7 +25,7 @@
 use std::fmt::Write as _;
 use std::sync::Arc;
 use vamana_core::{DocId, Engine, MassStore, SharedEngine, UpdateOp, Value};
-use vamana_mass::{pager::FilePager, FsyncPolicy};
+use vamana_mass::{pager::FilePager, FsyncPolicy, StoreFormat};
 use vamana_server::{render_rows, RenderOptions, Server, ServerConfig, ServerHandle};
 
 /// Result rows printed per query unless `.limit` changes it.
@@ -52,8 +52,13 @@ impl Default for Session {
 impl Session {
     /// A session over an empty in-memory store.
     pub fn new() -> Self {
+        // `VAMANA_FORMAT=v2` starts the session on the compressed tier.
+        let mut store = MassStore::open_memory();
+        store
+            .set_format(StoreFormat::from_env())
+            .expect("empty store accepts any format");
         Session {
-            engine: Arc::new(SharedEngine::new(Engine::new(MassStore::open_memory()))),
+            engine: Arc::new(SharedEngine::new(Engine::new(store))),
             limit: DEFAULT_MAX_ROWS,
             server: None,
         }
@@ -147,9 +152,27 @@ impl Session {
     }
 
     fn cmd_generate(&mut self, arg: &str) -> Result<String, Box<dyn std::error::Error>> {
-        let mb: f64 = if arg.is_empty() { 1.0 } else { arg.parse()? };
+        let (size, file) = match arg.split_once(char::is_whitespace) {
+            Some((mb, path)) => (mb, Some(path.trim())),
+            None => (arg, None),
+        };
+        let mb: f64 = if size.is_empty() { 1.0 } else { size.parse()? };
+        let config = vamana_xmark::scale::config_for_megabytes(mb);
         let t = std::time::Instant::now();
-        let xml = vamana_xmark::generate_string(&vamana_xmark::scale::config_for_megabytes(mb));
+        if let Some(path) = file {
+            // Stream straight to disk: O(1) memory at any scale.
+            let out = std::io::BufWriter::new(std::fs::File::create(path)?);
+            let bytes = vamana_xmark::generate_to(&config, out)?;
+            return Ok(format!(
+                "generated {:.1} MB of XMark data to {path} in {:.2?}",
+                bytes as f64 / 1_048_576.0,
+                t.elapsed()
+            ));
+        }
+        // Stream into a buffer (no DOM arena), then bulk-load it.
+        let mut xml = Vec::new();
+        vamana_xmark::generate_to(&config, &mut xml)?;
+        let xml = String::from_utf8(xml).expect("generator emits UTF-8");
         let id = self.engine.load_xml("xmark-generated", &xml)?;
         Ok(format!(
             "generated {:.1} MB of XMark data as document {} in {:.2?}",
@@ -329,13 +352,23 @@ impl Session {
         let p = engine.parallel_stats();
         let (fused_chains, fused_steps) = engine.fused_stats();
         format!(
-            "documents: {}\ntuples:    {}\npages:     {} ({:.1} tuples/page)\nnames:     {}\nvalues:    {}\nbuffer:    {} hits / {} misses / {} evictions ({:.1}% hit ratio)\nbatched:   {} batch pins / {} pins saved\nparallel:  {} workers / {} morsels / {} batches / {} merge stalls\nfused:     {} chain(s) / {} steps collapsed",
+            "documents: {}\ntuples:    {}\npages:     {} ({:.1} tuples/page)\nnames:     {}\nvalues:    {}\nstorage:   format {} / {} compressed + {} uncompressed pages / {} dict entries\n           {} bytes on disk ({:.2}x compression, {:.1} bytes/tuple)\ndecodes:   {} v1 / {} v2 / {} format fallbacks\nbuffer:    {} hits / {} misses / {} evictions ({:.1}% hit ratio)\nbatched:   {} batch pins / {} pins saved\nparallel:  {} workers / {} morsels / {} batches / {} merge stalls\nfused:     {} chain(s) / {} steps collapsed",
             s.documents,
             s.tuples,
             s.pages,
             s.tuples_per_page(),
             s.distinct_names,
             s.distinct_values,
+            s.format.as_str(),
+            s.compressed_pages,
+            s.uncompressed_pages,
+            s.dict_entries,
+            s.disk_bytes(),
+            s.compression_ratio(),
+            s.bytes_per_tuple(),
+            s.buffer.decodes_v1,
+            s.buffer.decodes_v2,
+            s.buffer.format_fallbacks,
             s.buffer.hits,
             s.buffer.misses,
             s.buffer.evictions,
@@ -611,6 +644,8 @@ impl Session {
         // WAL) by re-serializing the documents (the in-memory pager has
         // no file to checkpoint).
         let mut file_store = MassStore::create_durable(path, 1024, FsyncPolicy::Always)?;
+        // Keep the session's page format across the rebuild.
+        file_store.set_format(self.engine.read().store().format())?;
         {
             let engine = self.engine.read();
             for i in 0..engine.store().documents().len() {
@@ -702,7 +737,7 @@ pub const HELP: &str = "\
 commands:
   <xpath>             evaluate an XPath expression on document 0
   .load <file>        load an XML file into the store
-  .generate [mb]      generate ~mb megabytes of XMark auction data
+  .generate [mb] [file]  generate ~mb MB of XMark data (stream to file if given)
   .explain <xpath>    show default vs optimized plan with live costs
                       and the optimizer's pass-by-pass trace
   .analyze [json] <xpath>

@@ -70,17 +70,31 @@ pub struct EstimateCard {
     /// Estimated cost charged by the optimizer: `IN + OUT` (every tuple
     /// received or emitted is an index operation).
     pub cost: u64,
+    /// Estimated clustered-index pages touched if this operator's
+    /// output were fetched from data pages: `OUT / tuples-per-page`,
+    /// where the blocking factor reflects the store's measured
+    /// compression (v2 stores pack more tuples per page, so the same
+    /// output prices fewer page reads). `0` when the store is empty.
+    pub pages: f64,
 }
 
-impl From<&OpCost> for EstimateCard {
-    fn from(c: &OpCost) -> Self {
+impl OpCost {
+    /// Freezes this cost into a stampable card, pricing page I/O with
+    /// the store's current blocking factor.
+    fn card(&self, tuples_per_page: f64) -> EstimateCard {
+        let pages = if tuples_per_page > 0.0 {
+            (self.output as f64 / tuples_per_page).ceil()
+        } else {
+            0.0
+        };
         EstimateCard {
-            count: c.count,
-            tc: c.tc,
-            input: c.input,
-            output: c.output,
-            selectivity: c.selectivity(),
-            cost: c.input + c.output,
+            count: self.count,
+            tc: self.tc,
+            input: self.input,
+            output: self.output,
+            selectivity: self.selectivity(),
+            cost: self.input + self.output,
+            pages,
         }
     }
 }
@@ -115,11 +129,13 @@ impl PlanCosts {
     /// (`None` for operators the estimator never reached — detached
     /// arena slots left behind by rewrites). `len` is the plan's arena
     /// length; see [`crate::plan::QueryPlan::set_estimates`].
-    pub fn cards(&self, len: usize) -> Vec<Option<EstimateCard>> {
+    /// `tuples_per_page` is the store's current blocking factor
+    /// ([`MassStore::tuples_per_page`]), used to price page I/O.
+    pub fn cards(&self, len: usize, tuples_per_page: f64) -> Vec<Option<EstimateCard>> {
         let mut cards = vec![None; len];
         for (id, cost) in &self.per_op {
             if let Some(slot) = cards.get_mut(id.index()) {
-                *slot = Some(EstimateCard::from(cost));
+                *slot = Some(cost.card(tuples_per_page));
             }
         }
         cards

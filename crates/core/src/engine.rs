@@ -738,7 +738,7 @@ impl Engine {
             if let OptEvent::ViewRewrite { applied, .. } = &mut outcome.opt_trace.events[idx] {
                 *applied = true;
             }
-            plan.set_estimates(costs.cards(plan.len()));
+            plan.set_estimates(costs.cards(plan.len(), self.store.tuples_per_page()));
             self.views.touch(doc.0, &key);
             outcome.plan = plan;
             outcome.costs = costs;
@@ -800,7 +800,7 @@ impl Engine {
         });
         if accept {
             let mut plan = cand.plan;
-            plan.set_estimates(costs.cards(plan.len()));
+            plan.set_estimates(costs.cards(plan.len(), self.store.tuples_per_page()));
             outcome.plan = plan;
             outcome.costs = costs;
             outcome.final_cost = total;
@@ -1053,7 +1053,7 @@ impl Engine {
         } else {
             // Default-plan analysis: stamp the default estimates and log
             // the two passes that did run (no rewriting).
-            plan.set_estimates(default_costs.cards(plan.len()));
+            plan.set_estimates(default_costs.cards(plan.len(), self.store.tuples_per_page()));
             let opt_trace = crate::opt::OptTrace {
                 events: vec![
                     crate::opt::OptEvent::Cleanup,
@@ -1100,6 +1100,12 @@ impl Engine {
             merge_stalls: par.merge_stalls.saturating_sub(par_before.merge_stalls),
             fused_chains,
             fused_steps,
+            decodes_v1: buffer_after
+                .decodes_v1
+                .saturating_sub(buffer_before.decodes_v1),
+            decodes_v2: buffer_after
+                .decodes_v2
+                .saturating_sub(buffer_before.decodes_v2),
             rows: out.len() as u64,
             writer_wait: Duration::ZERO,
             operators: Some(actuals.clone()),

@@ -238,8 +238,9 @@ impl Analysis {
             if let Some(card) = self.plan.estimate(op) {
                 let _ = write!(
                     s,
-                    ",\"est\":{{\"in\":{},\"out\":{},\"selectivity\":{:.6},\"cost\":{}",
-                    card.input, card.output, card.selectivity, card.cost
+                    ",\"est\":{{\"in\":{},\"out\":{},\"selectivity\":{:.6},\"cost\":{},\
+                     \"pages\":{}",
+                    card.input, card.output, card.selectivity, card.cost, card.pages as u64
                 );
                 if let Some(count) = card.count {
                     let _ = write!(s, ",\"count\":{count}");

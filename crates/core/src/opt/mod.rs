@@ -310,7 +310,7 @@ pub fn optimize(
     }
 
     let final_cost = costs.total();
-    plan.set_estimates(costs.cards(plan.len()));
+    plan.set_estimates(costs.cards(plan.len(), store.tuples_per_page()));
     Ok(OptimizeOutcome {
         plan,
         costs,

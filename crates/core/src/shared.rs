@@ -48,6 +48,12 @@ pub struct QueryProfile {
     pub fused_chains: u64,
     /// Location steps those fused operators collapsed.
     pub fused_steps: u64,
+    /// Uncompressed (v1) page decodes during the query — data-page
+    /// reads that missed the decoded-page cache.
+    pub decodes_v1: u64,
+    /// Front-coded (v2) page decodes during the query. Together with
+    /// `decodes_v1` this is the storage tier's share of the misses.
+    pub decodes_v2: u64,
     /// Result cardinality.
     pub rows: u64,
     /// Time a writer spent parked at the epoch gate waiting for pinned
@@ -61,13 +67,24 @@ pub struct QueryProfile {
     pub operators: Option<crate::exec::stats::ExecStatsSnapshot>,
 }
 
-fn delta(before: BufferStats, after: BufferStats) -> (u64, u64, u64, u64) {
-    (
-        after.hits.saturating_sub(before.hits),
-        after.misses.saturating_sub(before.misses),
-        after.batch_pins.saturating_sub(before.batch_pins),
-        after.pins_saved.saturating_sub(before.pins_saved),
-    )
+struct BufferDelta {
+    hits: u64,
+    misses: u64,
+    batch_pins: u64,
+    pins_saved: u64,
+    decodes_v1: u64,
+    decodes_v2: u64,
+}
+
+fn delta(before: BufferStats, after: BufferStats) -> BufferDelta {
+    BufferDelta {
+        hits: after.hits.saturating_sub(before.hits),
+        misses: after.misses.saturating_sub(before.misses),
+        batch_pins: after.batch_pins.saturating_sub(before.batch_pins),
+        pins_saved: after.pins_saved.saturating_sub(before.pins_saved),
+        decodes_v1: after.decodes_v1.saturating_sub(before.decodes_v1),
+        decodes_v2: after.decodes_v2.saturating_sub(before.decodes_v2),
+    }
 }
 
 impl Engine {
@@ -83,21 +100,22 @@ impl Engine {
         let start = Instant::now();
         let rows = self.query_doc(doc, xpath)?;
         let elapsed = start.elapsed();
-        let (buffer_hits, buffer_misses, batch_pins, pins_saved) =
-            delta(before, self.store().buffer_pool().stats());
+        let d = delta(before, self.store().buffer_pool().stats());
         let par = self.parallel_stats();
         let fused = self.fused_stats();
         let profile = QueryProfile {
             elapsed,
-            buffer_hits,
-            buffer_misses,
-            batch_pins,
-            pins_saved,
+            buffer_hits: d.hits,
+            buffer_misses: d.misses,
+            batch_pins: d.batch_pins,
+            pins_saved: d.pins_saved,
             morsels: par.morsels.saturating_sub(par_before.morsels),
             worker_batches: par.worker_batches.saturating_sub(par_before.worker_batches),
             merge_stalls: par.merge_stalls.saturating_sub(par_before.merge_stalls),
             fused_chains: fused.0.saturating_sub(fused_before.0),
             fused_steps: fused.1.saturating_sub(fused_before.1),
+            decodes_v1: d.decodes_v1,
+            decodes_v2: d.decodes_v2,
             rows: rows.len() as u64,
             writer_wait: Duration::ZERO,
             operators: None,
@@ -119,21 +137,22 @@ impl Engine {
         let start = Instant::now();
         let rows = self.execute_plan(plan, doc)?;
         let elapsed = start.elapsed();
-        let (buffer_hits, buffer_misses, batch_pins, pins_saved) =
-            delta(before, self.store().buffer_pool().stats());
+        let d = delta(before, self.store().buffer_pool().stats());
         let par = self.parallel_stats();
         let fused = self.fused_stats();
         let profile = QueryProfile {
             elapsed,
-            buffer_hits,
-            buffer_misses,
-            batch_pins,
-            pins_saved,
+            buffer_hits: d.hits,
+            buffer_misses: d.misses,
+            batch_pins: d.batch_pins,
+            pins_saved: d.pins_saved,
             morsels: par.morsels.saturating_sub(par_before.morsels),
             worker_batches: par.worker_batches.saturating_sub(par_before.worker_batches),
             merge_stalls: par.merge_stalls.saturating_sub(par_before.merge_stalls),
             fused_chains: fused.0.saturating_sub(fused_before.0),
             fused_steps: fused.1.saturating_sub(fused_before.1),
+            decodes_v1: d.decodes_v1,
+            decodes_v2: d.decodes_v2,
             rows: rows.len() as u64,
             writer_wait: Duration::ZERO,
             operators: None,

@@ -14,6 +14,7 @@
 //! [`PageStore`] keeps a single lock: it is the simulated disk, touched
 //! only on misses and writes.
 
+use crate::compress::StoreFormat;
 use crate::error::Result;
 use crate::page::Page;
 use crate::pager::PageStore;
@@ -42,6 +43,17 @@ pub struct BufferStats {
     /// beyond the first under a single pin. `pins_saved / batch_pins` is
     /// the average amortization factor of the batched pipeline.
     pub pins_saved: u64,
+    /// Misses that decoded an uncompressed (v1) page image.
+    pub decodes_v1: u64,
+    /// Misses that decoded a compressed (v2) page image.
+    pub decodes_v2: u64,
+    /// Page images written in the uncompressed format.
+    pub writes_v1: u64,
+    /// Page images written front-coded (v2).
+    pub writes_v2: u64,
+    /// V2 pages whose compressed image did not fit and were written
+    /// uncompressed instead (the overflow rule).
+    pub format_fallbacks: u64,
 }
 
 impl BufferStats {
@@ -127,6 +139,13 @@ impl BufferPool {
         // honest about actual store reads.
         let image = lock(&self.store).read_page(id)?;
         let page = Arc::new(Page::decode(&image, id)?);
+        {
+            let mut shard = lock(self.shard(id));
+            match page.format() {
+                StoreFormat::V1 => shard.stats.decodes_v1 += 1,
+                StoreFormat::V2 => shard.stats.decodes_v2 += 1,
+            }
+        }
         self.install(id, page.clone());
         Ok(page)
     }
@@ -162,13 +181,25 @@ impl BufferPool {
         shard.stats.pins_saved += scanned.saturating_sub(1);
     }
 
-    /// Writes `page` through to the store and refreshes the cache.
-    pub fn put(&self, id: u32, page: Page) -> Result<()> {
-        let image = page.encode()?;
+    /// Writes `page` through to the store and refreshes the cache,
+    /// returning the format actually written (a v2 page whose compressed
+    /// image does not fit falls back to v1 — the overflow rule).
+    pub fn put(&self, id: u32, page: Page) -> Result<StoreFormat> {
+        let (image, written) = page.encode_with_format()?;
         lock(&self.store).write_page(id, &image)?;
-        lock(self.shard(id)).stats.writes += 1;
+        {
+            let mut shard = lock(self.shard(id));
+            shard.stats.writes += 1;
+            match written {
+                StoreFormat::V1 => shard.stats.writes_v1 += 1,
+                StoreFormat::V2 => shard.stats.writes_v2 += 1,
+            }
+            if written != page.format() {
+                shard.stats.format_fallbacks += 1;
+            }
+        }
         self.install(id, Arc::new(page));
-        Ok(())
+        Ok(written)
     }
 
     /// Allocates a new page id in the backing store.
@@ -220,6 +251,11 @@ impl BufferPool {
             total.evictions += s.evictions;
             total.batch_pins += s.batch_pins;
             total.pins_saved += s.pins_saved;
+            total.decodes_v1 += s.decodes_v1;
+            total.decodes_v2 += s.decodes_v2;
+            total.writes_v1 += s.writes_v1;
+            total.writes_v2 += s.writes_v2;
+            total.format_fallbacks += s.format_fallbacks;
         }
         total
     }

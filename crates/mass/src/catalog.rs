@@ -7,6 +7,7 @@
 //! [`MassStore::open_file`] reads it back and reconstructs every index
 //! with one sequential scan over the pages.
 
+use crate::compress::StoreFormat;
 use crate::error::{MassError, Result};
 use crate::store::{DocInfo, MassStore};
 use vamana_flex::FlexKey;
@@ -71,6 +72,17 @@ impl MassStore {
             put_bytes(&mut out, d.doc_key.as_flat());
         }
         out.extend_from_slice(&checkpoint_lsn.to_le_bytes());
+        // Compressed-tier trailer (absent in older catalogs, which are
+        // read as v1 stores with an empty dictionary): the store format
+        // plus the value dictionary in id order.
+        out.push(match self.format {
+            StoreFormat::V1 => 1,
+            StoreFormat::V2 => 2,
+        });
+        out.extend_from_slice(&(self.dict.len() as u32).to_le_bytes());
+        for v in self.dict.iter() {
+            put_bytes(&mut out, v.as_bytes());
+        }
         out
     }
 
@@ -147,6 +159,26 @@ impl MassStore {
         if r.buf.len() >= r.at + 8 {
             self.checkpoint_lsn_floor = u64::from_le_bytes(r.take(8)?.try_into().expect("8 bytes"));
         }
+        // Compressed-tier trailer: store format + value dictionary. Must
+        // be restored *before* the page scan below — rebuilding the
+        // secondary indexes resolves [`crate::record::ValueRef::Dict`]
+        // refs through the dictionary.
+        if r.buf.len() > r.at {
+            self.format = match r.take(1)?[0] {
+                1 => StoreFormat::V1,
+                2 => StoreFormat::V2,
+                other => {
+                    return Err(MassError::CorruptRecord(format!(
+                        "bad store format byte {other}"
+                    )))
+                }
+            };
+            let dict_count = r.u32()?;
+            for _ in 0..dict_count {
+                let v = r.string()?;
+                self.dict.intern(&v);
+            }
+        }
 
         // 2. Page scan: sparse index first (pages are not in key order
         //    after splits), then the secondary indexes in key order so
@@ -156,6 +188,7 @@ impl MassStore {
             let page = self.pool.get(page_id)?;
             if let Some(first) = page.first_key() {
                 entries.push((first.to_vec(), page_id));
+                self.page_formats.insert(page_id, page.format());
             } else {
                 // Emptied by an earlier delete, or allocated by a split
                 // that crashed before its first write: reusable.
@@ -194,12 +227,16 @@ impl MassStore {
             }
             if page.is_empty() {
                 self.index.remove(pos);
-                self.free_pages.push(page_id);
+                self.release_page(page_id);
+                self.pool.put(page_id, page)?;
             } else {
                 self.index[pos].0 = page.first_key().expect("non-empty").to_vec();
-                pos += 1;
+                // Trimming can overflow a v2 page (a survivor's
+                // front-coding lengthens when its predecessor is
+                // removed); split before write-out.
+                let added = self.put_page_at(pos, page)?;
+                pos += 1 + added;
             }
-            self.pool.put(page_id, page)?;
         }
         // Re-sort: trimming can change a page's first key.
         self.index.sort();
@@ -222,9 +259,11 @@ impl MassStore {
             }
             let mut page = (*self.pool.get(page_id)?).clone();
             while page.last_key().is_some_and(|k| k >= next_first.as_slice()) {
+                // Tail removals never lengthen anything (no successor),
+                // so the page cannot overflow here.
                 page.remove(page.len() - 1);
             }
-            self.pool.put(page_id, page)?;
+            self.put_data_page(page_id, page)?;
         }
 
         for pos in 0..self.index.len() {

@@ -45,6 +45,7 @@
 pub mod axes;
 pub mod buffer;
 pub mod catalog;
+pub mod compress;
 pub mod cursor;
 pub mod error;
 pub mod export;
@@ -63,6 +64,7 @@ pub mod wal;
 
 pub use axes::{axis_stream, range_scan_stream, AxisStream, KindFilter, NodeEntry, NodeFilter};
 pub use buffer::{BufferPool, BufferStats};
+pub use compress::{StoreFormat, ValueDict};
 pub use cursor::MassCursor;
 pub use error::{MassError, Result};
 pub use fault::{FaultClock, FaultPager, FaultWalBackend, SharedPager};

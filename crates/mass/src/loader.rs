@@ -45,6 +45,9 @@ impl MassStore {
     /// reproduces an identical key space.
     pub(crate) fn load_document_unlogged(&mut self, name: &str, doc: &Document) -> Result<DocId> {
         self.bump_generation();
+        if self.format == crate::compress::StoreFormat::V2 {
+            self.admit_dictionary_values(doc);
+        }
         let ordinal = self.docs.len() as u64;
         let mut generator = KeyGenerator::new();
         // Skip ordinals already consumed by earlier documents.
@@ -162,6 +165,28 @@ impl MassStore {
         Ok(DocId(ordinal as u32))
     }
 
+    /// Admits `doc`'s hot values into the store dictionary: short
+    /// text/attribute values occurring at least
+    /// [`crate::compress::DICT_MIN_FREQ`] times, admitted in document
+    /// order of first occurrence. Both passes depend only on the document
+    /// and the dictionary's prior state, so WAL replay and replication
+    /// (which re-run the same loads in the same order) reproduce the
+    /// exact id sequence.
+    fn admit_dictionary_values(&mut self, doc: &Document) {
+        use std::collections::HashMap;
+        let mut counts: HashMap<&str, u64> = HashMap::new();
+        for_each_value(doc, &mut |v| {
+            if !v.is_empty() && v.len() <= crate::compress::DICT_MAX_VALUE_LEN {
+                *counts.entry(v).or_insert(0) += 1;
+            }
+        });
+        for_each_value(doc, &mut |v| {
+            if counts.get(v).copied().unwrap_or(0) >= crate::compress::DICT_MIN_FREQ {
+                self.dict.intern(v);
+            }
+        });
+    }
+
     /// Parses and loads XML text in one step.
     pub fn load_xml(&mut self, name: &str, xml: &str) -> Result<DocId> {
         let doc = vamana_xml::parse(xml)
@@ -170,7 +195,29 @@ impl MassStore {
     }
 }
 
-/// Append-only page packer used during bulk load.
+/// Walks every text and attribute value of `doc` in document order.
+fn for_each_value<'d>(doc: &'d Document, f: &mut dyn FnMut(&'d str)) {
+    let mut stack: Vec<NodeId> = doc.children(Document::ROOT).collect();
+    stack.reverse();
+    while let Some(id) = stack.pop() {
+        match doc.kind(id) {
+            NodeKind::Element { .. } => {
+                for attr in doc.attributes(id) {
+                    f(doc.value(attr).expect("attribute has value"));
+                }
+                let kids: Vec<_> = doc.children(id).collect();
+                for child in kids.into_iter().rev() {
+                    stack.push(child);
+                }
+            }
+            NodeKind::Text { value } => f(value),
+            _ => {}
+        }
+    }
+}
+
+/// Append-only page packer used during bulk load. Pages are created in
+/// the store's format, so a v2 store bulk-loads compressed pages.
 struct PageSink<'a> {
     store: &'a mut MassStore,
     page: Page,
@@ -178,14 +225,12 @@ struct PageSink<'a> {
 
 impl<'a> PageSink<'a> {
     fn new(store: &'a mut MassStore) -> Self {
-        PageSink {
-            store,
-            page: Page::new(),
-        }
+        let page = Page::new_with_format(store.format);
+        PageSink { store, page }
     }
 
     fn emit(&mut self, rec: NodeRecord, value: Option<String>) -> Result<()> {
-        if !self.page.fits(rec.encoded_len()) {
+        if !self.page.fits_record(&rec) {
             if self.page.is_empty() {
                 return Err(MassError::InvalidUpdate(format!(
                     "record of {} bytes exceeds page capacity (key too deep?)",
@@ -206,8 +251,8 @@ impl<'a> PageSink<'a> {
             .expect("write_page on empty page")
             .to_vec();
         let id = self.store.allocate_page()?;
-        let page = std::mem::take(&mut self.page);
-        self.store.pool.put(id, page)?;
+        let page = std::mem::replace(&mut self.page, Page::new_with_format(self.store.format));
+        self.store.put_data_page(id, page)?;
         self.store.index.push((first, id));
         Ok(())
     }

@@ -51,6 +51,8 @@ pub enum ValueRef {
         /// Byte length of the blob.
         len: u32,
     },
+    /// Hot value interned in the store's [`crate::compress::ValueDict`].
+    Dict(u32),
 }
 
 /// One stored node.
@@ -103,6 +105,7 @@ impl NodeRecord {
             ValueRef::None => 0,
             ValueRef::Inline(s) => s.len(),
             ValueRef::Overflow { .. } => 12,
+            ValueRef::Dict(_) => 4,
         };
         // key_len(2) + key + kind(1) + name(4) + value_tag(1) + value_len(4) + value
         2 + self.key.as_flat().len() + 1 + 4 + 1 + 4 + val
@@ -136,6 +139,11 @@ impl NodeRecord {
                 out.extend_from_slice(&12u32.to_le_bytes());
                 out.extend_from_slice(&offset.to_le_bytes());
                 out.extend_from_slice(&len.to_le_bytes());
+            }
+            ValueRef::Dict(id) => {
+                out.push(3);
+                out.extend_from_slice(&4u32.to_le_bytes());
+                out.extend_from_slice(&id.to_le_bytes());
             }
         }
     }
@@ -183,6 +191,14 @@ impl NodeRecord {
                     offset: u64::from_le_bytes(buf[at..at + 8].try_into().expect("8 bytes")),
                     len: u32::from_le_bytes(buf[at + 8..at + 12].try_into().expect("4 bytes")),
                 }
+            }
+            3 => {
+                if vlen != 4 {
+                    return Err(MassError::CorruptRecord("bad dict ref".into()));
+                }
+                ValueRef::Dict(u32::from_le_bytes(
+                    buf[at..at + 4].try_into().expect("4 bytes"),
+                ))
             }
             other => return Err(MassError::CorruptRecord(format!("bad value tag {other}"))),
         };

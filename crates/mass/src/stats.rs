@@ -2,10 +2,13 @@
 //!
 //! These are the numbers the paper's cost estimator reads "directly from
 //! the storage structure": page and tuple counts plus buffer-pool
-//! behavior. Name/value counts come from the indexes and are exposed on
-//! [`crate::store::MassStore`] itself.
+//! behavior, and — for the compressed tier — per-format page counts and
+//! the effective compression ratio. Name/value counts come from the
+//! indexes and are exposed on [`crate::store::MassStore`] itself.
 
 use crate::buffer::BufferStats;
+use crate::compress::StoreFormat;
+use crate::page::PAGE_SIZE;
 
 /// A snapshot of storage statistics.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -22,6 +25,17 @@ pub struct StoreStats {
     pub documents: usize,
     /// Buffer-pool counters since the last reset.
     pub buffer: BufferStats,
+    /// Format new pages are written in.
+    pub format: StoreFormat,
+    /// Live pages whose on-disk image is front-coded (v2).
+    pub compressed_pages: u32,
+    /// Live pages whose on-disk image is uncompressed (v1).
+    pub uncompressed_pages: u32,
+    /// Entries in the value dictionary.
+    pub dict_entries: usize,
+    /// Sum of the v1 (uncompressed) encodings of every stored record —
+    /// what the clustered index would occupy without compression.
+    pub logical_bytes: u64,
 }
 
 impl StoreStats {
@@ -33,23 +47,61 @@ impl StoreStats {
             self.tuples as f64 / self.pages as f64
         }
     }
+
+    /// On-disk bytes of the clustered index (live pages × page size).
+    pub fn disk_bytes(&self) -> u64 {
+        u64::from(self.pages) * PAGE_SIZE as u64
+    }
+
+    /// Effective compression ratio: uncompressed record bytes over
+    /// on-disk bytes. 1.0± for v1 stores (page padding vs. fixed
+    /// overhead), noticeably above 1 for v2 stores; 0 when empty.
+    pub fn compression_ratio(&self) -> f64 {
+        let disk = self.disk_bytes();
+        if disk == 0 {
+            0.0
+        } else {
+            self.logical_bytes as f64 / disk as f64
+        }
+    }
+
+    /// On-disk bytes per stored tuple (0 when empty).
+    pub fn bytes_per_tuple(&self) -> f64 {
+        if self.tuples == 0 {
+            0.0
+        } else {
+            self.disk_bytes() as f64 / self.tuples as f64
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    #[test]
-    fn tuples_per_page_handles_empty() {
-        let s = StoreStats {
+    fn base() -> StoreStats {
+        StoreStats {
             pages: 0,
             tuples: 0,
             distinct_names: 0,
             distinct_values: 0,
             documents: 0,
             buffer: BufferStats::default(),
-        };
+            format: StoreFormat::V1,
+            compressed_pages: 0,
+            uncompressed_pages: 0,
+            dict_entries: 0,
+            logical_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn tuples_per_page_handles_empty() {
+        let s = base();
         assert_eq!(s.tuples_per_page(), 0.0);
+        assert_eq!(s.disk_bytes(), 0);
+        assert_eq!(s.compression_ratio(), 0.0);
+        assert_eq!(s.bytes_per_tuple(), 0.0);
     }
 
     #[test]
@@ -60,8 +112,12 @@ mod tests {
             distinct_names: 1,
             distinct_values: 1,
             documents: 1,
-            buffer: BufferStats::default(),
+            logical_bytes: 4 * PAGE_SIZE as u64 * 3,
+            ..base()
         };
         assert_eq!(s.tuples_per_page(), 25.0);
+        assert_eq!(s.disk_bytes(), 4 * PAGE_SIZE as u64);
+        assert!((s.compression_ratio() - 3.0).abs() < 1e-9);
+        assert!((s.bytes_per_tuple() - 4.0 * PAGE_SIZE as f64 / 100.0).abs() < 1e-9);
     }
 }

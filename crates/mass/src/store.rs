@@ -12,6 +12,7 @@
 //! query with different bounds.
 
 use crate::buffer::BufferPool;
+use crate::compress::{StoreFormat, ValueDict};
 use crate::error::{MassError, Result};
 use crate::name_index::NameIndex;
 use crate::names::{NameId, NameTable};
@@ -68,6 +69,16 @@ pub struct MassStore {
     /// independent of checkpoint truncation. `None` until
     /// [`MassStore::attach_replication`].
     pub(crate) repl: Option<crate::repl::ReplicationLog>,
+    /// Format new pages are written in (existing pages keep theirs).
+    pub(crate) format: StoreFormat,
+    /// Per-store dictionary of hot values ([`ValueRef::Dict`] targets).
+    pub(crate) dict: ValueDict,
+    /// On-disk format of each live data page (tracked at write/decode
+    /// time, so stats never have to touch the pages).
+    pub(crate) page_formats: std::collections::HashMap<u32, StoreFormat>,
+    /// Sum of the v1 encodings of every stored record — the uncompressed
+    /// footprint the compression ratio is measured against.
+    pub(crate) logical_bytes: u64,
 }
 
 impl std::fmt::Debug for MassStore {
@@ -115,7 +126,48 @@ impl MassStore {
             wal: None,
             checkpoint_lsn_floor: 0,
             repl: None,
+            format: StoreFormat::V1,
+            dict: ValueDict::new(),
+            page_formats: std::collections::HashMap::new(),
+            logical_bytes: 0,
         }
+    }
+
+    /// An empty in-memory store writing compressed (v2) pages.
+    pub fn open_memory_v2() -> Self {
+        let mut s = Self::open_memory();
+        s.format = StoreFormat::V2;
+        s
+    }
+
+    /// Format new pages are written in.
+    pub fn format(&self) -> StoreFormat {
+        self.format
+    }
+
+    /// Selects the page format for this store. Must be called before any
+    /// data is loaded: existing pages keep the format they were written
+    /// in, and flipping mid-life would make the dictionary admission
+    /// non-deterministic under WAL replay.
+    pub fn set_format(&mut self, format: StoreFormat) -> Result<()> {
+        if self.tuples != 0 || !self.docs.is_empty() {
+            return Err(MassError::InvalidUpdate(
+                "store format must be chosen before loading data".into(),
+            ));
+        }
+        self.format = format;
+        // Persist the choice right away on durable stores: without this a
+        // crash before the first post-load checkpoint would reopen the
+        // store with the catalog's (default) format.
+        if self.wal.is_some() {
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// The value dictionary (read-only).
+    pub fn dict(&self) -> &ValueDict {
+        &self.dict
     }
 
     /// Creates a new durable store at `path` (truncates existing): a
@@ -351,6 +403,10 @@ impl MassStore {
                     .map(Some)
                     .map_err(|_| MassError::CorruptRecord("non-UTF8 overflow value".into()))
             }
+            ValueRef::Dict(id) => match self.dict.resolve(*id) {
+                Some(s) => Ok(Some(s.to_string())),
+                None => Err(MassError::CorruptRecord(format!("dangling dict id {id}"))),
+            },
         }
     }
 
@@ -536,6 +592,14 @@ impl MassStore {
 
     /// Storage statistics snapshot.
     pub fn stats(&self) -> StoreStats {
+        let mut compressed = 0u32;
+        let mut uncompressed = 0u32;
+        for f in self.page_formats.values() {
+            match f {
+                StoreFormat::V2 => compressed += 1,
+                StoreFormat::V1 => uncompressed += 1,
+            }
+        }
         StoreStats {
             pages: self.index.len() as u32,
             tuples: self.tuples,
@@ -543,6 +607,23 @@ impl MassStore {
             distinct_values: self.value_index.distinct_values(),
             documents: self.docs.len(),
             buffer: self.pool.stats(),
+            format: self.format,
+            compressed_pages: compressed,
+            uncompressed_pages: uncompressed,
+            dict_entries: self.dict.len(),
+            logical_bytes: self.logical_bytes,
+        }
+    }
+
+    /// Average tuples per live clustered-index page — the blocking
+    /// factor the cost model divides by to turn tuple estimates into
+    /// page-I/O estimates. Reflects measured compression: v2 pages pack
+    /// more records, so the same tuple count costs fewer pages.
+    pub fn tuples_per_page(&self) -> f64 {
+        if self.index.is_empty() {
+            0.0
+        } else {
+            self.tuples as f64 / self.index.len() as f64
         }
     }
 
@@ -554,8 +635,16 @@ impl MassStore {
     // ---- bulk-load internals (used by the loader) -------------------------
 
     /// Converts a value string to a [`ValueRef`], spilling long values to
-    /// the blob heap.
+    /// the blob heap. On v2 stores, values already in the dictionary
+    /// become [`ValueRef::Dict`] references; the dictionary is never
+    /// *grown* here (admission happens only during bulk loads), so WAL
+    /// replay and replication reproduce identical refs.
     pub(crate) fn make_value(&mut self, value: &str) -> Result<ValueRef> {
+        if self.format == StoreFormat::V2 {
+            if let Some(id) = self.dict.lookup(value) {
+                return Ok(ValueRef::Dict(id));
+            }
+        }
         if value.len() <= INLINE_VALUE_MAX {
             Ok(ValueRef::Inline(value.into()))
         } else {
@@ -567,8 +656,22 @@ impl MassStore {
         }
     }
 
+    /// Bytes `rec` would occupy in the v1 record encoding (dictionary
+    /// refs expanded to their inline value) — the uncompressed footprint.
+    fn v1_logical_len(&self, rec: &NodeRecord) -> u64 {
+        let len = match &rec.value {
+            ValueRef::Dict(id) => {
+                let vlen = self.dict.resolve(*id).map_or(0, str::len);
+                rec.encoded_len() - 4 + vlen
+            }
+            _ => rec.encoded_len(),
+        };
+        len as u64
+    }
+
     /// Registers a freshly created record in the secondary indexes.
     pub(crate) fn index_record(&mut self, rec: &NodeRecord, value: Option<&str>, ordered: bool) {
+        self.logical_bytes += self.v1_logical_len(rec);
         let flat = rec.key.as_flat().to_vec();
         match rec.kind {
             RecordKind::Element => {
@@ -636,6 +739,7 @@ impl MassStore {
 
     /// Removes a record from the secondary indexes.
     fn unindex_record(&mut self, rec: &NodeRecord) -> Result<()> {
+        self.logical_bytes = self.logical_bytes.saturating_sub(self.v1_logical_len(rec));
         let flat = rec.key.as_flat();
         match rec.kind {
             RecordKind::Element => {
@@ -678,6 +782,68 @@ impl MassStore {
         }
     }
 
+    /// Writes a data page through the pool, tracking the on-disk format
+    /// actually used (a v2 page can fall back to v1 — the overflow rule).
+    pub(crate) fn put_data_page(&mut self, id: u32, page: Page) -> Result<()> {
+        let written = self.pool.put(id, page)?;
+        self.page_formats.insert(id, written);
+        Ok(())
+    }
+
+    /// Releases a page emptied by deletes: drops its format entry and
+    /// puts the id on the free list for reuse.
+    pub(crate) fn release_page(&mut self, id: u32) {
+        self.page_formats.remove(&id);
+        self.free_pages.push(id);
+    }
+
+    /// Writes the mutated page at sparse-index position `pos` back,
+    /// splitting it first when removals pushed its (v2) payload past
+    /// capacity — removing a record can lengthen its successor's
+    /// front-coding. Returns the number of index entries added, so
+    /// callers iterating the index can skip the new pages (their records
+    /// were already examined).
+    pub(crate) fn put_page_at(&mut self, pos: usize, page: Page) -> Result<usize> {
+        let page_id = self.index[pos].1;
+        if !page.overflowed() {
+            self.put_data_page(page_id, page)?;
+            return Ok(0);
+        }
+        let mut parts = vec![page];
+        while let Some(i) = parts.iter().position(Page::overflowed) {
+            let upper = parts[i].split();
+            parts.insert(i + 1, upper);
+        }
+        let mut lower = parts.remove(0);
+        // In the pathological case the *lower* half is a single record
+        // too big for any format; nothing to do but surface the error
+        // when encoding (cannot happen for records built by this crate).
+        let mut entries = Vec::with_capacity(parts.len());
+        // Crash ordering, as in `insert_record`: write the new upper
+        // pages before rewriting the shrunk original — duplicates are
+        // repairable on recovery, loss is not.
+        for part in parts {
+            let first = part
+                .first_key()
+                .ok_or_else(|| MassError::InvalidUpdate("split produced empty page".into()))?
+                .to_vec();
+            let id = self.allocate_page()?;
+            self.put_data_page(id, part)?;
+            entries.push((first, id));
+        }
+        if lower.is_empty() {
+            // Cannot happen (split never empties the lower half), but
+            // keep the index consistent if it ever did.
+            lower = Page::new_with_format(self.format);
+        }
+        self.put_data_page(page_id, lower)?;
+        let added = entries.len();
+        for (i, e) in entries.into_iter().enumerate() {
+            self.index.insert(pos + 1 + i, e);
+        }
+        Ok(added)
+    }
+
     /// Inserts a record into the clustered index at its key position,
     /// splitting the target page if needed.
     pub(crate) fn insert_record(&mut self, rec: NodeRecord) -> Result<()> {
@@ -685,9 +851,9 @@ impl MassStore {
         let flat = rec.key.as_flat().to_vec();
         if self.index.is_empty() {
             let id = self.allocate_page()?;
-            let mut page = Page::new();
+            let mut page = Page::new_with_format(self.format);
             page.append(rec)?;
-            self.pool.put(id, page)?;
+            self.put_data_page(id, page)?;
             self.index.push((flat, id));
             return Ok(());
         }
@@ -701,9 +867,9 @@ impl MassStore {
         };
         let page_id = self.index[pos].1;
         let mut page = (*self.pool.get(page_id)?).clone();
-        if page.fits(rec.encoded_len()) {
+        if page.fits_record(&rec) {
             page.insert(rec)?;
-            self.pool.put(page_id, page)?;
+            self.put_data_page(page_id, page)?;
         } else {
             let mut upper = page.split();
             let upper_first = upper
@@ -720,8 +886,8 @@ impl MassStore {
             // crash between the two leaves duplicated records (the old
             // image plus the upper copy), which recovery repairs, rather
             // than losing the upper half outright.
-            self.pool.put(new_id, upper)?;
-            self.pool.put(page_id, page)?;
+            self.put_data_page(new_id, upper)?;
+            self.put_data_page(page_id, page)?;
             self.index.insert(pos + 1, (upper_first, new_id));
         }
         Ok(())
@@ -1152,10 +1318,15 @@ impl MassStore {
             if touched {
                 if page.is_empty() {
                     dead_pages.push(pos);
+                    self.put_data_page(page_id, page)?;
                 } else {
                     self.index[pos].0 = page.first_key().expect("non-empty").to_vec();
+                    // Removing records can *grow* a v2 page (the
+                    // successor's front-coding lengthens); split before
+                    // write-out and skip the new pages — their records
+                    // were already examined.
+                    pos += self.put_page_at(pos, page)?;
                 }
-                self.pool.put(page_id, page)?;
             }
             pos += 1;
         }
@@ -1163,7 +1334,7 @@ impl MassStore {
         // the free list for reuse.
         for p in dead_pages.into_iter().rev() {
             let (_, page_id) = self.index.remove(p);
-            self.free_pages.push(page_id);
+            self.release_page(page_id);
         }
         Ok(removed)
     }

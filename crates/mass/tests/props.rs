@@ -12,6 +12,7 @@ fn arb_value() -> impl Strategy<Value = ValueRef> {
         Just(ValueRef::None),
         "[a-zA-Z0-9 ]{0,40}".prop_map(|s| ValueRef::Inline(s.into())),
         (any::<u64>(), any::<u32>()).prop_map(|(offset, len)| ValueRef::Overflow { offset, len }),
+        (0u32..100_000).prop_map(ValueRef::Dict),
     ]
 }
 
@@ -57,6 +58,60 @@ proptest! {
     #[test]
     fn record_decode_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
         let _ = NodeRecord::decode(&bytes);
+    }
+
+    /// Front-coded (v2) record chains round-trip against the same
+    /// predecessor key, byte-for-byte length-accounted.
+    #[test]
+    fn v2_record_chain_round_trips(recs in proptest::collection::vec(arb_record(), 1..20)) {
+        let mut sorted = recs;
+        sorted.sort_by(|a, b| a.key.as_flat().cmp(b.key.as_flat()));
+        sorted.dedup_by(|a, b| a.key.as_flat() == b.key.as_flat());
+        let mut prev: Option<Vec<u8>> = None;
+        for rec in &sorted {
+            let mut buf = Vec::new();
+            vamana_mass::compress::v2_encode_record(rec, prev.as_deref(), &mut buf);
+            prop_assert_eq!(buf.len(), vamana_mass::compress::v2_record_len(rec, prev.as_deref()));
+            let (back, used) = vamana_mass::compress::v2_decode_record(&buf, prev.as_deref()).unwrap();
+            prop_assert_eq!(&back, rec);
+            prop_assert_eq!(used, buf.len());
+            prev = Some(rec.key.as_flat().to_vec());
+        }
+    }
+
+    /// v2 decode rejects garbage without panicking, with or without a
+    /// predecessor key.
+    #[test]
+    fn v2_record_decode_never_panics_on_garbage(
+        bytes in proptest::collection::vec(any::<u8>(), 0..200),
+        prev in proptest::option::of(proptest::collection::vec(any::<u8>(), 0..30)),
+    ) {
+        let _ = vamana_mass::compress::v2_decode_record(&bytes, prev.as_deref());
+    }
+
+    /// A full page of sorted records encodes and decodes identically in
+    /// both formats, and the v2 image is never larger than claimed.
+    #[test]
+    fn page_round_trips_in_both_formats(recs in proptest::collection::vec(arb_record(), 1..40)) {
+        let mut sorted = recs;
+        sorted.sort_by(|a, b| a.key.as_flat().cmp(b.key.as_flat()));
+        sorted.dedup_by(|a, b| a.key.as_flat() == b.key.as_flat());
+        for format in [vamana_mass::StoreFormat::V1, vamana_mass::StoreFormat::V2] {
+            let mut page = vamana_mass::page::Page::new_with_format(format);
+            let mut kept = Vec::new();
+            for rec in &sorted {
+                if page.fits_record(rec) {
+                    page.append(rec.clone()).unwrap();
+                    kept.push(rec.clone());
+                }
+            }
+            let (bytes, written) = page.encode_with_format().unwrap();
+            prop_assert_eq!(written, format, "no fallback expected for fitting pages");
+            prop_assert!(bytes.len() <= vamana_mass::page::PAGE_SIZE);
+            let back = vamana_mass::page::Page::decode(&bytes, 0).unwrap();
+            prop_assert_eq!(back.format(), format);
+            prop_assert_eq!(back.records(), kept.as_slice());
+        }
     }
 }
 

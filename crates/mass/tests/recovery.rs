@@ -200,17 +200,22 @@ fn faulted_store(
     pager: &SharedPager,
     wal: &MemWalBackend,
     clock: &std::sync::Arc<FaultClock>,
+    format: vamana_mass::StoreFormat,
 ) -> Result<MassStore> {
-    MassStore::create_with_wal(
+    let mut s = MassStore::create_with_wal(
         Box::new(FaultPager::new(Box::new(pager.clone()), clock.clone())),
         CAP,
         Box::new(FaultWalBackend::new(Box::new(wal.clone()), clock.clone())),
         FsyncPolicy::Always,
-    )
+    )?;
+    s.set_format(format)?;
+    Ok(s)
 }
 
-#[test]
-fn crash_matrix_recovers_committed_prefix() {
+/// The matrix proper, parameterized by page format. The oracle always
+/// runs uncompressed, so the v2 run doubles as a cross-format
+/// equivalence check at every crash point.
+fn run_crash_matrix(format: vamana_mass::StoreFormat) {
     let ops = script();
     let oracle = oracle_fingerprints(&ops);
 
@@ -219,7 +224,7 @@ fn crash_matrix_recovers_committed_prefix() {
     let pager = SharedPager::new();
     let wal = MemWalBackend::new();
     {
-        let mut s = faulted_store(&pager, &wal, &clock).expect("clean create");
+        let mut s = faulted_store(&pager, &wal, &clock, format).expect("clean create");
         for op in &ops {
             apply(&mut s, op).expect("clean run");
         }
@@ -236,7 +241,7 @@ fn crash_matrix_recovers_committed_prefix() {
         let wal = MemWalBackend::new();
         clock.arm(n);
         let mut acked = 0usize;
-        if let Ok(mut s) = faulted_store(&pager, &wal, &clock) {
+        if let Ok(mut s) = faulted_store(&pager, &wal, &clock, format) {
             for op in &ops {
                 match apply(&mut s, op) {
                     Ok(()) => acked += 1,
@@ -264,6 +269,16 @@ fn crash_matrix_recovers_committed_prefix() {
 }
 
 #[test]
+fn crash_matrix_recovers_committed_prefix() {
+    run_crash_matrix(vamana_mass::StoreFormat::V1);
+}
+
+#[test]
+fn crash_matrix_recovers_committed_prefix_compressed() {
+    run_crash_matrix(vamana_mass::StoreFormat::V2);
+}
+
+#[test]
 fn uncommitted_tail_is_discarded_deterministically() {
     // Same matrix machinery, but checks the *stats* story: a reopen
     // after a fault reports a replayed LSN no greater than the last
@@ -274,7 +289,8 @@ fn uncommitted_tail_is_discarded_deterministically() {
     let pager = SharedPager::new();
     let wal = MemWalBackend::new();
     {
-        let mut s = faulted_store(&pager, &wal, &clock).expect("create");
+        let mut s =
+            faulted_store(&pager, &wal, &clock, vamana_mass::StoreFormat::V1).expect("create");
         for op in &ops {
             apply(&mut s, op).expect("clean run");
         }
@@ -288,7 +304,7 @@ fn uncommitted_tail_is_discarded_deterministically() {
     let pager = SharedPager::new();
     let wal = MemWalBackend::new();
     clock.arm(w / 2);
-    if let Ok(mut s) = faulted_store(&pager, &wal, &clock) {
+    if let Ok(mut s) = faulted_store(&pager, &wal, &clock, vamana_mass::StoreFormat::V1) {
         for op in &ops {
             if apply(&mut s, op).is_err() {
                 break;

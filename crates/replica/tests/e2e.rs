@@ -403,6 +403,66 @@ fn replayed_writes_invalidate_follower_views() {
 }
 
 #[test]
+fn compressed_follower_converges_with_v1_primary() {
+    let dir = temp_dir("v2f");
+    let primary_path = dir.join("primary.mass");
+    let handle = spawn_primary(&primary_path, ServerConfig::default());
+    let mut primary = Client::connect(&handle);
+    let data = dir.join("follower.mass");
+
+    // A real follower process storing its replica in the compressed
+    // (v2) page format, fed by a v1 primary: replication is logical, so
+    // formats may differ per node.
+    let mut proc1 = spawn_follower_with_env(handle.addr(), &data, &[("VAMANA_FORMAT", "v2")]);
+    {
+        let mut follower = Client::connect_retry(proc1.addr, DEADLINE);
+        wait_applied(&mut follower, primary_last_lsn(&mut primary));
+    }
+
+    // A write burst with repetitive values (dictionary-friendly on a
+    // bulk load, plain inline values through the WAL replay path) plus
+    // a mid-stream document load.
+    for i in 0..40 {
+        primary.round_trip(&format!(
+            "INSERT auction //people <person><name>v{i}</name><city>Duluth</city></person>"
+        ));
+    }
+    let reply = primary.round_trip("LOADXML extra <r><name>late</name></r>");
+    assert!(reply[0].starts_with("OK loaded"), "{reply:?}");
+    primary.round_trip("DELETE auction //person[name='v7']");
+
+    let target = primary_last_lsn(&mut primary);
+    let reference = wire_fingerprint(&mut primary);
+    {
+        let mut follower = Client::connect_retry(proc1.addr, DEADLINE);
+        wait_applied(&mut follower, target);
+        assert_eq!(
+            wire_fingerprint(&mut follower),
+            reference,
+            "compressed follower must serve the primary's rows"
+        );
+    }
+
+    // Store-level: byte-identical exports at equal LSN, and the
+    // follower really holds compressed pages.
+    proc1.child.kill().expect("kill");
+    proc1.child.wait().expect("reap");
+    handle.stop();
+    let (primary_lsn, primary_docs) = store_fingerprint(&primary_path);
+    let (follower_lsn, follower_docs) = store_fingerprint(&data);
+    assert_eq!(primary_lsn, follower_lsn, "stores at different LSNs");
+    assert_eq!(primary_docs, follower_docs, "exports diverge at equal LSN");
+    let store = MassStore::open_durable(&data, 512, FsyncPolicy::Never).unwrap();
+    assert_eq!(store.format(), vamana_mass::StoreFormat::V2);
+    let stats = store.stats();
+    assert!(
+        stats.compressed_pages > 0,
+        "follower never wrote v2 pages: {stats:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn two_followers_converge_after_a_write_burst() {
     let dir = temp_dir("pair");
     let handle = spawn_primary(&dir.join("primary.mass"), ServerConfig::default());

@@ -1507,8 +1507,29 @@ fn render_stats(shared: &Shared) -> Vec<String> {
         "STAT store_generation {}",
         engine.store().generation()
     ));
+    out.push(format!("STAT store_format {}", stats.format.as_str()));
+    out.push(format!(
+        "STAT store_compressed_pages {}",
+        stats.compressed_pages
+    ));
+    out.push(format!(
+        "STAT store_uncompressed_pages {}",
+        stats.uncompressed_pages
+    ));
+    out.push(format!("STAT store_dict_entries {}", stats.dict_entries));
+    out.push(format!("STAT store_disk_bytes {}", stats.disk_bytes()));
+    out.push(format!(
+        "STAT store_compression_ratio {:.4}",
+        stats.compression_ratio()
+    ));
     out.push(format!("STAT pool_buffer_hits {}", stats.buffer.hits));
     out.push(format!("STAT pool_buffer_misses {}", stats.buffer.misses));
+    out.push(format!("STAT pool_decodes_v1 {}", stats.buffer.decodes_v1));
+    out.push(format!("STAT pool_decodes_v2 {}", stats.buffer.decodes_v2));
+    out.push(format!(
+        "STAT pool_format_fallbacks {}",
+        stats.buffer.format_fallbacks
+    ));
     out.push(format!("STAT pool_batch_pins {}", stats.buffer.batch_pins));
     out.push(format!("STAT pool_pins_saved {}", stats.buffer.pins_saved));
     let views = engine.views().stats();

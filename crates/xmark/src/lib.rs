@@ -30,6 +30,7 @@ pub mod scale;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::io;
 use vamana_xml::{Document, NodeId};
 
 /// Generator configuration.
@@ -90,9 +91,172 @@ impl XmarkConfig {
     }
 }
 
+/// Where generated nodes land: a DOM arena ([`Document`]) or a
+/// streaming XML writer ([`StreamEmitter`]). The generator walks the
+/// document strictly in document order and pushes attributes before any
+/// children, so one code path serves both.
+trait Emitter {
+    /// Handle for an emitted element (arena id, or a stream sequence
+    /// number identifying the open ancestor).
+    type Node: Copy + PartialEq;
+    /// The document root.
+    fn root(&self) -> Self::Node;
+    /// Opens an element under `parent` (closing any deeper open
+    /// elements in the streaming case).
+    fn element(&mut self, parent: Self::Node, name: &str) -> Self::Node;
+    /// Attaches an attribute to `el`, which must still be open with no
+    /// content emitted yet.
+    fn attribute(&mut self, el: Self::Node, name: &str, value: &str);
+    /// Appends a text child to `parent`.
+    fn text(&mut self, parent: Self::Node, value: &str);
+}
+
+impl Emitter for Document {
+    type Node = NodeId;
+
+    fn root(&self) -> NodeId {
+        Document::ROOT
+    }
+
+    fn element(&mut self, parent: NodeId, name: &str) -> NodeId {
+        self.push_element(parent, name)
+    }
+
+    fn attribute(&mut self, el: NodeId, name: &str, value: &str) {
+        self.push_attribute(el, name, value);
+    }
+
+    fn text(&mut self, parent: NodeId, value: &str) {
+        self.push_text(parent, value);
+    }
+}
+
+/// Streams compact XML to an [`io::Write`] in O(1) memory (the open
+/// ancestor stack), byte-identical to serializing the DOM arena with
+/// [`vamana_xml::write_document`] in compact mode.
+struct StreamEmitter<W: io::Write> {
+    out: W,
+    /// Open elements, outermost first: `(handle, name)`.
+    stack: Vec<(u64, String)>,
+    next: u64,
+    /// The innermost open element's start tag has not been closed with
+    /// `>` yet (attributes may still be appended; an empty element
+    /// collapses to `/>`).
+    tag_open: bool,
+    bytes: u64,
+    err: Option<io::Error>,
+}
+
+/// Stream handle of the document root.
+const STREAM_ROOT: u64 = 0;
+
+impl<W: io::Write> StreamEmitter<W> {
+    fn new(out: W) -> Self {
+        StreamEmitter {
+            out,
+            stack: Vec::new(),
+            next: STREAM_ROOT + 1,
+            tag_open: false,
+            bytes: 0,
+            err: None,
+        }
+    }
+
+    fn write(&mut self, s: &str) {
+        if self.err.is_some() {
+            return;
+        }
+        if let Err(e) = self.out.write_all(s.as_bytes()) {
+            self.err = Some(e);
+        } else {
+            self.bytes += s.len() as u64;
+        }
+    }
+
+    /// Finalizes the innermost start tag with `>` so content can follow.
+    fn seal_tag(&mut self) {
+        if self.tag_open {
+            self.write(">");
+            self.tag_open = false;
+        }
+    }
+
+    /// Closes the innermost element: `/>` if it never got content.
+    fn close_top(&mut self) {
+        let (_, name) = self.stack.pop().expect("close with open element");
+        if self.tag_open {
+            self.write("/>");
+            self.tag_open = false;
+        } else {
+            self.write("</");
+            self.write(&name);
+            self.write(">");
+        }
+    }
+
+    /// Closes open elements until `parent` is innermost.
+    fn unwind_to(&mut self, parent: u64) {
+        while self.stack.last().map(|(id, _)| *id) != Some(parent) {
+            if self.stack.is_empty() {
+                assert_eq!(parent, STREAM_ROOT, "unwind target not on stack");
+                return;
+            }
+            self.close_top();
+        }
+    }
+
+    /// Closes everything and returns `(bytes written, io result)`.
+    fn finish(mut self) -> io::Result<u64> {
+        self.unwind_to(STREAM_ROOT);
+        if let Some(e) = self.err {
+            return Err(e);
+        }
+        self.out.flush()?;
+        Ok(self.bytes)
+    }
+}
+
+impl<W: io::Write> Emitter for StreamEmitter<W> {
+    type Node = u64;
+
+    fn root(&self) -> u64 {
+        STREAM_ROOT
+    }
+
+    fn element(&mut self, parent: u64, name: &str) -> u64 {
+        self.unwind_to(parent);
+        self.seal_tag();
+        self.write("<");
+        self.write(name);
+        self.tag_open = true;
+        let id = self.next;
+        self.next += 1;
+        self.stack.push((id, name.to_string()));
+        id
+    }
+
+    fn attribute(&mut self, el: u64, name: &str, value: &str) {
+        debug_assert!(self.tag_open && self.stack.last().map(|(id, _)| *id) == Some(el));
+        let _ = el;
+        self.write(" ");
+        self.write(name);
+        self.write("=\"");
+        let escaped = vamana_xml::escape::escape_attr(value);
+        self.write(&escaped);
+        self.write("\"");
+    }
+
+    fn text(&mut self, parent: u64, value: &str) {
+        self.unwind_to(parent);
+        self.seal_tag();
+        let escaped = vamana_xml::escape::escape_text(value);
+        self.write(&escaped);
+    }
+}
+
 /// Generates an auction document as a parsed [`Document`] arena.
 pub fn generate(config: &XmarkConfig) -> Document {
-    Generator::new(config).run()
+    Generator::new(config, Document::new()).run()
 }
 
 /// Generates an auction document as XML text.
@@ -101,28 +265,45 @@ pub fn generate_string(config: &XmarkConfig) -> String {
     vamana_xml::write_document(&doc, &vamana_xml::WriteOptions::default())
 }
 
-struct Generator<'a> {
+/// Streams an auction document straight to `out` without materializing
+/// it: memory stays O(document depth) at any scale, so 100 MB–1 GB
+/// documents generate without a DOM. Output is byte-identical to
+/// [`generate_string`] for the same config. Returns bytes written.
+pub fn generate_to<W: io::Write>(config: &XmarkConfig, out: W) -> io::Result<u64> {
+    Generator::new(config, StreamEmitter::new(io::BufWriter::new(out)))
+        .run()
+        .finish()
+}
+
+/// Size in bytes of the document at `config` without storing any of it
+/// (streams to a counting sink).
+pub fn document_bytes(config: &XmarkConfig) -> u64 {
+    generate_to(config, io::sink()).expect("sink never fails")
+}
+
+struct Generator<'a, E: Emitter> {
     config: &'a XmarkConfig,
     rng: StdRng,
-    doc: Document,
+    doc: E,
     /// Whether a `<province>` has been emitted yet. The first one is
     /// always Vermont so Q5 (`//province[text()='Vermont']`) is
     /// non-empty at every scale and seed, as the benchmark relies on.
     province_emitted: bool,
 }
 
-impl<'a> Generator<'a> {
-    fn new(config: &'a XmarkConfig) -> Self {
+impl<'a, E: Emitter> Generator<'a, E> {
+    fn new(config: &'a XmarkConfig, doc: E) -> Self {
         Generator {
             config,
             rng: StdRng::seed_from_u64(config.seed),
-            doc: Document::new(),
+            doc,
             province_emitted: false,
         }
     }
 
-    fn run(mut self) -> Document {
-        let site = self.doc.push_element(Document::ROOT, "site");
+    fn run(mut self) -> E {
+        let root = self.doc.root();
+        let site = self.doc.element(root, "site");
         self.regions(site);
         self.categories(site);
         self.people(site);
@@ -142,8 +323,8 @@ impl<'a> Generator<'a> {
         s
     }
 
-    fn regions(&mut self, site: NodeId) {
-        let regions = self.doc.push_element(site, "regions");
+    fn regions(&mut self, site: E::Node) {
+        let regions = self.doc.element(site, "regions");
         let continents = [
             "africa",
             "asia",
@@ -155,158 +336,157 @@ impl<'a> Generator<'a> {
         let per = (self.config.items() / continents.len() as u64).max(1);
         let mut item_id = 0u64;
         for continent in continents {
-            let c = self.doc.push_element(regions, continent);
+            let c = self.doc.element(regions, continent);
             for _ in 0..per {
-                let item = self.doc.push_element(c, "item");
-                self.doc
-                    .push_attribute(item, "id", &format!("item{item_id}"));
+                let item = self.doc.element(c, "item");
+                self.doc.attribute(item, "id", &format!("item{item_id}"));
                 item_id += 1;
-                let loc = self.doc.push_element(item, "location");
+                let loc = self.doc.element(item, "location");
                 let country = names::pick(&mut self.rng, names::COUNTRIES).to_string();
-                self.doc.push_text(loc, &country);
-                let name = self.doc.push_element(item, "name");
+                self.doc.text(loc, &country);
+                let name = self.doc.element(item, "name");
                 let text = self.sentence(2);
-                self.doc.push_text(name, &text);
-                let desc = self.doc.push_element(item, "description");
-                let text_el = self.doc.push_element(desc, "text");
+                self.doc.text(name, &text);
+                let desc = self.doc.element(item, "description");
+                let text_el = self.doc.element(desc, "text");
                 let body = self.sentence(12);
-                self.doc.push_text(text_el, &body);
-                let qty = self.doc.push_element(item, "quantity");
+                self.doc.text(text_el, &body);
+                let qty = self.doc.element(item, "quantity");
                 let q = self.rng.gen_range(1..=5).to_string();
-                self.doc.push_text(qty, &q);
+                self.doc.text(qty, &q);
                 for _ in 0..self.rng.gen_range(1..=2) {
-                    let inc = self.doc.push_element(item, "incategory");
+                    let inc = self.doc.element(item, "incategory");
                     let cat = format!(
                         "category{}",
                         self.rng.gen_range(0..self.config.categories())
                     );
-                    self.doc.push_attribute(inc, "category", &cat);
+                    self.doc.attribute(inc, "category", &cat);
                 }
                 if self.rng.gen_bool(0.25) {
-                    let mailbox = self.doc.push_element(item, "mailbox");
+                    let mailbox = self.doc.element(item, "mailbox");
                     for _ in 0..self.rng.gen_range(1..=2) {
-                        let mail = self.doc.push_element(mailbox, "mail");
-                        let from = self.doc.push_element(mail, "from");
+                        let mail = self.doc.element(mailbox, "mail");
+                        let from = self.doc.element(mail, "from");
                         let f = format!(
                             "{} {}",
                             names::pick(&mut self.rng, names::FIRST_NAMES),
                             names::pick(&mut self.rng, names::LAST_NAMES)
                         );
-                        self.doc.push_text(from, &f);
-                        let date = self.doc.push_element(mail, "date");
+                        self.doc.text(from, &f);
+                        let date = self.doc.element(mail, "date");
                         let d = format!(
                             "{:02}/{:02}/{}",
                             self.rng.gen_range(1..=12),
                             self.rng.gen_range(1..=28),
                             self.rng.gen_range(1998..=2004)
                         );
-                        self.doc.push_text(date, &d);
-                        let text = self.doc.push_element(mail, "text");
+                        self.doc.text(date, &d);
+                        let text = self.doc.element(mail, "text");
                         let body = self.sentence(10);
-                        self.doc.push_text(text, &body);
+                        self.doc.text(text, &body);
                     }
                 }
             }
         }
     }
 
-    fn categories(&mut self, site: NodeId) {
-        let categories = self.doc.push_element(site, "categories");
+    fn categories(&mut self, site: E::Node) {
+        let categories = self.doc.element(site, "categories");
         for i in 0..self.config.categories() {
-            let cat = self.doc.push_element(categories, "category");
-            self.doc.push_attribute(cat, "id", &format!("category{i}"));
-            let name = self.doc.push_element(cat, "name");
+            let cat = self.doc.element(categories, "category");
+            self.doc.attribute(cat, "id", &format!("category{i}"));
+            let name = self.doc.element(cat, "name");
             let text = self.sentence(1);
-            self.doc.push_text(name, &text);
-            let desc = self.doc.push_element(cat, "description");
-            let text_el = self.doc.push_element(desc, "text");
+            self.doc.text(name, &text);
+            let desc = self.doc.element(cat, "description");
+            let text_el = self.doc.element(desc, "text");
             let body = self.sentence(8);
-            self.doc.push_text(text_el, &body);
+            self.doc.text(text_el, &body);
         }
     }
 
-    fn people(&mut self, site: NodeId) {
-        let people = self.doc.push_element(site, "people");
+    fn people(&mut self, site: E::Node) {
+        let people = self.doc.element(site, "people");
         let n = self.config.persons();
         for i in 0..n {
-            let person = self.doc.push_element(people, "person");
-            self.doc.push_attribute(person, "id", &format!("person{i}"));
-            let name = self.doc.push_element(person, "name");
+            let person = self.doc.element(people, "person");
+            self.doc.attribute(person, "id", &format!("person{i}"));
+            let name = self.doc.element(person, "name");
             let first = names::pick(&mut self.rng, names::FIRST_NAMES);
             let last = names::pick(&mut self.rng, names::LAST_NAMES);
             let full = format!("{first} {last}");
-            self.doc.push_text(name, &full);
-            let email = self.doc.push_element(person, "emailaddress");
+            self.doc.text(name, &full);
+            let email = self.doc.element(person, "emailaddress");
             let addr = format!("{last}@{}.com", names::pick(&mut self.rng, names::DOMAINS));
-            self.doc.push_text(email, &addr);
+            self.doc.text(email, &addr);
             if self.rng.gen_bool(0.3) {
-                let phone = self.doc.push_element(person, "phone");
+                let phone = self.doc.element(person, "phone");
                 let num = format!(
                     "+{} ({}) {}",
                     self.rng.gen_range(1..99),
                     self.rng.gen_range(100..999),
                     self.rng.gen_range(1_000_000..9_999_999)
                 );
-                self.doc.push_text(phone, &num);
+                self.doc.text(phone, &num);
             }
             // Roughly half the persons carry an address — the paper's
             // Fig 6 counts 2550 persons vs 1256 addresses.
             if self.rng.gen_bool(0.49) {
-                let address = self.doc.push_element(person, "address");
-                let street = self.doc.push_element(address, "street");
+                let address = self.doc.element(person, "address");
+                let street = self.doc.element(address, "street");
                 let st = format!(
                     "{} {} St",
                     self.rng.gen_range(1..99),
                     names::pick(&mut self.rng, names::LAST_NAMES)
                 );
-                self.doc.push_text(street, &st);
-                let city = self.doc.push_element(address, "city");
+                self.doc.text(street, &st);
+                let city = self.doc.element(address, "city");
                 let ci = names::pick(&mut self.rng, names::CITIES).to_string();
-                self.doc.push_text(city, &ci);
-                let country = self.doc.push_element(address, "country");
+                self.doc.text(city, &ci);
+                let country = self.doc.element(address, "country");
                 let co = names::pick(&mut self.rng, names::COUNTRIES).to_string();
-                self.doc.push_text(country, &co);
+                self.doc.text(country, &co);
                 if co == "United States" {
-                    let province = self.doc.push_element(address, "province");
+                    let province = self.doc.element(address, "province");
                     let pr = if self.province_emitted {
                         names::pick(&mut self.rng, names::PROVINCES).to_string()
                     } else {
                         self.province_emitted = true;
                         names::PROVINCES[0].to_string()
                     };
-                    self.doc.push_text(province, &pr);
+                    self.doc.text(province, &pr);
                 }
-                let zip = self.doc.push_element(address, "zipcode");
+                let zip = self.doc.element(address, "zipcode");
                 let z = self.rng.gen_range(1..99_999).to_string();
-                self.doc.push_text(zip, &z);
+                self.doc.text(zip, &z);
             }
             if self.rng.gen_bool(0.5) {
-                let profile = self.doc.push_element(person, "profile");
+                let profile = self.doc.element(person, "profile");
                 let income = format!("{:.2}", self.rng.gen_range(9_000.0..100_000.0));
-                self.doc.push_attribute(profile, "income", &income);
+                self.doc.attribute(profile, "income", &income);
                 for _ in 0..self.rng.gen_range(0..=3) {
-                    let interest = self.doc.push_element(profile, "interest");
+                    let interest = self.doc.element(profile, "interest");
                     let cat = format!(
                         "category{}",
                         self.rng.gen_range(0..self.config.categories())
                     );
-                    self.doc.push_attribute(interest, "category", &cat);
+                    self.doc.attribute(interest, "category", &cat);
                 }
                 if self.rng.gen_bool(0.6) {
-                    let edu = self.doc.push_element(profile, "education");
+                    let edu = self.doc.element(profile, "education");
                     let level = names::pick(
                         &mut self.rng,
                         &["High School", "College", "Graduate School", "Other"],
                     )
                     .to_string();
-                    self.doc.push_text(edu, &level);
+                    self.doc.text(edu, &level);
                 }
-                let age = self.doc.push_element(profile, "age");
+                let age = self.doc.element(profile, "age");
                 let a = self.rng.gen_range(18..80).to_string();
-                self.doc.push_text(age, &a);
+                self.doc.text(age, &a);
             }
             if self.rng.gen_bool(0.3) {
-                let cc = self.doc.push_element(person, "creditcard");
+                let cc = self.doc.element(person, "creditcard");
                 let num = format!(
                     "{} {} {} {}",
                     self.rng.gen_range(1000..9999),
@@ -314,94 +494,93 @@ impl<'a> Generator<'a> {
                     self.rng.gen_range(1000..9999),
                     self.rng.gen_range(1000..9999)
                 );
-                self.doc.push_text(cc, &num);
+                self.doc.text(cc, &num);
             }
             if self.rng.gen_bool(0.4) {
-                let watches = self.doc.push_element(person, "watches");
+                let watches = self.doc.element(person, "watches");
                 for _ in 0..self.rng.gen_range(1..=4) {
-                    let watch = self.doc.push_element(watches, "watch");
+                    let watch = self.doc.element(watches, "watch");
                     let oa = format!(
                         "open_auction{}",
                         self.rng.gen_range(0..self.config.open_auctions().max(1))
                     );
-                    self.doc.push_attribute(watch, "open_auction", &oa);
+                    self.doc.attribute(watch, "open_auction", &oa);
                 }
             }
         }
     }
 
-    fn open_auctions(&mut self, site: NodeId) {
-        let auctions = self.doc.push_element(site, "open_auctions");
+    fn open_auctions(&mut self, site: E::Node) {
+        let auctions = self.doc.element(site, "open_auctions");
         let items = self.config.items();
         let persons = self.config.persons();
         for i in 0..self.config.open_auctions() {
-            let a = self.doc.push_element(auctions, "open_auction");
-            self.doc
-                .push_attribute(a, "id", &format!("open_auction{i}"));
-            let initial = self.doc.push_element(a, "initial");
+            let a = self.doc.element(auctions, "open_auction");
+            self.doc.attribute(a, "id", &format!("open_auction{i}"));
+            let initial = self.doc.element(a, "initial");
             let v = format!("{:.2}", self.rng.gen_range(1.0..200.0));
-            self.doc.push_text(initial, &v);
+            self.doc.text(initial, &v);
             for _ in 0..self.rng.gen_range(0..=3) {
-                let bidder = self.doc.push_element(a, "bidder");
-                let pref = self.doc.push_element(bidder, "personref");
+                let bidder = self.doc.element(a, "bidder");
+                let pref = self.doc.element(bidder, "personref");
                 let p = format!("person{}", self.rng.gen_range(0..persons));
-                self.doc.push_attribute(pref, "person", &p);
-                let incr = self.doc.push_element(bidder, "increase");
+                self.doc.attribute(pref, "person", &p);
+                let incr = self.doc.element(bidder, "increase");
                 let inc = format!("{:.2}", self.rng.gen_range(1.0..20.0));
-                self.doc.push_text(incr, &inc);
+                self.doc.text(incr, &inc);
             }
-            let current = self.doc.push_element(a, "current");
+            let current = self.doc.element(a, "current");
             let cur = format!("{:.2}", self.rng.gen_range(1.0..400.0));
-            self.doc.push_text(current, &cur);
-            let itemref = self.doc.push_element(a, "itemref");
+            self.doc.text(current, &cur);
+            let itemref = self.doc.element(a, "itemref");
             let it = format!("item{}", self.rng.gen_range(0..items));
-            self.doc.push_attribute(itemref, "item", &it);
-            let seller = self.doc.push_element(a, "seller");
+            self.doc.attribute(itemref, "item", &it);
+            let seller = self.doc.element(a, "seller");
             let s = format!("person{}", self.rng.gen_range(0..persons));
-            self.doc.push_attribute(seller, "person", &s);
-            let quantity = self.doc.push_element(a, "quantity");
+            self.doc.attribute(seller, "person", &s);
+            let quantity = self.doc.element(a, "quantity");
             let q = self.rng.gen_range(1..=5).to_string();
-            self.doc.push_text(quantity, &q);
+            self.doc.text(quantity, &q);
         }
     }
 
-    fn closed_auctions(&mut self, site: NodeId) {
-        let auctions = self.doc.push_element(site, "closed_auctions");
+    fn closed_auctions(&mut self, site: E::Node) {
+        let auctions = self.doc.element(site, "closed_auctions");
         let items = self.config.items();
         let persons = self.config.persons();
         for _ in 0..self.config.closed_auctions() {
-            let a = self.doc.push_element(auctions, "closed_auction");
-            let seller = self.doc.push_element(a, "seller");
+            let a = self.doc.element(auctions, "closed_auction");
+            let seller = self.doc.element(a, "seller");
             let s = format!("person{}", self.rng.gen_range(0..persons));
-            self.doc.push_attribute(seller, "person", &s);
-            let buyer = self.doc.push_element(a, "buyer");
+            self.doc.attribute(seller, "person", &s);
+            let buyer = self.doc.element(a, "buyer");
             let b = format!("person{}", self.rng.gen_range(0..persons));
-            self.doc.push_attribute(buyer, "person", &b);
+            self.doc.attribute(buyer, "person", &b);
             // itemref directly followed by price: the sibling pair that
             // Q4 (`//itemref/following-sibling::price/parent::*`) walks.
-            let itemref = self.doc.push_element(a, "itemref");
+            let itemref = self.doc.element(a, "itemref");
             let it = format!("item{}", self.rng.gen_range(0..items));
-            self.doc.push_attribute(itemref, "item", &it);
-            let price = self.doc.push_element(a, "price");
+            self.doc.attribute(itemref, "item", &it);
+            let price = self.doc.element(a, "price");
             let p = format!("{:.2}", self.rng.gen_range(1.0..500.0));
-            self.doc.push_text(price, &p);
-            let date = self.doc.push_element(a, "date");
+            self.doc.text(price, &p);
+            let date = self.doc.element(a, "date");
             let d = format!(
                 "{:02}/{:02}/{}",
                 self.rng.gen_range(1..=12),
                 self.rng.gen_range(1..=28),
                 self.rng.gen_range(1998..=2004)
             );
-            self.doc.push_text(date, &d);
-            let quantity = self.doc.push_element(a, "quantity");
+            self.doc.text(date, &d);
+            let quantity = self.doc.element(a, "quantity");
             let q = self.rng.gen_range(1..=5).to_string();
-            self.doc.push_text(quantity, &q);
+            self.doc.text(quantity, &q);
             if self.rng.gen_bool(0.3) {
-                let annotation = self.doc.push_element(a, "annotation");
-                let desc = self.doc.push_element(annotation, "description");
-                let text = self.doc.push_element(desc, "text");
+                let annotation = self.doc.element(a, "annotation");
+                let desc = self.doc.element(annotation, "description");
+                let text = self.doc.element(desc, "text");
                 let body = self.sentence(8);
-                self.doc.push_text(text, &body);
+                self.doc.text(text, &body);
             }
         }
     }
@@ -421,6 +600,19 @@ mod tests {
             seed: 99,
         });
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn streamed_output_is_byte_identical_to_dom_output() {
+        for scale in [0.001, 0.004] {
+            let cfg = XmarkConfig::with_scale(scale);
+            let dom = generate_string(&cfg);
+            let mut streamed = Vec::new();
+            let bytes = generate_to(&cfg, &mut streamed).unwrap();
+            assert_eq!(bytes as usize, streamed.len());
+            assert_eq!(String::from_utf8(streamed).unwrap(), dom, "scale {scale}");
+            assert_eq!(document_bytes(&cfg), bytes);
+        }
     }
 
     #[test]
